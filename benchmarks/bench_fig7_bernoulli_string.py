@@ -1,0 +1,69 @@
+"""Fig 7 — compression efficiency vs. entropy in the string model.
+
+A complete binary trie over 2^17 Bernoulli(p) symbols (2^15 at reduced
+scale) is folded with the equation (3) barrier for the paper's p grid;
+we report H0, the string entropy nH0, the measured D(S) size and
+ν = size / nH0. The paper again finds ν ≈ 3 with a more prominent
+low-entropy spike than Fig 6. Written to ``results/fig7.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fig67 import BERNOULLI_GRID, measure_fig7_point, render_fig7
+from repro.analysis.report import banner
+
+_POINTS = {}
+
+
+def string_length(scale: float) -> int:
+    return 1 << 17 if scale >= 0.5 else 1 << 15
+
+
+@pytest.mark.parametrize("p", BERNOULLI_GRID)
+def test_fig7_point(benchmark, scale, p):
+    length = string_length(scale)
+
+    def measure():
+        return measure_fig7_point(length, p, seed=70)
+
+    point = benchmark.pedantic(measure, iterations=1, rounds=1)
+    _POINTS[p] = point
+    benchmark.extra_info.update(
+        p=p, h0=round(point.h0, 3), nu=round(point.efficiency, 2), barrier=point.barrier
+    )
+
+
+def test_fig7_report(benchmark, report_writer, scale):
+    assert _POINTS, "sweep points must run first"
+    points = [_POINTS[p] for p in sorted(_POINTS)]
+    text = benchmark.pedantic(
+        lambda: banner(f"Fig 7 reproduction (string model, n = {string_length(scale)})")
+        + "\n"
+        + render_fig7(points),
+        iterations=1,
+        rounds=1,
+    )
+    report_writer("fig7.txt", text)
+
+    # Entropy rises with p; the eq (3) barrier rises with it.
+    h0s = [point.h0 for point in points]
+    assert h0s == sorted(h0s)
+    barriers = [point.barrier for point in points]
+    assert barriers == sorted(barriers)
+
+    # nu ~ 3 at moderate entropy, spiking at the low-entropy end.
+    moderate = [point.efficiency for point in points if point.p >= 0.1]
+    assert all(2.0 <= nu <= 6.0 for nu in moderate)
+    assert points[0].efficiency > points[-1].efficiency
+    # The measured D(S) never exceeds the Theorem 2 bound.
+    from repro.analysis.bounds import check_theorem2
+    from repro.core.stringmodel import FoldedString
+    from repro.datasets.synthetic import bernoulli_string
+
+    length = string_length(scale)
+    for p in (0.05, 0.5):
+        folded = FoldedString(bernoulli_string(length, p, seed=70))
+        check = check_theorem2(folded.report())
+        assert check.holds, str(check)

@@ -1,0 +1,136 @@
+"""Operation-level micro-benchmarks.
+
+Not a paper artifact: these pytest-benchmark timings give per-operation
+wall-clock costs (build, lookup, update, succinct primitives) so that
+regressions in any layer show up without rerunning the full table
+harnesses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.lctrie import fib_trie
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import SerializedDag
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+from repro.datasets.profiles import PRIMARY_PROFILE
+from repro.datasets.traces import uniform_trace
+from repro.datasets.updates import bgp_update_sequence
+from repro.succinct.rrr import RRRBitVector
+from repro.succinct.wavelet import WaveletTree
+
+
+@pytest.fixture(scope="module")
+def fib(profile_fib):
+    return profile_fib(PRIMARY_PROFILE)
+
+
+@pytest.fixture(scope="module")
+def dag(fib):
+    return PrefixDag(fib, barrier=11)
+
+
+@pytest.fixture(scope="module")
+def image(dag):
+    return SerializedDag(dag)
+
+
+@pytest.fixture(scope="module")
+def addresses():
+    return uniform_trace(2000, seed=1)
+
+
+class TestBuilds:
+    def test_binary_trie_build(self, benchmark, fib):
+        benchmark.pedantic(BinaryTrie.from_fib, args=(fib,), iterations=1, rounds=3)
+
+    def test_prefix_dag_build(self, benchmark, fib):
+        benchmark.pedantic(
+            lambda: PrefixDag(fib, barrier=11), iterations=1, rounds=3
+        )
+
+    def test_xbw_build(self, benchmark, fib):
+        benchmark.pedantic(XBWb.from_fib, args=(fib,), iterations=1, rounds=1)
+
+    def test_serialize_build(self, benchmark, dag):
+        benchmark.pedantic(lambda: SerializedDag(dag), iterations=1, rounds=3)
+
+    def test_lctrie_build(self, benchmark, fib):
+        benchmark.pedantic(lambda: fib_trie(fib), iterations=1, rounds=3)
+
+
+class TestLookups:
+    def test_binary_trie_lookup(self, benchmark, fib, addresses):
+        trie = BinaryTrie.from_fib(fib)
+        benchmark(lambda: [trie.lookup(a) for a in addresses[:500]])
+
+    def test_dag_lookup(self, benchmark, dag, addresses):
+        benchmark(lambda: [dag.lookup(a) for a in addresses[:500]])
+
+    def test_image_lookup(self, benchmark, image, addresses):
+        benchmark(lambda: [image.lookup(a) for a in addresses[:500]])
+
+    def test_lctrie_lookup(self, benchmark, fib, addresses):
+        lct = fib_trie(fib)
+        benchmark(lambda: [lct.lookup(a) for a in addresses[:500]])
+
+    def test_xbw_lookup(self, benchmark, fib, addresses):
+        xbw = XBWb.from_fib(fib)
+        benchmark(lambda: [xbw.lookup(a) for a in addresses[:50]])
+
+
+class TestUpdates:
+    def test_dag_bgp_updates(self, benchmark, fib):
+        ops = bgp_update_sequence(fib, 200, seed=2)
+        dag = PrefixDag(fib, barrier=11)
+
+        def replay():
+            for op in ops:
+                try:
+                    dag.update(op.prefix, op.length, op.label)
+                except KeyError:
+                    pass
+
+        benchmark.pedantic(replay, iterations=1, rounds=3)
+
+    def test_control_trie_updates(self, benchmark, fib):
+        ops = bgp_update_sequence(fib, 200, seed=2)
+        trie = BinaryTrie.from_fib(fib)
+
+        def replay():
+            for op in ops:
+                trie.insert(op.prefix, op.length, op.label)
+
+        benchmark.pedantic(replay, iterations=1, rounds=3)
+
+
+class TestSuccinctPrimitives:
+    @pytest.fixture(scope="class")
+    def rrr(self):
+        rng = random.Random(3)
+        return RRRBitVector([rng.randint(0, 1) for _ in range(200_000)])
+
+    @pytest.fixture(scope="class")
+    def wavelet(self):
+        rng = random.Random(4)
+        return WaveletTree([rng.choice([1, 1, 1, 2, 3]) for _ in range(100_000)])
+
+    def test_rrr_rank(self, benchmark, rrr):
+        positions = list(range(0, 200_000, 97))
+        benchmark(lambda: [rrr.rank1(p) for p in positions])
+
+    def test_rrr_access(self, benchmark, rrr):
+        positions = list(range(0, 200_000, 97))
+        benchmark(lambda: [rrr.access(p) for p in positions])
+
+    def test_wavelet_access(self, benchmark, wavelet):
+        positions = list(range(0, 100_000, 97))
+        benchmark(lambda: [wavelet.access(p) for p in positions])
+
+    def test_wavelet_rank(self, benchmark, wavelet):
+        positions = list(range(0, 100_000, 97))
+        benchmark(lambda: [wavelet.rank(1, p) for p in positions])

@@ -1,0 +1,79 @@
+"""Table 1 — storage sizes of XBW-b and trie-folding on all 11 FIBs.
+
+For every profile this harness measures N, δ, H0, the I and E bounds,
+the XBW-b and prefix-DAG (λ=11) sizes, compression efficiency ν and
+bits/prefix η — the exact columns of the paper's Table 1 — and writes
+the rendered table to ``results/table1.txt``.
+
+The benchmarked operation is the prefix-DAG fold itself (the paper's
+"O(t) construction", Lemma 4); the XBW-b transform build is measured in
+``bench_ops.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table1 import (
+    TABLE1_BARRIER,
+    measure_fib,
+    render_table1,
+    sanity_check_row,
+)
+from repro.analysis.report import banner
+from repro.core.prefixdag import PrefixDag
+
+from benchmarks.conftest import all_profile_names
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", all_profile_names())
+def test_table1_row(benchmark, profile_fib, name):
+    """Measure one Table 1 row; the timed section is the trie-fold."""
+    fib = profile_fib(name)
+
+    def fold():
+        return PrefixDag(fib, barrier=TABLE1_BARRIER)
+
+    dag = benchmark.pedantic(fold, iterations=1, rounds=1)
+    row = measure_fib(fib, name=name, group="", barrier=TABLE1_BARRIER, dag=dag)
+    problems = sanity_check_row(row)
+    assert not problems, problems
+    benchmark.extra_info.update(
+        prefixes=row.entries,
+        h0=round(row.h0, 3),
+        pdag_kb=round(row.pdag_kb, 1),
+        xbw_kb=round(row.xbw_kb, 1),
+        nu=round(row.efficiency, 2),
+    )
+    _ROWS[name] = row
+
+
+def test_table1_report(benchmark, report_writer, scale):
+    """Render the assembled table (depends on the row benchmarks above)."""
+    assert _ROWS, "row benchmarks must run first"
+    ordered = [_ROWS[name] for name in sorted(_ROWS)]
+    text = benchmark.pedantic(
+        lambda: banner(f"Table 1 reproduction (scale {scale})")
+        + "\n"
+        + render_table1(ordered),
+        iterations=1,
+        rounds=1,
+    )
+    report_writer("table1.txt", text)
+
+    # Paper shape checks across the assembled table. The small
+    # instances (access_v, mobile) "compress poorly, as is usual in
+    # data compression" -- the at-scale claims apply above ~10K routes.
+    for row in ordered:
+        assert row.entropy_kb <= row.info_bound_kb, row.name
+        if row.entries < 10_000:
+            continue
+        # XBW-b sits essentially on the entropy bound (o(n) overheads
+        # shrink further with scale; the paper measures 1.05-1.25x E)...
+        assert row.xbw_kb <= 1.7 * row.entropy_kb, row.name
+        # ...and trie-folding is within a small constant of it (the
+        # constant decreases toward the paper's 2.6-4.1 as the tables
+        # grow; REPRO_FULL=1 reproduces that regime).
+        assert row.efficiency <= 11.0, row.name

@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` file regenerates one paper artifact (table or figure).
+Datasets are built once per session at ``REPRO_SCALE`` (default 0.05 —
+taz becomes ~20K prefixes; set ``REPRO_FULL=1`` for the paper's full
+410K–1M sizes) and rendered reports are written to ``results/`` as well
+as printed, so ``pytest benchmarks/ --benchmark-only`` leaves the
+reproduced tables on disk for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.profiles import TABLE1_PROFILES, build_profile_fib, configured_scale, profile
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+DEFAULT_SCALE = 0.05
+
+
+@functools.lru_cache(maxsize=None)
+def cached_profile_fib(name: str, scale: float):
+    return build_profile_fib(profile(name), scale=scale)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return configured_scale(DEFAULT_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def profile_fib(scale):
+    """Factory: scaled stand-in FIB for a named Table 1 profile."""
+
+    def build(name: str):
+        return cached_profile_fib(name, scale)
+
+    return build
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under results/."""
+    print(text)
+    (results_dir / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def report_writer(results_dir):
+    return functools.partial(write_report, results_dir)
+
+
+def all_profile_names():
+    return sorted(TABLE1_PROFILES)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 660
+editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work from the pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

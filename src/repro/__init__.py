@@ -1,0 +1,65 @@
+"""repro — entropy-bounded IP forwarding table compression.
+
+A from-scratch Python reproduction of
+
+    G. Rétvári, J. Tapolcai, A. Kőrösi, A. Majdán, Z. Heszberger:
+    "Compressing IP Forwarding Tables: Towards Entropy Bounds and
+    Beyond", ACM SIGCOMM 2013 (revised technical report constants).
+
+Public API highlights
+---------------------
+>>> from repro import Fib, PrefixDag, XBWb
+>>> fib = Fib()
+>>> fib.add(0b0, 1, 3)       # 0.0.0.0/1    -> next-hop 3
+>>> fib.add(0b001, 3, 2)     # 32.0.0.0/3   -> next-hop 2
+>>> fib.add(0b011, 3, 1)     # 96.0.0.0/3   -> next-hop 1
+>>> dag = PrefixDag(fib, barrier=2)
+>>> dag.lookup(0x20000000)
+2
+>>> xbw = XBWb.from_fib(fib)
+>>> xbw.lookup(0x20000000)
+2
+"""
+
+from repro.core import (
+    INVALID_LABEL,
+    BinaryTrie,
+    EntropyReport,
+    Fib,
+    FoldedString,
+    Neighbor,
+    PrefixDag,
+    Route,
+    SerializedDag,
+    XBWb,
+    compression_efficiency,
+    entropy_barrier,
+    fib_entropy,
+    info_theoretic_barrier,
+    leaf_pushed_trie,
+    shannon_entropy,
+    trie_entropy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INVALID_LABEL",
+    "BinaryTrie",
+    "EntropyReport",
+    "Fib",
+    "FoldedString",
+    "Neighbor",
+    "PrefixDag",
+    "Route",
+    "SerializedDag",
+    "XBWb",
+    "compression_efficiency",
+    "entropy_barrier",
+    "fib_entropy",
+    "info_theoretic_barrier",
+    "leaf_pushed_trie",
+    "shannon_entropy",
+    "trie_entropy",
+    "__version__",
+]

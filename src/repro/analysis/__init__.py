@@ -1,0 +1,83 @@
+"""Experiment assembly: Table 1/2 builders, Fig 5/6/7 sweeps, theorem
+checkers, and the shared ASCII report renderer."""
+
+from repro.analysis.bounds import (
+    BoundCheck,
+    check_entropy_ordering,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_xbw_entropy_bound,
+)
+from repro.analysis.fig5 import (
+    FIG5_HEADERS,
+    Fig5Point,
+    measure_update_point,
+    render_fig5,
+    sweep_barriers,
+)
+from repro.analysis.fig67 import (
+    BERNOULLI_GRID,
+    Fig6Point,
+    Fig7Point,
+    measure_fig6_point,
+    measure_fig7_point,
+    render_fig6,
+    render_fig7,
+    sweep_fig6,
+    sweep_fig7,
+)
+from repro.analysis.report import banner, format_cell, render_series, render_table
+from repro.analysis.table1 import (
+    TABLE1_BARRIER,
+    TABLE1_HEADERS,
+    Table1Row,
+    measure_fib,
+    render_table1,
+    sanity_check_row,
+)
+from repro.analysis.table2 import (
+    TABLE2_HEADERS,
+    Table2Inputs,
+    Table2Row,
+    build_table2,
+    render_table2,
+)
+
+__all__ = [
+    "BoundCheck",
+    "check_entropy_ordering",
+    "check_theorem1",
+    "check_theorem2",
+    "check_theorem3",
+    "check_xbw_entropy_bound",
+    "FIG5_HEADERS",
+    "Fig5Point",
+    "measure_update_point",
+    "render_fig5",
+    "sweep_barriers",
+    "BERNOULLI_GRID",
+    "Fig6Point",
+    "Fig7Point",
+    "measure_fig6_point",
+    "measure_fig7_point",
+    "render_fig6",
+    "render_fig7",
+    "sweep_fig6",
+    "sweep_fig7",
+    "banner",
+    "format_cell",
+    "render_series",
+    "render_table",
+    "TABLE1_BARRIER",
+    "TABLE1_HEADERS",
+    "Table1Row",
+    "measure_fib",
+    "render_table1",
+    "sanity_check_row",
+    "TABLE2_HEADERS",
+    "Table2Inputs",
+    "Table2Row",
+    "build_table2",
+    "render_table2",
+]

@@ -1,0 +1,107 @@
+"""Fig 5 — update time vs. memory footprint while sweeping the barrier.
+
+The paper varies λ from 0 to 32 on its primary FIB and, for each
+setting, plots the prefix DAG's memory footprint against the mean
+per-update latency over two feeds (uniform random and BGP-inspired).
+The headline effects this experiment must reproduce:
+
+* λ = 32 (plain prefix tree): large memory, fast updates;
+* λ = 0 (fully folded): an order of magnitude less memory, updates up
+  to four orders of magnitude slower under the *random* feed;
+* a sweet-spot plateau around 5 ≤ λ ≤ 12 with essentially all the
+  compression and ~100K updates/sec;
+* the BGP feed is *insensitive* to λ, because BGP churn touches long
+  prefixes whose λ-level sub-tries are small.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.datasets.updates import UpdateOp
+
+
+@dataclass
+class Fig5Point:
+    """One (λ, feed) measurement."""
+
+    barrier: int
+    feed: str
+    size_kb: float
+    microseconds_per_update: float
+    work_per_update: float      # folded+released+visited nodes (machine-independent)
+    updates_applied: int
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.microseconds_per_update == 0:
+            return 0.0
+        return 1e6 / self.microseconds_per_update
+
+
+def measure_update_point(
+    fib: Fib,
+    barrier: int,
+    ops: Sequence[UpdateOp],
+    feed_name: str,
+) -> Fig5Point:
+    """Build a DAG at ``barrier`` and replay one update feed through it."""
+    dag = PrefixDag(fib, barrier=barrier)
+    size_kb = dag.size_in_kbytes()
+    applied = 0
+    total_work = 0
+    start = time.perf_counter()
+    for op in ops:
+        try:
+            cost = dag.update(op.prefix, op.length, op.label)
+        except KeyError:
+            continue
+        applied += 1
+        total_work += cost.total_work
+    elapsed = time.perf_counter() - start
+    return Fig5Point(
+        barrier=barrier,
+        feed=feed_name,
+        size_kb=size_kb,
+        microseconds_per_update=(elapsed * 1e6 / applied) if applied else 0.0,
+        work_per_update=(total_work / applied) if applied else 0.0,
+        updates_applied=applied,
+    )
+
+
+def sweep_barriers(
+    fib: Fib,
+    feeds: dict[str, Sequence[UpdateOp]],
+    barriers: Optional[Sequence[int]] = None,
+) -> List[Fig5Point]:
+    """The full Fig 5 sweep: every barrier × every feed."""
+    if barriers is None:
+        barriers = list(range(0, fib.width + 1, 2))
+    points: List[Fig5Point] = []
+    for barrier in barriers:
+        for feed_name, ops in feeds.items():
+            points.append(measure_update_point(fib, barrier, ops, feed_name))
+    return points
+
+
+FIG5_HEADERS = ("lambda", "feed", "size[KB]", "us/update", "updates/s", "work/update")
+
+
+def render_fig5(points: Sequence[Fig5Point]) -> str:
+    rows = [
+        (
+            p.barrier,
+            p.feed,
+            p.size_kb,
+            p.microseconds_per_update,
+            p.updates_per_second,
+            p.work_per_update,
+        )
+        for p in points
+    ]
+    return render_table(FIG5_HEADERS, rows)

@@ -1,0 +1,132 @@
+"""Figs 6 and 7 — controlled-entropy compression efficiency curves.
+
+Fig 6: the FIB experiment. The prefix structure of an access(d)-shaped
+table is kept and next-hops are redrawn Bernoulli(p) for p in
+[0.005, 0.5]; the paper plots H0, the XBW-b and prefix-DAG sizes, and
+the compression efficiency ν = size/E, finding ν ≈ 3 with a spike at
+very low entropy ("degrades as the next-hop distribution becomes
+extremely biased").
+
+Fig 7: the same sweep in the string model — a complete binary trie over
+2^17 Bernoulli(p) symbols compressed with trie-folding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.core.entropy import fib_entropy
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.core.stringmodel import FoldedString
+from repro.core.xbw import XBWb
+from repro.datasets.synthetic import bernoulli_label_sampler, bernoulli_string, relabel_fib
+
+#: The paper's p grid (x axis of both figures).
+BERNOULLI_GRID = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
+
+
+@dataclass
+class Fig6Point:
+    """One p setting of the FIB experiment."""
+
+    p: float
+    h0: float
+    entropy_kb: float
+    xbw_kb: float
+    pdag_kb: float
+    efficiency: float        # ν — pDAG bits over FIB entropy bits
+
+
+def measure_fig6_point(
+    base_fib: Fib, p: float, barrier: int = 11, seed: int = 0, include_xbw: bool = True
+) -> Fig6Point:
+    """Relabel ``base_fib`` with Bernoulli(p) next-hops and measure."""
+    fib = relabel_fib(base_fib, bernoulli_label_sampler(p), seed=seed)
+    report = fib_entropy(fib)
+    dag = PrefixDag(fib, barrier=barrier)
+    pdag_bits = dag.size_in_bits()
+    xbw_kb = 0.0
+    if include_xbw:
+        xbw_kb = XBWb.from_fib(fib).size_in_kbytes()
+    return Fig6Point(
+        p=p,
+        h0=report.h0,
+        entropy_kb=report.entropy_kbytes,
+        xbw_kb=xbw_kb,
+        pdag_kb=pdag_bits / 8192.0,
+        efficiency=(pdag_bits / report.entropy_bits) if report.entropy_bits else 0.0,
+    )
+
+
+def sweep_fig6(
+    base_fib: Fib,
+    grid: Sequence[float] = BERNOULLI_GRID,
+    barrier: int = 11,
+    seed: int = 0,
+    include_xbw: bool = True,
+) -> List[Fig6Point]:
+    return [
+        measure_fig6_point(base_fib, p, barrier=barrier, seed=seed, include_xbw=include_xbw)
+        for p in grid
+    ]
+
+
+FIG6_HEADERS = ("p", "H0", "E[KB]", "XBW-b[KB]", "pDAG[KB]", "nu")
+
+
+def render_fig6(points: Sequence[Fig6Point]) -> str:
+    rows = [
+        (p.p, p.h0, p.entropy_kb, p.xbw_kb, p.pdag_kb, p.efficiency) for p in points
+    ]
+    return render_table(FIG6_HEADERS, rows)
+
+
+@dataclass
+class Fig7Point:
+    """One p setting of the string-model experiment."""
+
+    p: float
+    h0: float
+    entropy_kb: float        # n·H0
+    size_kb: float           # measured D(S)
+    efficiency: float        # ν = size / (n·H0)
+    barrier: int
+
+
+def measure_fig7_point(
+    length: int, p: float, seed: int = 0, barrier: Optional[int] = None
+) -> Fig7Point:
+    """Fold one Bernoulli(p) string of ``length`` symbols (2^17 in the
+    paper) with the equation (3) barrier unless overridden."""
+    symbols = bernoulli_string(length, p, seed=seed)
+    folded = FoldedString(symbols, barrier=barrier)
+    report = folded.report()
+    return Fig7Point(
+        p=p,
+        h0=report.h0,
+        entropy_kb=report.entropy_bits / 8192.0,
+        size_kb=report.size_bits / 8192.0,
+        efficiency=report.efficiency,
+        barrier=folded.barrier,
+    )
+
+
+def sweep_fig7(
+    length: int = 1 << 17,
+    grid: Sequence[float] = BERNOULLI_GRID,
+    seed: int = 0,
+) -> List[Fig7Point]:
+    return [measure_fig7_point(length, p, seed=seed) for p in grid]
+
+
+FIG7_HEADERS = ("p", "H0", "nH0[KB]", "D(S)[KB]", "nu", "lambda")
+
+
+def render_fig7(points: Sequence[Fig7Point]) -> str:
+    rows = [
+        (p.p, p.h0, p.entropy_kb, p.size_kb, p.efficiency, p.barrier) for p in points
+    ]
+    return render_table(FIG7_HEADERS, rows)

@@ -1,0 +1,83 @@
+"""Higher-order entropy of the XBW-b label string (§3.2's open question).
+
+The paper argues XBW-b's level ordering clusters nodes of similar
+context, so a context-aware coder could push ``S_α`` below zero-order
+entropy "if contextual dependency is present in real IP FIBs" — and
+explicitly leaves measuring that for future work. This module does the
+measurement: it computes the empirical H_0, H_1, H_2 of ``S_α`` (the BFS
+leaf-label string) for a FIB and reports the headroom a higher-order
+XBW-b variant would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.report import render_table
+from repro.core.entropy import order_k_entropy
+from repro.core.fib import Fib
+from repro.core.leafpush import leaf_pushed_trie
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+
+
+@dataclass(frozen=True)
+class HighOrderReport:
+    """Empirical entropies of one FIB's S_α and the implied headroom."""
+
+    name: str
+    leaves: int
+    h0: float
+    h1: float
+    h2: float
+
+    @property
+    def order1_headroom(self) -> float:
+        """Fraction of the label payload a first-order coder could save."""
+        if self.h0 == 0:
+            return 0.0
+        return 1.0 - self.h1 / self.h0
+
+    @property
+    def order2_headroom(self) -> float:
+        if self.h0 == 0:
+            return 0.0
+        return 1.0 - self.h2 / self.h0
+
+
+def label_string(fib: Fib) -> List[int]:
+    """``S_α`` — the BFS leaf-label string of the normal form."""
+    normalized = leaf_pushed_trie(BinaryTrie.from_fib(fib))
+    _, labels = XBWb._serialize(normalized)
+    return labels
+
+
+def measure_high_order(fib: Fib, name: str = "fib") -> HighOrderReport:
+    """Compute H_0..H_2 of a FIB's S_α."""
+    labels = label_string(fib)
+    return HighOrderReport(
+        name=name,
+        leaves=len(labels),
+        h0=order_k_entropy(labels, 0),
+        h1=order_k_entropy(labels, 1),
+        h2=order_k_entropy(labels, 2),
+    )
+
+
+def render_high_order(reports: Sequence[HighOrderReport]) -> str:
+    rows = [
+        (
+            report.name,
+            report.leaves,
+            report.h0,
+            report.h1,
+            report.h2,
+            f"{report.order1_headroom:.0%}",
+            f"{report.order2_headroom:.0%}",
+        )
+        for report in reports
+    ]
+    return render_table(
+        ("FIB", "n", "H0", "H1", "H2", "H1 headroom", "H2 headroom"), rows
+    )

@@ -1,0 +1,56 @@
+"""ASCII table/series rendering shared by the benchmark harnesses.
+
+Every ``benchmarks/bench_*`` file prints its reproduction of a paper
+table or figure through these helpers, so harness output is uniform and
+diffable run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    """Render one cell: floats get three significant decimals."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, series: dict[str, Sequence[float]],
+                  x_values: Sequence) -> str:
+    """Render a figure's data series as a table: one x column, one column
+    per named series — the textual equivalent of the paper's plots."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [values[index] for values in series.values()])
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def banner(text: str) -> str:
+    """A section banner for harness output."""
+    bar = "=" * max(len(text), 8)
+    return f"\n{bar}\n{text}\n{bar}"

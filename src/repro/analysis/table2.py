@@ -1,0 +1,196 @@
+"""Table 2 — the lookup benchmark on the primary FIB instance.
+
+For each representation (XBW-b, prefix DAG, fib_trie, FPGA) over two key
+streams (uniform random, CAIDA-like trace) the paper reports: memory
+size, average/maximum depth, million lookups per second, CPU cycles per
+lookup, and cache misses per packet. This module assembles those rows
+from the simulator engines plus the kbench wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.baselines.lctrie import LCTrie
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import SerializedDag
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+from repro.simulator.engine import (
+    LookupEngine,
+    lctrie_engine,
+    serialized_dag_engine,
+    xbw_engine,
+)
+from repro.simulator.kbench import kbench
+from repro.simulator.memory import MemoryHierarchy
+
+
+@dataclass
+class Table2Row:
+    """Measured metrics of one representation under one key stream."""
+
+    name: str
+    stream: str                      # "rand" or "trace"
+    size_kb: float
+    average_depth: float
+    max_depth: int
+    million_lookups_per_second: float
+    cycles_per_lookup: float
+    cache_misses_per_packet: float
+    wallclock_mlps: Optional[float] = None
+
+
+TABLE2_HEADERS = (
+    "engine",
+    "keys",
+    "size[KB]",
+    "avg depth",
+    "max depth",
+    "Mlookup/s",
+    "cyc/lookup",
+    "miss/pkt",
+    "pyMlps",
+)
+
+
+@dataclass
+class Table2Inputs:
+    """Prebuilt structures for the benchmark (built once, reused)."""
+
+    fib: Fib
+    dag: PrefixDag
+    image: SerializedDag
+    lctrie: LCTrie
+    xbw: XBWb
+    reference: BinaryTrie
+
+    @classmethod
+    def build(cls, fib: Fib, barrier: int = 11, lctrie: Optional[LCTrie] = None) -> "Table2Inputs":
+        dag = PrefixDag(fib, barrier=barrier)
+        return cls(
+            fib=fib,
+            dag=dag,
+            image=SerializedDag(dag),
+            lctrie=lctrie or LCTrie(fib),
+            xbw=XBWb.from_fib(fib),
+            reference=BinaryTrie.from_fib(fib),
+        )
+
+
+def _engine_row(
+    engine: LookupEngine,
+    stream_name: str,
+    addresses: Sequence[int],
+    size_kb: float,
+    average_depth: float,
+    max_depth: int,
+    warmup_fraction: float = 0.2,
+    wallclock_lookup=None,
+) -> Table2Row:
+    warmup = int(len(addresses) * warmup_fraction)
+    report = engine.run(addresses, MemoryHierarchy(), warmup=warmup)
+    wallclock = None
+    if wallclock_lookup is not None:
+        wallclock = kbench(wallclock_lookup, addresses, engine.name).million_lookups_per_second
+    return Table2Row(
+        name=engine.name,
+        stream=stream_name,
+        size_kb=size_kb,
+        average_depth=average_depth,
+        max_depth=max_depth,
+        million_lookups_per_second=report.million_lookups_per_second,
+        cycles_per_lookup=report.cycles_per_lookup,
+        cache_misses_per_packet=report.cache_misses_per_packet,
+        wallclock_mlps=wallclock,
+    )
+
+
+def build_table2(
+    inputs: Table2Inputs,
+    streams: Dict[str, Sequence[int]],
+    xbw_sample: int = 2000,
+    include_fpga: bool = True,
+) -> List[Table2Row]:
+    """Measure every engine under every key stream.
+
+    ``xbw_sample`` caps the XBW-b trace length (its per-lookup primitive
+    replay is two orders of magnitude more work, exactly as the paper
+    found on real hardware).
+    """
+    # Depth below the stride table — the paper's pDAG depth columns
+    # (their serialized format collapses the first λ levels too).
+    dag_depth, dag_max = inputs.image.depth_profile()
+    lct_stats = inputs.lctrie.stats()
+    rows: List[Table2Row] = []
+    for stream_name, addresses in streams.items():
+        rows.append(
+            _engine_row(
+                xbw_engine(inputs.xbw),
+                stream_name,
+                addresses[:xbw_sample],
+                inputs.xbw.size_in_kbytes(),
+                float("nan"),
+                0,
+                wallclock_lookup=inputs.xbw.lookup,
+            )
+        )
+        rows.append(
+            _engine_row(
+                serialized_dag_engine(inputs.image),
+                stream_name,
+                addresses,
+                inputs.image.size_in_kbytes() * 1024 / 1024,  # KiB
+                dag_depth,
+                dag_max,
+                wallclock_lookup=inputs.image.lookup,
+            )
+        )
+        rows.append(
+            _engine_row(
+                lctrie_engine(inputs.lctrie),
+                stream_name,
+                addresses,
+                inputs.lctrie.size_in_kbytes(),
+                lct_stats.average_depth,
+                lct_stats.max_depth,
+                wallclock_lookup=inputs.lctrie.lookup,
+            )
+        )
+        if include_fpga:
+            fpga = serialized_dag_engine(inputs.image).run_fpga(addresses)
+            rows.append(
+                Table2Row(
+                    name="FPGA",
+                    stream=stream_name,
+                    size_kb=inputs.image.size_in_kbytes(),
+                    average_depth=dag_depth,
+                    max_depth=dag_max,
+                    million_lookups_per_second=fpga.million_lookups_per_second(),
+                    cycles_per_lookup=fpga.cycles_per_lookup,
+                    cache_misses_per_packet=0.0,
+                )
+            )
+    return rows
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    body = []
+    for row in rows:
+        body.append(
+            (
+                row.name,
+                row.stream,
+                row.size_kb,
+                row.average_depth,
+                row.max_depth,
+                row.million_lookups_per_second,
+                row.cycles_per_lookup,
+                row.cache_misses_per_packet,
+                row.wallclock_mlps if row.wallclock_mlps is not None else "-",
+            )
+        )
+    return render_table(TABLE2_HEADERS, body)

@@ -1,0 +1,25 @@
+"""Baseline FIB representations the paper evaluates against.
+
+* :class:`LCTrie` / :func:`fib_trie` — the Linux kernel's level- and
+  path-compressed multibit trie [41] (Table 2's reference);
+* :class:`PatriciaTrie` — the BSD radix tree [46];
+* :func:`ortc_compress` — optimal route-table construction [12];
+* :class:`TabularFib` — the Fig 1(a) linear table.
+"""
+
+from repro.baselines.lctrie import LCTrie, LCTrieStats, fib_trie
+from repro.baselines.ortc import OrtcResult, ortc_compress
+from repro.baselines.patricia import PatriciaTrie
+from repro.baselines.shapegraph import ShapeGraph
+from repro.baselines.tabular import TabularFib
+
+__all__ = [
+    "LCTrie",
+    "LCTrieStats",
+    "fib_trie",
+    "OrtcResult",
+    "ortc_compress",
+    "PatriciaTrie",
+    "ShapeGraph",
+    "TabularFib",
+]

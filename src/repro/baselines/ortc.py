@@ -1,0 +1,127 @@
+"""ORTC — Optimal Routing Table Constructor (Draves et al. [12]).
+
+ORTC is the classic FIB *aggregation* baseline (Fig 1(c) of the paper):
+it relabels the prefix tree so that the forwarding function is preserved
+with the provably minimum number of table entries. The paper positions
+trie-folding as complementary to such schemes ("it can be used in
+combination with basically any trie-based FIB representation"), which
+the ablation benchmark exercises by folding ORTC's output.
+
+Three passes over the leaf-pushed normal form:
+
+1. normalize (done by :func:`leaf_pushed_trie`),
+2. bottom-up: each interior node's candidate set is the intersection of
+   its children's sets when non-empty, else their union,
+3. top-down: emit an entry only where the inherited label is not in the
+   node's candidate set.
+
+The invalid label ⊥ participates like any other label; an emitted ⊥
+entry is a *null route* (it can arise when an uncovered region is
+surrounded by covered ones). :class:`OrtcResult` keeps such entries
+explicit; ``to_fib()`` refuses to produce a :class:`Fib` if any exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.fib import INVALID_LABEL, Fib
+from repro.core.leafpush import leaf_pushed_trie
+from repro.core.trie import BinaryTrie, TrieNode
+
+
+@dataclass
+class OrtcResult:
+    """The aggregated table: entries may include ⊥ (null routes)."""
+
+    width: int
+    entries: List[Tuple[int, int, int]]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def null_routes(self) -> int:
+        return sum(1 for (_, _, label) in self.entries if label == INVALID_LABEL)
+
+    def to_trie(self, null_label: Optional[int] = None) -> BinaryTrie:
+        """A binary trie holding the aggregated entries.
+
+        ``null_label`` rewrites ⊥ entries (null routes) to a real label —
+        the way a production router expresses "discard": a next-hop that
+        points at a drop interface. This is required before handing the
+        table to :class:`~repro.core.prefixdag.PrefixDag`, which (like
+        the paper) assumes no explicit blackhole routes. By default ⊥ is
+        kept verbatim (semantics: "no route").
+        """
+        trie = BinaryTrie(self.width)
+        for prefix, length, label in self.entries:
+            if label == INVALID_LABEL and null_label is not None:
+                label = null_label
+            trie.insert(prefix, length, label)
+        return trie
+
+    def drop_label(self) -> int:
+        """A label value safe to use for null routes: one past the
+        largest real next-hop in the table."""
+        real = [label for (_, _, label) in self.entries if label != INVALID_LABEL]
+        return (max(real) + 1) if real else 1
+
+    def to_fib(self) -> Fib:
+        """As a :class:`Fib`; raises if any null route was required."""
+        if self.null_routes:
+            raise ValueError(
+                f"aggregated table needs {self.null_routes} null route(s); "
+                f"use to_trie() which can represent them"
+            )
+        fib = Fib(self.width)
+        for prefix, length, label in self.entries:
+            fib.add(prefix, length, label)
+        return fib
+
+    def lookup(self, address: int) -> Optional[int]:
+        """LPM over the aggregated entries (⊥ maps to 'no route')."""
+        label = self.to_trie().lookup(address)
+        return None if label in (None, INVALID_LABEL) else label
+
+
+def ortc_compress(source: Fib | BinaryTrie) -> OrtcResult:
+    """Run ORTC and return the minimal entry set."""
+    trie = BinaryTrie.from_fib(source) if isinstance(source, Fib) else source
+    normalized = leaf_pushed_trie(trie)
+
+    # Pass 2 (bottom-up): candidate label sets.
+    candidates: dict[int, frozenset] = {}
+
+    def pass2(node: TrieNode) -> frozenset:
+        if node.is_leaf:
+            result = frozenset((node.label,))
+        else:
+            left = pass2(node.left)
+            right = pass2(node.right)
+            meet = left & right
+            result = meet if meet else (left | right)
+        candidates[id(node)] = result
+        return result
+
+    pass2(normalized.root)
+
+    # Pass 3 (top-down): emit only where the inherited label stops working.
+    entries: List[Tuple[int, int, int]] = []
+
+    def pass3(node: TrieNode, prefix: int, length: int, inherited: Optional[int]):
+        options = candidates[id(node)]
+        if inherited is not None and inherited in options:
+            chosen = inherited
+        else:
+            chosen = min(options)
+            entries.append((prefix, length, chosen))
+        if not node.is_leaf:
+            pass3(node.left, prefix << 1, length + 1, chosen)
+            pass3(node.right, (prefix << 1) | 1, length + 1, chosen)
+
+    # ⊥ is the implicit state above the root: a root set containing ⊥
+    # needs no default entry.
+    pass3(normalized.root, 0, 0, INVALID_LABEL)
+    return OrtcResult(width=trie.width, entries=entries)

@@ -1,0 +1,142 @@
+"""Shape graphs (Song et al. [47]) — the closest prior art to trie-folding.
+
+§6: "Perhaps the closest to trie-folding is Shape graphs, where common
+sub-trees, *without regard to the labels*, are merged into a DAG.
+However, this necessitates storing a giant hash for the next-hops,
+making updates expensive especially considering that the underlying trie
+is leaf-pushed."
+
+This baseline implements exactly that design: the leaf-pushed trie is
+folded purely by *shape* (every leaf is equivalent to every other leaf),
+which merges far more aggressively than label-aware folding — and then
+the labels, which the shape DAG can no longer carry, live in a hash
+keyed by the leaf's covering prefix. Lookup walks the shape DAG to find
+the depth of the matching leaf and finishes with one hash probe.
+
+The point the ablation makes is the paper's: the shape DAG itself is
+tiny, but the next-hop hash costs ``n·(W + lg δ)``-ish bits, so the
+total loses to the label-aware prefix DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.fib import INVALID_LABEL, Fib
+from repro.core.leafpush import leaf_pushed_trie
+from repro.core.sizemodel import label_width, pointer_width
+from repro.core.trie import BinaryTrie, TrieNode
+from repro.utils.bits import address_bits, lg
+
+
+class _ShapeNode:
+    __slots__ = ("left", "right", "node_id", "refcount")
+
+    def __init__(self, left=None, right=None, node_id=None):
+        self.left = left
+        self.right = right
+        self.node_id = node_id
+        self.refcount = 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class ShapeGraph:
+    """Shape-merged FIB with an external next-hop hash."""
+
+    def __init__(self, source: Union[Fib, BinaryTrie]):
+        trie = BinaryTrie.from_fib(source) if isinstance(source, Fib) else source
+        self._width = trie.width
+        normalized = leaf_pushed_trie(trie)
+        self._intern: Dict[tuple, _ShapeNode] = {}
+        self._the_leaf = _ShapeNode(node_id=(0, 0))
+        self._the_leaf.refcount = 0
+        self._serial = 0
+        self._next_hops: Dict[Tuple[int, int], int] = {}
+        self._root = self._fold(normalized.root, 0, 0)
+
+    def _fold(self, node: TrieNode, prefix: int, depth: int) -> _ShapeNode:
+        if node.is_leaf:
+            if node.label != INVALID_LABEL:
+                self._next_hops[(prefix, depth)] = node.label
+            self._the_leaf.refcount += 1
+            return self._the_leaf
+        left = self._fold(node.left, prefix << 1, depth + 1)
+        right = self._fold(node.right, (prefix << 1) | 1, depth + 1)
+        key = (left.node_id, right.node_id)
+        existing = self._intern.get(key)
+        if existing is not None:
+            existing.refcount += 1
+            left.refcount -= 1
+            right.refcount -= 1
+            return existing
+        self._serial += 1
+        shaped = _ShapeNode(left=left, right=right, node_id=(1, self._serial))
+        self._intern[key] = shaped
+        return shaped
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Walk the shape to the covering leaf, then one hash probe."""
+        node = self._root
+        prefix = 0
+        depth = 0
+        while not node.is_leaf:
+            bit = address_bits(address, depth, 1, self._width)
+            node = node.right if bit else node.left
+            prefix = (prefix << 1) | bit
+            depth += 1
+        return self._next_hops.get((prefix, depth))
+
+    def lookup_with_depth(self, address: int) -> Tuple[Optional[int], int]:
+        node = self._root
+        prefix = 0
+        depth = 0
+        while not node.is_leaf:
+            bit = address_bits(address, depth, 1, self._width)
+            node = node.right if bit else node.left
+            prefix = (prefix << 1) | bit
+            depth += 1
+        return self._next_hops.get((prefix, depth)), depth
+
+    # ------------------------------------------------------------- statistics
+
+    def shape_node_count(self) -> int:
+        """Distinct shape nodes (including the single shared leaf)."""
+        return len(self._intern) + 1
+
+    def hash_entries(self) -> int:
+        return len(self._next_hops)
+
+    def shape_size_in_bits(self) -> int:
+        """The DAG part: two pointers per interior node."""
+        ptr = pointer_width(self.shape_node_count())
+        return len(self._intern) * 2 * ptr
+
+    def hash_size_in_bits(self) -> int:
+        """The 'giant hash': one (prefix key, label) record per labeled
+        leaf. Keys are stored as (W + lg W)-bit prefix descriptors."""
+        if not self._next_hops:
+            return 0
+        delta = len(set(self._next_hops.values()))
+        record = self._width + lg(self._width + 1) + label_width(delta)
+        return len(self._next_hops) * record
+
+    def size_in_bits(self) -> int:
+        return self.shape_size_in_bits() + self.hash_size_in_bits()
+
+    def size_in_kbytes(self) -> float:
+        return self.size_in_bits() / 8192.0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def __repr__(self) -> str:
+        return (
+            f"ShapeGraph(shapes={self.shape_node_count()}, "
+            f"hash={self.hash_entries()}, size={self.size_in_kbytes():.1f} KB)"
+        )

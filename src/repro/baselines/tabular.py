@@ -1,0 +1,38 @@
+"""The Fig 1(a) strawman: the linear-scan tabular FIB.
+
+The :class:`~repro.core.fib.Fib` class itself implements the O(N) scan
+lookup; this module adds the paper's size model and a thin adapter with
+the same interface the other representations expose, so the baseline can
+ride through the generic benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fib import Fib
+from repro.core.sizemodel import tabular_size_bits
+
+
+class TabularFib:
+    """Adapter giving the linear table the common representation API."""
+
+    def __init__(self, fib: Fib):
+        self._fib = fib.copy()
+
+    def lookup(self, address: int) -> Optional[int]:
+        """O(N) scan longest-prefix match."""
+        return self._fib.lookup(address)
+
+    def size_in_bits(self) -> int:
+        """``(W + lg δ)·N`` bits."""
+        return tabular_size_bits(len(self._fib), self._fib.delta, self._fib.width)
+
+    def size_in_kbytes(self) -> float:
+        return self.size_in_bits() / 8192.0
+
+    def __len__(self) -> int:
+        return len(self._fib)
+
+    def __repr__(self) -> str:
+        return f"TabularFib(entries={len(self._fib)}, size={self.size_in_kbytes():.1f} KB)"

@@ -1,0 +1,223 @@
+"""repro-fib — command-line front end.
+
+Subcommands regenerate the paper's experiments and operate on FIB files:
+
+* ``table1`` / ``table2`` / ``fig5`` / ``fig6`` / ``fig7`` — print the
+  reproduction of the corresponding paper artifact;
+* ``generate`` — write a stand-in dataset to a FIB file;
+* ``compress`` — compress a FIB file and report sizes against bounds;
+* ``lookup`` — longest-prefix-match addresses against a FIB file.
+
+Example::
+
+    repro-fib table1 --scale 0.05
+    repro-fib generate taz --scale 0.02 -o taz.fib
+    repro-fib compress taz.fib --barrier 11
+    repro-fib lookup taz.fib 193.6.20.1 8.8.8.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    Table2Inputs,
+    banner,
+    build_table2,
+    measure_fib,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table1,
+    render_table2,
+    sweep_barriers,
+    sweep_fig6,
+    sweep_fig7,
+)
+from repro.core.entropy import fib_entropy
+from repro.core.prefixdag import PrefixDag
+from repro.core.xbw import XBWb
+from repro.datasets import (
+    TABLE1_PROFILES,
+    bgp_update_sequence,
+    build_profile_fib,
+    caida_like_trace,
+    dump_fib,
+    load_fib,
+    profile,
+    random_update_sequence,
+    uniform_trace,
+)
+from repro.utils.bits import format_prefix, parse_prefix
+
+
+def _add_scale(parser: argparse.ArgumentParser, default: float = 0.05) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=default,
+        help=f"dataset scale relative to the paper's sizes (default {default})",
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    names = args.profiles or sorted(TABLE1_PROFILES)
+    rows = []
+    for name in names:
+        prof = profile(name)
+        fib = build_profile_fib(prof, scale=args.scale)
+        rows.append(measure_fib(fib, name=name, group=prof.group))
+        print(f"measured {name} ({len(fib)} prefixes)", file=sys.stderr)
+    print(banner(f"Table 1 (scale {args.scale})"))
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    prof = profile(args.profile)
+    fib = build_profile_fib(prof, scale=args.scale)
+    inputs = Table2Inputs.build(fib, barrier=args.barrier)
+    streams = {
+        "rand": uniform_trace(args.packets, seed=42),
+        "trace": caida_like_trace(fib, args.packets, seed=42),
+    }
+    rows = build_table2(inputs, streams)
+    print(banner(f"Table 2 on {args.profile} (scale {args.scale}, {args.packets} packets)"))
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    prof = profile(args.profile)
+    fib = build_profile_fib(prof, scale=args.scale)
+    feeds = {
+        "random": random_update_sequence(fib, args.updates, seed=7),
+        "BGP": bgp_update_sequence(fib, args.updates, seed=7),
+    }
+    barriers = list(range(0, fib.width + 1, args.step))
+    points = sweep_barriers(fib, feeds, barriers)
+    print(banner(f"Fig 5 on {args.profile} (scale {args.scale}, {args.updates} updates/feed)"))
+    print(render_fig5(points))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    prof = profile("access_d")
+    fib = build_profile_fib(prof, scale=args.scale)
+    points = sweep_fig6(fib)
+    print(banner(f"Fig 6 (access(d)-shaped FIB, scale {args.scale})"))
+    print(render_fig6(points))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    points = sweep_fig7(length=1 << args.log_length)
+    print(banner(f"Fig 7 (string model, n = 2^{args.log_length})"))
+    print(render_fig7(points))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    prof = profile(args.profile)
+    fib = build_profile_fib(prof, scale=args.scale)
+    dump_fib(fib, args.output)
+    print(f"wrote {len(fib)} routes ({fib.delta} next-hops) to {args.output}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    fib = load_fib(args.fib)
+    report = fib_entropy(fib)
+    dag = PrefixDag(fib, barrier=args.barrier)
+    xbw = XBWb.from_fib(fib)
+    print(f"FIB: {len(fib)} routes, {fib.delta} next-hops, H0 = {report.h0:.3f}")
+    print(f"information-theoretic limit I = {report.info_bound_kbytes:.1f} KB")
+    print(f"FIB entropy E               = {report.entropy_kbytes:.1f} KB")
+    print(f"XBW-b                       = {xbw.size_in_kbytes():.1f} KB")
+    print(f"prefix DAG (lambda={dag.barrier:2d})     = {dag.size_in_kbytes():.1f} KB")
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    fib = load_fib(args.fib)
+    dag = PrefixDag(fib, barrier=args.barrier)
+    status = 0
+    for text in args.addresses:
+        value, length = parse_prefix(text)
+        if length != fib.width:
+            print(f"{text}: need a full address, not a prefix", file=sys.stderr)
+            status = 2
+            continue
+        address = value
+        label = dag.lookup(address)
+        rendered = format_prefix(value, fib.width, fib.width).rsplit("/", 1)[0]
+        if label is None:
+            print(f"{rendered} -> no route")
+        else:
+            print(f"{rendered} -> next-hop {label}")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fib",
+        description="Entropy-bounded FIB compression (SIGCOMM'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="reproduce Table 1 (storage sizes)")
+    _add_scale(p)
+    p.add_argument("--profiles", nargs="*", help="subset of profile names")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="reproduce Table 2 (lookup benchmark)")
+    _add_scale(p)
+    p.add_argument("--profile", default="taz")
+    p.add_argument("--barrier", type=int, default=11)
+    p.add_argument("--packets", type=int, default=20000)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("fig5", help="reproduce Fig 5 (update vs memory)")
+    _add_scale(p)
+    p.add_argument("--profile", default="taz")
+    p.add_argument("--updates", type=int, default=1500)
+    p.add_argument("--step", type=int, default=2, help="barrier sweep step")
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="reproduce Fig 6 (Bernoulli FIB sweep)")
+    _add_scale(p)
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("fig7", help="reproduce Fig 7 (Bernoulli string sweep)")
+    p.add_argument("--log-length", type=int, default=17, help="string length exponent")
+    p.set_defaults(func=_cmd_fig7)
+
+    p = sub.add_parser("generate", help="write a stand-in dataset to a file")
+    p.add_argument("profile", choices=sorted(TABLE1_PROFILES))
+    _add_scale(p)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("compress", help="compress a FIB file, report sizes")
+    p.add_argument("fib")
+    p.add_argument("--barrier", type=int, default=None)
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("lookup", help="longest-prefix match addresses")
+    p.add_argument("fib")
+    p.add_argument("addresses", nargs="+")
+    p.add_argument("--barrier", type=int, default=11)
+    p.set_defaults(func=_cmd_lookup)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

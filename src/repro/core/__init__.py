@@ -1,0 +1,102 @@
+"""The paper's primary contribution: entropy-bounded FIB compression.
+
+* :class:`Fib` / :class:`BinaryTrie` — the forwarding table and its
+  classic prefix-tree form;
+* :func:`leaf_pushed_trie` — the unique normal form FIB entropy is
+  defined on;
+* :func:`trie_entropy` / :func:`fib_entropy` — the I and E bounds;
+* :class:`XBWb` — succinct, entropy-compressed FIB (§3);
+* :class:`PrefixDag` — trie-folding with a leaf-push barrier (§4);
+* :class:`SerializedDag` — the flat forwarding-plane image (§5.3);
+* :class:`FoldedString` — trie-folding as a string self-index (§4.2).
+"""
+
+from repro.core.barrier import (
+    barrier_sweep,
+    entropy_barrier,
+    info_theoretic_barrier,
+    update_bound_nodes,
+)
+from repro.core.entropy import (
+    EntropyReport,
+    bits_per_prefix,
+    compression_efficiency,
+    distribution_with_entropy,
+    entropy_of_probabilities,
+    fib_entropy,
+    order_k_entropy,
+    shannon_entropy,
+    trie_entropy,
+)
+from repro.core.fib import INVALID_LABEL, Fib, FibStats, Neighbor, Route
+from repro.core.multibit import MultibitDag, MultibitNode
+from repro.core.leafpush import (
+    count_leaves,
+    is_normalized,
+    is_proper_leaf_labeled,
+    leaf_labels,
+    leaf_pushed_fib_trie,
+    leaf_pushed_trie,
+)
+from repro.core.prefixdag import DagNode, DagStats, PrefixDag, UpdateCost
+from repro.core.serialize import SerializedDag
+from repro.core.sizemodel import (
+    binary_trie_size_bits,
+    kbytes,
+    patricia_size_bits,
+    prefix_dag_size_bits,
+    tabular_size_bits,
+)
+from repro.core.stringmodel import FoldedString, StringModelReport, pad_to_power_of_two
+from repro.core.trie import BinaryTrie, TrieNode, TrieStats
+from repro.core.xbw import XBWb, XBWLookupStats
+from repro.core.xbwrouter import RouterCounters, XBWbRouter
+
+__all__ = [
+    "INVALID_LABEL",
+    "Fib",
+    "FibStats",
+    "Neighbor",
+    "Route",
+    "BinaryTrie",
+    "TrieNode",
+    "TrieStats",
+    "leaf_pushed_trie",
+    "leaf_pushed_fib_trie",
+    "is_proper_leaf_labeled",
+    "is_normalized",
+    "leaf_labels",
+    "count_leaves",
+    "EntropyReport",
+    "shannon_entropy",
+    "entropy_of_probabilities",
+    "trie_entropy",
+    "fib_entropy",
+    "compression_efficiency",
+    "bits_per_prefix",
+    "distribution_with_entropy",
+    "XBWb",
+    "XBWLookupStats",
+    "MultibitDag",
+    "MultibitNode",
+    "XBWbRouter",
+    "RouterCounters",
+    "order_k_entropy",
+    "DagNode",
+    "DagStats",
+    "PrefixDag",
+    "UpdateCost",
+    "SerializedDag",
+    "FoldedString",
+    "StringModelReport",
+    "pad_to_power_of_two",
+    "entropy_barrier",
+    "info_theoretic_barrier",
+    "barrier_sweep",
+    "update_bound_nodes",
+    "prefix_dag_size_bits",
+    "binary_trie_size_bits",
+    "patricia_size_bits",
+    "tabular_size_bits",
+    "kbytes",
+]

@@ -1,0 +1,59 @@
+"""Leaf-push barrier selection (equations (2) and (3) of the paper).
+
+The barrier λ balances compression against update cost: everything above
+λ stays an ordinary trie (cheap updates, no sharing), everything below is
+leaf-pushed and folded (shared, entropy-sized). The paper proves that
+
+* ``λ = floor( W(n·ln δ) / ln 2 )``  — equation (2) — yields the
+  information-theoretic 4·lg(δ)·n-bit bound (Theorem 1), and
+* ``λ = floor( W(n·H0·ln 2) / ln 2 )`` — equation (3) — yields the
+  zero-order entropy bound (Theorem 2) *and* the near-optimal
+  ``O(W(1 + 1/H0))`` update time (Theorem 3),
+
+where ``W()`` is the Lambert W-function. Equation (3) reduces to (2) at
+maximum entropy ``H0 = lg δ``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.utils.bits import IPV4_WIDTH
+from repro.utils.lambertw import lambert_w_floor_div_ln2
+
+
+def info_theoretic_barrier(n: int, delta: int, width: int = IPV4_WIDTH) -> int:
+    """Equation (2): ``λ = floor(W(n ln δ) / ln 2)``, clamped to [0, width]."""
+    if n < 0:
+        raise ValueError(f"negative string length {n}")
+    if delta < 1:
+        raise ValueError(f"alphabet size {delta} must be >= 1")
+    if n == 0 or delta == 1:
+        return 0
+    barrier = lambert_w_floor_div_ln2(n * math.log(delta))
+    return max(0, min(width, barrier))
+
+
+def entropy_barrier(n: int, h0: float, width: int = IPV4_WIDTH) -> int:
+    """Equation (3): ``λ = floor(W(n H0 ln 2) / ln 2)``, clamped to [0, width]."""
+    if n < 0:
+        raise ValueError(f"negative leaf count {n}")
+    if h0 < 0:
+        raise ValueError(f"negative entropy {h0}")
+    if n == 0 or h0 == 0.0:
+        return 0
+    barrier = lambert_w_floor_div_ln2(n * h0 * math.log(2.0))
+    return max(0, min(width, barrier))
+
+
+def barrier_sweep(width: int = IPV4_WIDTH, step: int = 1) -> Iterable[int]:
+    """All barrier settings 0..width (the x-axis of Fig 5)."""
+    return range(0, width + 1, step)
+
+
+def update_bound_nodes(width: int, barrier: int) -> int:
+    """Theorem 3's node budget for one update: ``W + 2^(W - λ)`` is the
+    worst case for entries at or below the barrier; shorter entries touch
+    at most W nodes."""
+    return width + (1 << (width - barrier))

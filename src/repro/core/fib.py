@@ -1,0 +1,242 @@
+"""The IP Forwarding Information Base abstraction.
+
+A :class:`Fib` is the tabular form of Fig. 1(a) of the paper: a set of
+``prefix → next-hop label`` associations plus a *neighbor table* mapping
+each label to next-hop specific data. Labels are small positive integers
+``1..δ``; the reserved label ``0`` is the invalid label ⊥ (blackhole) and
+is not allowed on table entries (the paper's standing assumption in §4.1:
+"we assume that T does not contain explicit blackhole routes").
+
+The tabular representation supports longest-prefix match by linear scan —
+the O(N) strawman the paper starts from — and is the interchange format
+every other representation in this library is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.utils.bits import (
+    IPV4_WIDTH,
+    format_prefix,
+    lg,
+    prefix_contains,
+    prefix_of,
+)
+
+INVALID_LABEL = 0
+"""The invalid next-hop label ⊥ (blackhole)."""
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One row of the neighbor table: next-hop specific information."""
+
+    label: int
+    name: str = ""
+    address: int = 0
+
+    def __post_init__(self):
+        if self.label < 1:
+            raise ValueError(f"neighbor label must be >= 1, got {self.label}")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One FIB entry: ``prefix/length → label``."""
+
+    prefix: int
+    length: int
+    label: int
+
+    def __str__(self) -> str:
+        return f"{format_prefix(self.prefix, self.length)} -> {self.label}"
+
+
+@dataclass
+class FibStats:
+    """Aggregate statistics of a FIB (the N, δ columns of Table 1)."""
+
+    entries: int
+    next_hops: int
+    width: int
+    mean_prefix_length: float
+    default_route: bool
+    label_histogram: Dict[int, int] = field(default_factory=dict)
+
+
+class Fib:
+    """A forwarding table: prefix → next-hop-label plus a neighbor table.
+
+    Parameters
+    ----------
+    width:
+        Address width W in bits (32 for IPv4, the paper's setting).
+    """
+
+    def __init__(self, width: int = IPV4_WIDTH):
+        if width < 1:
+            raise ValueError(f"address width must be positive, got {width}")
+        self._width = width
+        self._entries: Dict[Tuple[int, int], int] = {}
+        self._neighbors: Dict[int, Neighbor] = {}
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def width(self) -> int:
+        """Address width W in bits."""
+        return self._width
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Route]:
+        for (prefix, length), label in sorted(self._entries.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+            yield Route(prefix, length, label)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return tuple(key) in self._entries
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Fib):
+            return NotImplemented
+        return self._width == other._width and self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"Fib(width={self._width}, entries={len(self._entries)}, next_hops={self.delta})"
+
+    @property
+    def delta(self) -> int:
+        """δ — the number of distinct next-hop labels in use."""
+        return len(set(self._entries.values()))
+
+    @property
+    def labels(self) -> list[int]:
+        """Sorted distinct labels in use."""
+        return sorted(set(self._entries.values()))
+
+    # ----------------------------------------------------------------- editing
+
+    def add(self, prefix: int, length: int, label: int) -> None:
+        """Insert or overwrite the entry ``prefix/length → label``."""
+        self._validate_prefix(prefix, length)
+        if label < 1:
+            raise ValueError(
+                f"label must be a positive integer (got {label}); "
+                f"the invalid label 0 cannot appear on FIB entries"
+            )
+        self._entries[(prefix, length)] = label
+        if label not in self._neighbors:
+            self._neighbors[label] = Neighbor(label, name=f"nh{label}")
+
+    def remove(self, prefix: int, length: int) -> int:
+        """Delete the entry for ``prefix/length`` and return its label."""
+        self._validate_prefix(prefix, length)
+        try:
+            return self._entries.pop((prefix, length))
+        except KeyError:
+            raise KeyError(
+                f"no entry for {format_prefix(prefix, length, self._width)}"
+            ) from None
+
+    def get(self, prefix: int, length: int) -> Optional[int]:
+        """Label of the exact entry ``prefix/length``, or None."""
+        return self._entries.get((prefix, length))
+
+    def set_neighbor(self, neighbor: Neighbor) -> None:
+        """Attach neighbor-table data for a label."""
+        self._neighbors[neighbor.label] = neighbor
+
+    def neighbor(self, label: int) -> Optional[Neighbor]:
+        """Neighbor-table row for ``label``."""
+        return self._neighbors.get(label)
+
+    # ------------------------------------------------------------------ query
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix-match by linear scan — O(N), the Fig. 1(a) strawman.
+
+        Returns the label of the most specific matching entry, or None if
+        no entry matches (no default route).
+        """
+        if address < 0 or address >> self._width:
+            raise ValueError(f"address {address:#x} outside {self._width}-bit space")
+        best_length = -1
+        best_label: Optional[int] = None
+        for (prefix, length), label in self._entries.items():
+            if length > best_length and prefix_contains(
+                prefix, length, prefix_of(address, self._width, self._width), self._width
+            ):
+                best_length = length
+                best_label = label
+        return best_label
+
+    def covering_label(self, prefix: int, length: int) -> Optional[int]:
+        """Label of the longest entry strictly covering ``prefix/length``."""
+        best_length = -1
+        best_label: Optional[int] = None
+        for (other_prefix, other_length), label in self._entries.items():
+            if other_length >= length:
+                continue
+            if other_length > best_length and prefix_contains(
+                other_prefix, other_length, prefix, length
+            ):
+                best_length = other_length
+                best_label = label
+        return best_label
+
+    # ------------------------------------------------------------- statistics
+
+    def label_histogram(self) -> Dict[int, int]:
+        """Entry count per label (the raw next-hop distribution)."""
+        histogram: Dict[int, int] = {}
+        for label in self._entries.values():
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram
+
+    def stats(self) -> FibStats:
+        """N, δ, width, mean prefix length, default-route flag, histogram."""
+        lengths = [length for (_, length) in self._entries]
+        return FibStats(
+            entries=len(self._entries),
+            next_hops=self.delta,
+            width=self._width,
+            mean_prefix_length=(sum(lengths) / len(lengths)) if lengths else 0.0,
+            default_route=(0, 0) in self._entries,
+            label_histogram=self.label_histogram(),
+        )
+
+    def tabular_size_in_bits(self) -> int:
+        """The paper's tabular-form size model: ``(W + lg δ) * N`` bits."""
+        if not self._entries:
+            return 0
+        return (self._width + lg(max(2, self.delta))) * len(self._entries)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[Tuple[int, int, int]], width: int = IPV4_WIDTH
+    ) -> "Fib":
+        """Build from ``(prefix, length, label)`` triples."""
+        fib = cls(width)
+        for prefix, length, label in entries:
+            fib.add(prefix, length, label)
+        return fib
+
+    def copy(self) -> "Fib":
+        """Deep copy."""
+        duplicate = Fib(self._width)
+        duplicate._entries = dict(self._entries)
+        duplicate._neighbors = dict(self._neighbors)
+        return duplicate
+
+    def _validate_prefix(self, prefix: int, length: int) -> None:
+        if length < 0 or length > self._width:
+            raise ValueError(f"prefix length {length} outside [0, {self._width}]")
+        if prefix < 0 or prefix >> length:
+            raise ValueError(
+                f"prefix value {prefix:#x} wider than its length {length}"
+            )

@@ -1,0 +1,103 @@
+"""Leaf-pushing: the unique normal form of a prefix tree (Fig. 1(e)).
+
+Leaf-pushing turns an arbitrary labeled binary trie into a **proper,
+binary, leaf-labeled** trie: labels are pushed from parents to children
+(first traversal), missing children are materialized so every interior
+node has exactly two, and any parent whose two children are identically
+labeled leaves collapses into a single leaf (second traversal).
+
+The result satisfies the paper's invariants
+
+* P1: every node is a leaf or has exactly 2 children,
+* P2: a node carries a label iff it is a leaf,
+* P3: ``t < 2n`` nodes for ``n`` leaves,
+
+and it is *unique* for a given forwarding function, which is what makes
+FIB entropy (§2.2) well defined. Routes without a covering default
+inherit the invalid label ⊥ (:data:`~repro.core.fib.INVALID_LABEL`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fib import INVALID_LABEL, Fib
+from repro.core.trie import BinaryTrie, TrieNode
+
+
+def leaf_push_node(node: Optional[TrieNode], inherited: int) -> TrieNode:
+    """Return the leaf-pushed proper copy of the subtrie rooted at ``node``.
+
+    ``inherited`` is the label in force from above (⊥ at the top when the
+    FIB has no default route). The returned trie is freshly allocated and
+    never aliases ``node``.
+    """
+    effective = node.label if (node is not None and node.label is not None) else inherited
+    if node is None or node.is_leaf:
+        return TrieNode(effective)
+    left = leaf_push_node(node.left, effective)
+    right = leaf_push_node(node.right, effective)
+    if left.is_leaf and right.is_leaf and left.label == right.label:
+        # Postorder collapse: both halves forward identically.
+        return TrieNode(left.label)
+    parent = TrieNode()
+    parent.left = left
+    parent.right = right
+    return parent
+
+
+def leaf_pushed_trie(trie: BinaryTrie, default: int = INVALID_LABEL) -> BinaryTrie:
+    """Leaf-pushed normal form of ``trie`` (a brand-new trie).
+
+    ``default`` is the label assumed above the root; the paper uses ⊥,
+    meaning "no route".
+    """
+    normalized = BinaryTrie(trie.width)
+    normalized.root = leaf_push_node(trie.root, default)
+    return normalized
+
+
+def leaf_pushed_fib_trie(fib: Fib) -> BinaryTrie:
+    """Leaf-pushed normal form straight from a tabular FIB."""
+    return leaf_pushed_trie(BinaryTrie.from_fib(fib))
+
+
+def is_proper_leaf_labeled(trie: BinaryTrie) -> bool:
+    """Check invariants P1 and P2 of §3 on ``trie``."""
+    for node, _ in trie.nodes():
+        two_children = node.left is not None and node.right is not None
+        if not node.is_leaf and not two_children:
+            return False  # P1 violated: exactly one child
+        if node.is_leaf and node.label is None:
+            return False  # P2 violated: unlabeled leaf
+        if not node.is_leaf and node.label is not None:
+            return False  # P2 violated: labeled interior node
+    return True
+
+
+def is_normalized(trie: BinaryTrie) -> bool:
+    """True when ``trie`` is proper, leaf-labeled *and* fully collapsed
+    (no interior node has two identically-labeled leaf children)."""
+    if not is_proper_leaf_labeled(trie):
+        return False
+    for node, _ in trie.nodes():
+        if node.is_leaf:
+            continue
+        if (
+            node.left.is_leaf
+            and node.right.is_leaf
+            and node.left.label == node.right.label
+        ):
+            return False
+    return True
+
+
+def leaf_labels(trie: BinaryTrie) -> list[int]:
+    """Labels of all leaves in preorder (the string ``S_α`` is the BFS
+    ordering of the same multiset)."""
+    return [node.label for node, _ in trie.nodes() if node.is_leaf]
+
+
+def count_leaves(trie: BinaryTrie) -> int:
+    """Number of leaves ``n`` of a (normalized) trie."""
+    return sum(1 for node, _ in trie.nodes() if node.is_leaf)

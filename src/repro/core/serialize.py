@@ -1,0 +1,347 @@
+"""Serialized prefix-DAG image — the "kernel blob" of §5.3.
+
+The paper's prototype hands the forwarding plane a flat, pointerless
+image of the prefix DAG in which the first λ trie levels are collapsed
+into a 2^λ-entry stride table ("we used the standard trick to collapse
+the first λ = 11 levels of the prefix DAGs in the serialized format
+[61], as this greatly eases implementation and improves lookup time").
+
+The image is four integer arrays:
+
+* ``table_ref`` / ``table_label`` — per λ-bit address prefix, a tagged
+  reference into the folded region (or null) and the best matching label
+  accumulated above the barrier;
+* ``left`` / ``right`` — child references of folded interior nodes;
+* ``leaf_label`` — the coalesced leaves' labels (0 = ∅).
+
+References pack a leaf/interior tag in the low bit. Lookup is a handful
+of list indexing operations — this is the representation both the
+wall-clock kbench and the cache simulator exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.prefixdag import DagNode, PrefixDag
+from repro.utils.bits import bits_for
+
+NULL_REF = -1
+
+
+def _encode_interior(index: int) -> int:
+    return index << 1
+
+
+def _encode_leaf(index: int) -> int:
+    return (index << 1) | 1
+
+
+class SerializedDag:
+    """Flat-array image of a :class:`PrefixDag` with λ-level collapse."""
+
+    MAX_TABLE_BARRIER = 24
+    """Largest λ the stride table will materialize (2^24 entries)."""
+
+    def __init__(self, dag: PrefixDag):
+        if dag.barrier > self.MAX_TABLE_BARRIER:
+            raise ValueError(
+                f"barrier {dag.barrier} would need a 2^{dag.barrier}-entry "
+                f"stride table; serialize DAGs with barrier <= "
+                f"{self.MAX_TABLE_BARRIER}"
+            )
+        self._width = dag.width
+        self._barrier = dag.barrier
+        self._build(dag)
+
+    # ---------------------------------------------------------------- build
+
+    def _build(self, dag: PrefixDag) -> None:
+        interior_index: Dict[int, int] = {}
+        leaf_index: Dict[int, int] = {}
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self.leaf_label: List[int] = []
+
+        def intern_ref(node: DagNode) -> int:
+            if node.is_leaf:
+                key = id(node)
+                if key not in leaf_index:
+                    leaf_index[key] = len(self.leaf_label)
+                    self.leaf_label.append(node.label if node.label is not None else 0)
+                return _encode_leaf(leaf_index[key])
+            key = id(node)
+            if key in interior_index:
+                return _encode_interior(interior_index[key])
+            index = len(self.left)
+            interior_index[key] = index
+            self.left.append(NULL_REF)
+            self.right.append(NULL_REF)
+            self.left[index] = intern_ref(node.left)
+            self.right[index] = intern_ref(node.right)
+            return _encode_interior(index)
+
+        size = 1 << self._barrier
+        self.table_ref: List[int] = [NULL_REF] * size
+        self.table_label: List[int] = [0] * size
+        for value in range(size):
+            node, best = self._walk_above(dag, value)
+            self.table_label[value] = best
+            self.table_ref[value] = intern_ref(node) if node is not None else NULL_REF
+
+    @staticmethod
+    def _walk_above(dag: PrefixDag, value: int) -> Tuple[Optional[DagNode], int]:
+        """Walk the above-barrier region along the λ bits of ``value``;
+        return the folded node reached (or None) and the best label seen."""
+        barrier = dag.barrier
+        node = dag.root
+        best = node.label if node.label is not None else 0
+        if barrier == 0:
+            return node, 0
+        for position in range(barrier):
+            bit = (value >> (barrier - 1 - position)) & 1
+            node = node.child(bit)
+            if node is None:
+                return None, best
+            if node.label is not None:
+                best = node.label
+        return node, best
+
+    # ---------------------------------------------------------------- lookup
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix match on the flat image."""
+        shift = self._width - self._barrier
+        slot = address >> shift if shift else address & ((1 << self._barrier) - 1)
+        if self._barrier == 0:
+            slot = 0
+        ref = self.table_ref[slot]
+        best = self.table_label[slot]
+        if ref == NULL_REF:
+            return best if best else None
+        position = shift - 1
+        while not (ref & 1):
+            index = ref >> 1
+            if (address >> position) & 1:
+                ref = self.right[index]
+            else:
+                ref = self.left[index]
+            position -= 1
+        label = self.leaf_label[ref >> 1]
+        result = label if label else best
+        return result if result else None
+
+    def lookup_trace(self, address: int) -> Tuple[Optional[int], List[int]]:
+        """LPM plus the byte addresses touched, for the cache simulator.
+
+        The layout places the stride table first, then the interior node
+        array, then the leaf label array (see :meth:`layout`).
+        """
+        trace: List[int] = []
+        shift = self._width - self._barrier
+        slot = address >> shift if shift else 0
+        if self._barrier == 0:
+            slot = 0
+        trace.append(self.table_base + slot * self.table_entry_bytes)
+        ref = self.table_ref[slot]
+        best = self.table_label[slot]
+        if ref == NULL_REF:
+            return (best if best else None), trace
+        position = shift - 1
+        while not (ref & 1):
+            index = ref >> 1
+            trace.append(self.node_base + index * self.node_entry_bytes)
+            if (address >> position) & 1:
+                ref = self.right[index]
+            else:
+                ref = self.left[index]
+            position -= 1
+        leaf = ref >> 1
+        trace.append(self.leaf_base + leaf * self.leaf_entry_bytes)
+        label = self.leaf_label[leaf]
+        result = label if label else best
+        return (result if result else None), trace
+
+    def depth_profile(self) -> Tuple[float, int]:
+        """(expected, maximum) nodes visited below the stride table for a
+        uniform random address — Table 2's "average/maximum depth".
+
+        Exact: node-visit counts are path-independent on the folded
+        region, so a memoized recursion over tagged references suffices
+        (leaves count as one visit; empty table slots as zero).
+        """
+        expected_memo: Dict[int, float] = {}
+        max_memo: Dict[int, int] = {}
+
+        def expected(ref: int) -> float:
+            if ref & 1:
+                return 1.0
+            cached = expected_memo.get(ref)
+            if cached is None:
+                index = ref >> 1
+                cached = 1.0 + (expected(self.left[index]) + expected(self.right[index])) / 2.0
+                expected_memo[ref] = cached
+            return cached
+
+        def deepest(ref: int) -> int:
+            if ref & 1:
+                return 1
+            cached = max_memo.get(ref)
+            if cached is None:
+                index = ref >> 1
+                cached = 1 + max(deepest(self.left[index]), deepest(self.right[index]))
+                max_memo[ref] = cached
+            return cached
+
+        slots = len(self.table_ref)
+        total = 0.0
+        maximum = 0
+        for ref in self.table_ref:
+            if ref == NULL_REF:
+                continue
+            total += expected(ref)
+            maximum = max(maximum, deepest(ref))
+        return total / slots, maximum
+
+    # -------------------------------------------------------------- integrity
+
+    def validate(self) -> None:
+        """Structural validation of the image; raises ValueError on
+        corruption.
+
+        The forwarding plane treats the blob as trusted input, so the
+        control plane validates it after (re)generation and after any
+        download: reference ranges, array shapes, absence of cycles in
+        the interior graph, and label sanity are all checked. The
+        failure-injection tests corrupt each field and expect this to
+        fire.
+        """
+        size = 1 << self._barrier
+        if len(self.table_ref) != size or len(self.table_label) != size:
+            raise ValueError(
+                f"stride table has {len(self.table_ref)}/{len(self.table_label)} "
+                f"entries, expected {size}"
+            )
+        if len(self.left) != len(self.right):
+            raise ValueError(
+                f"child arrays disagree: {len(self.left)} lefts, {len(self.right)} rights"
+            )
+
+        def check_ref(ref: int, where: str) -> None:
+            if ref == NULL_REF:
+                return
+            if ref < 0:
+                raise ValueError(f"{where}: negative reference {ref}")
+            index = ref >> 1
+            if ref & 1:
+                if index >= self.leaf_count:
+                    raise ValueError(f"{where}: leaf reference {index} out of range")
+            elif index >= self.interior_count:
+                raise ValueError(f"{where}: interior reference {index} out of range")
+
+        for slot, ref in enumerate(self.table_ref):
+            check_ref(ref, f"table[{slot}]")
+        for index in range(self.interior_count):
+            if self.left[index] == NULL_REF or self.right[index] == NULL_REF:
+                raise ValueError(f"interior node {index} has a null child")
+            check_ref(self.left[index], f"left[{index}]")
+            check_ref(self.right[index], f"right[{index}]")
+        for slot, label in enumerate(self.table_label):
+            if label < 0:
+                raise ValueError(f"table label[{slot}] negative: {label}")
+        for index, label in enumerate(self.leaf_label):
+            if label < 0:
+                raise ValueError(f"leaf label[{index}] negative: {label}")
+        # The interior graph must be acyclic (it is a DAG by construction):
+        # iterative three-color DFS over interior indices.
+        state = [0] * self.interior_count  # 0 new, 1 open, 2 done
+        for root in range(self.interior_count):
+            if state[root]:
+                continue
+            stack = [(root, False)]
+            while stack:
+                node, leaving = stack.pop()
+                if leaving:
+                    state[node] = 2
+                    continue
+                if state[node] == 1:
+                    raise ValueError(f"cycle through interior node {node}")
+                if state[node] == 2:
+                    continue
+                state[node] = 1
+                stack.append((node, True))
+                for ref in (self.left[node], self.right[node]):
+                    if not (ref & 1):
+                        child = ref >> 1
+                        if state[child] == 1:
+                            raise ValueError(f"cycle through interior node {child}")
+                        if state[child] == 0:
+                            stack.append((child, False))
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def barrier(self) -> int:
+        return self._barrier
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def interior_count(self) -> int:
+        return len(self.left)
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self.leaf_label)
+
+    @property
+    def ref_bits(self) -> int:
+        """Width of one tagged child reference."""
+        return 1 + bits_for(max(self.interior_count, self.leaf_count, 1))
+
+    @property
+    def label_bits(self) -> int:
+        distinct = max(self.leaf_label, default=0)
+        return max(1, bits_for(distinct + 1))
+
+    @property
+    def table_entry_bytes(self) -> int:
+        return max(1, (self.ref_bits + self.label_bits + 7) // 8)
+
+    @property
+    def node_entry_bytes(self) -> int:
+        return max(1, (2 * self.ref_bits + 7) // 8)
+
+    @property
+    def leaf_entry_bytes(self) -> int:
+        return max(1, (self.label_bits + 7) // 8)
+
+    @property
+    def table_base(self) -> int:
+        return 0
+
+    @property
+    def node_base(self) -> int:
+        return len(self.table_ref) * self.table_entry_bytes
+
+    @property
+    def leaf_base(self) -> int:
+        return self.node_base + self.interior_count * self.node_entry_bytes
+
+    def size_in_bytes(self) -> int:
+        """Total image size: stride table + interior nodes + leaf labels."""
+        return self.leaf_base + self.leaf_count * self.leaf_entry_bytes
+
+    def size_in_bits(self) -> int:
+        return self.size_in_bytes() * 8
+
+    def size_in_kbytes(self) -> float:
+        return self.size_in_bytes() / 1024.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SerializedDag(barrier={self._barrier}, interiors={self.interior_count}, "
+            f"leaves={self.leaf_count}, size={self.size_in_kbytes():.1f} KB)"
+        )

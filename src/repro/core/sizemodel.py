@@ -1,0 +1,74 @@
+"""The paper's memory model (§4.2) — analytic sizes in bits.
+
+Every KByte figure this library reports comes from these functions (or
+from the actual encoded bit streams of the succinct structures), never
+from Python object sizes. The model follows §4.2 verbatim:
+
+* **above** the leaf-push barrier, children are laid out consecutively
+  [41], so a node stores one child pointer plus a ``lg δ``-bit label
+  index;
+* **at and below** the barrier, a folded interior node stores two child
+  pointers and no label, and the coalesced leaves cost ``δ·lg δ`` bits
+  in total (one label each, no pointers);
+* pointers are ``lg(t)`` bits for a structure of ``t`` nodes.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import bits_for, lg
+
+
+def pointer_width(node_count: int) -> int:
+    """Bits per child pointer for a structure of ``node_count`` nodes.
+
+    One extra code point is reserved for the null pointer, and the width
+    is floored at 1 bit so degenerate structures still have a size.
+    """
+    return max(1, bits_for(node_count + 1))
+
+
+def label_width(delta: int) -> int:
+    """Bits per label field: δ labels plus the 'no label' code point."""
+    return max(1, lg(max(2, delta + 1)))
+
+
+def prefix_dag_size_bits(dag) -> int:
+    """Size of a :class:`~repro.core.prefixdag.PrefixDag` under the model.
+
+    ``above·(ptr + lg δ) + interior·2·ptr + δ·lg δ`` bits.
+    """
+    above = dag.above_node_count()
+    interior = dag.folded_interior_count()
+    leaves = dag.folded_leaf_count()
+    total = above + interior + leaves
+    ptr = pointer_width(total)
+    labels = label_width(max(leaves, dag.entropy_report().delta))
+    return above * (ptr + labels) + interior * 2 * ptr + leaves * labels
+
+
+def binary_trie_size_bits(node_count: int, delta: int) -> int:
+    """A pointer-pair binary trie: ``t·(2·ptr + lg δ)`` bits.
+
+    This is the λ = W end of the trie-folding spectrum (ordinary prefix
+    tree), with the same compact field widths as the DAG model so that
+    the Fig 5 memory axis is apples-to-apples across λ.
+    """
+    ptr = pointer_width(node_count)
+    return node_count * (2 * ptr + label_width(delta))
+
+
+def patricia_size_bits(node_count: int) -> int:
+    """BSD Patricia tree [46]: the paper's quoted 24 bytes per node."""
+    return node_count * 24 * 8
+
+
+def tabular_size_bits(entries: int, delta: int, width: int) -> int:
+    """Fig 1(a) linear table: ``(W + lg δ)·N`` bits."""
+    if entries == 0:
+        return 0
+    return entries * (width + lg(max(2, delta)))
+
+
+def kbytes(bits: float) -> float:
+    """Bits → KBytes (the unit of Tables 1–2)."""
+    return bits / 8192.0

@@ -1,0 +1,244 @@
+"""Trie-folding as a string compressor (§4.2, Fig 4).
+
+The storage theorems of the paper are stated in a *string model*: a
+string ``S`` of ``n = 2^W`` symbols is written on the leaves of a
+complete binary trie of depth W, which trie-folding then converts into a
+DAG ``D(S)``. The resulting structure is a (static) entropy-compressed
+string self-index built from pointers — "the first pointer machine of
+this kind" — supporting random access to any symbol by looking up its
+index as a W-bit key.
+
+:class:`FoldedString` implements exactly this: above the barrier λ the
+complete trie is kept implicit (an array of 2^λ block roots), below it
+blocks are folded through the usual interning. Fig 7 and the Theorem 1/2
+bound checks run on this class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.barrier import entropy_barrier, info_theoretic_barrier
+from repro.core.entropy import shannon_entropy
+from repro.core.sizemodel import label_width, pointer_width
+from repro.utils.bits import bits_for, lg
+
+
+class _StringNode:
+    __slots__ = ("left", "right", "symbol", "node_id", "refcount")
+
+    def __init__(self, symbol=None, left=None, right=None, node_id=None):
+        self.left = left
+        self.right = right
+        self.symbol = symbol
+        self.node_id = node_id
+        self.refcount = 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+@dataclass(frozen=True)
+class StringModelReport:
+    """Measured size of ``D(S)`` against the theorems' yardsticks."""
+
+    length: int
+    delta: int
+    h0: float
+    barrier: int
+    above_nodes: int
+    folded_interior: int
+    folded_leaves: int
+    size_bits: int
+    info_limit_bits: int      # n·lg δ — plain string storage
+    entropy_bits: float       # n·H0 — zero-order entropy of S
+    theorem1_bound_bits: int  # 4·lg(δ)·n (Theorem 1)
+    theorem2_bound_bits: float  # (6 + 2 lg 1/H0 + 2 lg lg δ)·H0·n (Theorem 2)
+
+    @property
+    def efficiency(self) -> float:
+        """ν — measured bits over the string's zero-order entropy."""
+        return self.size_bits / self.entropy_bits if self.entropy_bits > 0 else math.inf
+
+
+class FoldedString:
+    """A string stored as a folded complete binary trie.
+
+    Parameters
+    ----------
+    symbols:
+        The string; its length must be a power of two (use
+        :func:`pad_to_power_of_two` first if needed). Symbols are small
+        non-negative ints.
+    barrier:
+        λ ∈ [0, W]; ``None`` applies equation (3) to the string's own
+        zero-order entropy.
+    """
+
+    def __init__(self, symbols: Sequence[int], barrier: Optional[int] = None):
+        n = len(symbols)
+        if n == 0:
+            raise ValueError("cannot fold an empty string")
+        if n & (n - 1):
+            raise ValueError(f"length {n} is not a power of two")
+        self._length = n
+        self._depth = n.bit_length() - 1  # W — complete trie depth
+        histogram: Dict[int, int] = {}
+        for symbol in symbols:
+            histogram[symbol] = histogram.get(symbol, 0) + 1
+        self._h0 = shannon_entropy(histogram)
+        self._delta = len(histogram)
+        if barrier is None:
+            barrier = entropy_barrier(n, self._h0, self._depth)
+        if barrier < 0 or barrier > self._depth:
+            raise ValueError(f"barrier {barrier} outside [0, {self._depth}]")
+        self._barrier = barrier
+        self._intern: Dict[tuple, _StringNode] = {}
+        self._leaves: Dict[int, _StringNode] = {}
+        self._serial = 0
+        block_length = 1 << (self._depth - barrier)
+        self._roots = [
+            self._fold(symbols, block * block_length, block_length)
+            for block in range(1 << barrier)
+        ]
+
+    # ---------------------------------------------------------------- folding
+
+    def _leaf(self, symbol: int) -> _StringNode:
+        node = self._leaves.get(symbol)
+        if node is None:
+            node = _StringNode(symbol=symbol, node_id=(0, symbol))
+            node.refcount = 0
+            self._leaves[symbol] = node
+        node.refcount += 1
+        return node
+
+    def _fold(self, symbols: Sequence[int], start: int, length: int) -> _StringNode:
+        if length == 1:
+            return self._leaf(symbols[start])
+        half = length >> 1
+        left = self._fold(symbols, start, half)
+        right = self._fold(symbols, start + half, half)
+        if left is right and left.is_leaf:
+            left.refcount -= 1
+            return left
+        key = (left.node_id, right.node_id)
+        existing = self._intern.get(key)
+        if existing is not None:
+            existing.refcount += 1
+            left.refcount -= 1
+            right.refcount -= 1
+            return existing
+        self._serial += 1
+        node = _StringNode(left=left, right=right, node_id=(1, self._serial))
+        self._intern[key] = node
+        return node
+
+    # ----------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return self._length
+
+    def access(self, index: int) -> int:
+        """Symbol at ``index`` — lookup of the W-bit key (Fig 4)."""
+        if index < 0 or index >= self._length:
+            raise IndexError(f"index {index} outside string of {self._length}")
+        if self._barrier == self._depth:
+            node = self._roots[index]
+        else:
+            block = index >> (self._depth - self._barrier)
+            node = self._roots[block]
+            position = self._depth - self._barrier - 1
+            while not node.is_leaf:
+                node = node.right if (index >> position) & 1 else node.left
+                position -= 1
+        return node.symbol
+
+    def to_list(self) -> list[int]:
+        """Decompress the whole string (testing helper)."""
+        return [self.access(i) for i in range(self._length)]
+
+    # ------------------------------------------------------------------- size
+
+    @property
+    def barrier(self) -> int:
+        return self._barrier
+
+    @property
+    def h0(self) -> float:
+        return self._h0
+
+    @property
+    def delta(self) -> int:
+        return self._delta
+
+    def above_node_count(self) -> int:
+        """Implicit complete-trie nodes above the barrier: 2^λ − 1."""
+        return (1 << self._barrier) - 1
+
+    def folded_interior_count(self) -> int:
+        return len(self._intern)
+
+    def folded_leaf_count(self) -> int:
+        return sum(1 for leaf in self._leaves.values() if leaf.refcount > 0)
+
+    def size_in_bits(self) -> int:
+        """Same memory model as the prefix DAG (§4.2): above-barrier nodes
+        carry one pointer each, folded interiors two, leaves one label."""
+        above = self.above_node_count()
+        interior = self.folded_interior_count()
+        leaves = self.folded_leaf_count()
+        ptr = pointer_width(above + interior + leaves)
+        labels = label_width(max(leaves, 1))
+        # Block roots are referenced from the implicit tree: 2^λ pointers.
+        return (above + (1 << self._barrier)) * ptr + interior * 2 * ptr + leaves * labels
+
+    def report(self) -> StringModelReport:
+        """Measured size vs. the information/entropy limits and theorem bounds."""
+        n = self._length
+        delta = max(2, self._delta)
+        h0 = self._h0
+        theorem2 = math.inf
+        if h0 > 0:
+            theorem2 = (6 + 2 * math.log2(1 / h0) + 2 * math.log2(math.log2(delta))) * h0 * n \
+                if math.log2(delta) > 0 else math.inf
+        return StringModelReport(
+            length=n,
+            delta=self._delta,
+            h0=h0,
+            barrier=self._barrier,
+            above_nodes=self.above_node_count(),
+            folded_interior=self.folded_interior_count(),
+            folded_leaves=self.folded_leaf_count(),
+            size_bits=self.size_in_bits(),
+            info_limit_bits=n * lg(delta),
+            entropy_bits=h0 * n,
+            theorem1_bound_bits=4 * lg(delta) * n,
+            theorem2_bound_bits=theorem2,
+        )
+
+
+def pad_to_power_of_two(symbols: Sequence[int], fill: Optional[int] = None) -> list[int]:
+    """Pad a string to the next power-of-two length.
+
+    ``fill`` defaults to the final symbol, which adds no new alphabet
+    entries and at most one bit of entropy noise.
+    """
+    out = list(symbols)
+    if not out:
+        raise ValueError("cannot pad an empty string")
+    n = len(out)
+    target = 1 << bits_for(n)
+    if target < n:
+        target = 1 << (n.bit_length())
+    pad_symbol = out[-1] if fill is None else fill
+    out.extend([pad_symbol] * (target - n))
+    return out
+
+
+def theorem1_barrier(n: int, delta: int, depth: int) -> int:
+    """Equation (2) in the string model (clamped to the trie depth)."""
+    return info_theoretic_barrier(n, delta, depth)

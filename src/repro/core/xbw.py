@@ -1,0 +1,234 @@
+"""XBW-b: the Burrows-Wheeler transform for binary leaf-labeled tries (§3).
+
+The transform serializes the leaf-pushed normal form of a FIB in BFS
+(level) order into
+
+* ``S_I`` — one bit per node: 0 = interior, 1 = leaf, and
+* ``S_α`` — the leaf labels, in the same BFS order,
+
+then stores ``S_I`` in an RRR compressed bitstring index and ``S_α`` in a
+Huffman-shaped wavelet tree. Because a level-ordered proper binary tree
+places the children of the r-th interior node at positions 2r and 2r+1
+(1-based — Jacobson [28]), longest-prefix match needs only O(1) rank and
+access calls per address bit, giving O(W) lookup on the compressed form
+(Lemmas 2 and 3: ``2n + n·H0 + o(n)`` bits total).
+
+BFS order is also what earns the structure its name: nodes of equal
+depth — i.e. of similar *context* — land next to each other, exactly as
+the Burrows-Wheeler transform clusters characters of similar context in
+a string.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.fib import INVALID_LABEL, Fib
+from repro.core.leafpush import is_proper_leaf_labeled, leaf_pushed_trie
+from repro.core.trie import BinaryTrie, TrieNode
+from repro.succinct.rrr import RRRBitVector
+from repro.succinct.wavelet import WaveletTree
+from repro.utils.bits import address_bits
+
+
+@dataclass
+class XBWLookupStats:
+    """Primitive-operation counts of one lookup (the paper's point that
+    'the constants still add up' for pointerless structures)."""
+
+    steps: int = 0
+    rank_calls: int = 0
+    access_calls: int = 0
+
+
+class XBWb:
+    """The XBW-b compressed FIB.
+
+    Construct via :meth:`from_fib` or :meth:`from_trie`; the raw
+    constructor takes an already-normalized proper leaf-labeled trie.
+
+    Parameters
+    ----------
+    normalized:
+        A proper, binary, leaf-labeled trie (leaf-pushed normal form).
+    bitvector_factory:
+        Storage for ``S_I``; default RRR (Lemma 2). Pass
+        :class:`BitVector` for the uncompressed variant.
+    wavelet_shape:
+        ``"huffman"`` (Lemma 3 zero-order entropy bound) or ``"balanced"``.
+    width:
+        Address width W.
+    """
+
+    def __init__(
+        self,
+        normalized: BinaryTrie,
+        bitvector_factory: Callable = RRRBitVector,
+        wavelet_shape: str = "huffman",
+    ):
+        if not is_proper_leaf_labeled(normalized):
+            raise ValueError(
+                "XBW-b requires a proper leaf-labeled trie; "
+                "use XBWb.from_trie / XBWb.from_fib to normalize first"
+            )
+        self._width = normalized.width
+        si_bits, labels = self._serialize(normalized)
+        self._node_count = len(si_bits)
+        self._leaf_count = len(labels)
+        self._si = bitvector_factory(si_bits)
+        self._labels = WaveletTree(labels, shape=wavelet_shape)
+
+    # ------------------------------------------------------------- transform
+
+    @staticmethod
+    def _serialize(trie: BinaryTrie) -> tuple[list[int], list[int]]:
+        """BFS-serialize into (S_I bits, S_α labels) — §3.1's bfs-traverse."""
+        si: list[int] = []
+        labels: list[int] = []
+        queue: deque[TrieNode] = deque([trie.root])
+        while queue:
+            node = queue.popleft()
+            if node.is_leaf:
+                si.append(1)
+                labels.append(node.label)
+            else:
+                si.append(0)
+                queue.append(node.left)
+                queue.append(node.right)
+        return si, labels
+
+    @classmethod
+    def from_trie(cls, trie: BinaryTrie, **kwargs) -> "XBWb":
+        """Normalize an arbitrary labeled trie, then transform it."""
+        return cls(leaf_pushed_trie(trie), **kwargs)
+
+    @classmethod
+    def from_fib(cls, fib: Fib, **kwargs) -> "XBWb":
+        """Build straight from a tabular FIB."""
+        return cls.from_trie(BinaryTrie.from_fib(fib), **kwargs)
+
+    # ------------------------------------------------------------------ query
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Longest-prefix match on the compressed form (§3.1 pseudo-code).
+
+        Returns the next-hop label, or None when the address falls under
+        a ⊥ leaf (no route). 0-based translation of the paper's routine:
+        the children of the r-th interior node (counting from 1) sit at
+        BFS positions ``2r - 1`` and ``2r``.
+        """
+        index = 0  # 0-based node position in BFS order (paper's i - 1)
+        for depth in range(self._width + 1):
+            if self._si.access(index):
+                label = self._labels.access(self._si.rank1(index))
+                return None if label == INVALID_LABEL else label
+            interior_rank = self._si.rank0(index + 1)  # interiors in [0, index]
+            bit = address_bits(address, depth, 1, self._width)
+            index = 2 * interior_rank - 1 + bit
+        raise AssertionError(
+            "leaf-pushed trie deeper than the address width; corrupt transform"
+        )
+
+    def lookup_with_stats(self, address: int) -> tuple[Optional[int], XBWLookupStats]:
+        """Like :meth:`lookup`, also counting the primitive operations."""
+        stats = XBWLookupStats()
+        index = 0
+        for depth in range(self._width + 1):
+            stats.steps += 1
+            stats.access_calls += 1
+            if self._si.access(index):
+                stats.rank_calls += 1
+                stats.access_calls += 1
+                label = self._labels.access(self._si.rank1(index))
+                return (None if label == INVALID_LABEL else label), stats
+            stats.rank_calls += 1
+            interior_rank = self._si.rank0(index + 1)
+            bit = address_bits(address, depth, 1, self._width)
+            index = 2 * interior_rank - 1 + bit
+        raise AssertionError(
+            "leaf-pushed trie deeper than the address width; corrupt transform"
+        )
+
+    def lookup_trace(self, address: int) -> tuple[Optional[int], list[int]]:
+        """LPM plus the byte addresses the primitives touch.
+
+        Layout: the ``S_I`` index first, the wavelet tree of ``S_α``
+        after it. Feeds the cache simulator (Table 2's XBW-b row).
+        """
+        addresses: list[int] = []
+        si = self._si
+        wavelet_base = (si.size_in_bits() + 7) // 8
+        can_trace = hasattr(si, "trace_access")
+        index = 0
+        for depth in range(self._width + 1):
+            if can_trace:
+                addresses.extend(si.trace_access(index))
+            if si.access(index):
+                if can_trace:
+                    addresses.extend(si.trace_rank(index))
+                position = si.rank1(index)
+                if hasattr(self._labels, "trace_access"):
+                    label, wavelet_addrs = self._labels.trace_access(position)
+                    addresses.extend(wavelet_base + a for a in wavelet_addrs)
+                else:  # pragma: no cover - all wavelet trees trace
+                    label = self._labels.access(position)
+                return (None if label == INVALID_LABEL else label), addresses
+            if can_trace:
+                addresses.extend(si.trace_rank(index + 1))
+            interior_rank = si.rank0(index + 1)
+            bit = address_bits(address, depth, 1, self._width)
+            index = 2 * interior_rank - 1 + bit
+        raise AssertionError(
+            "leaf-pushed trie deeper than the address width; corrupt transform"
+        )
+
+    # ------------------------------------------------------------------- size
+
+    def size_in_bits(self) -> int:
+        """Encoded size: RRR(S_I) + wavelet(S_α)."""
+        return self._si.size_in_bits() + self._labels.size_in_bits()
+
+    def size_in_kbytes(self) -> float:
+        return self.size_in_bits() / 8192.0
+
+    @property
+    def node_count(self) -> int:
+        """t — nodes of the underlying normalized trie (|S_I|)."""
+        return self._node_count
+
+    @property
+    def leaf_count(self) -> int:
+        """n — leaves (|S_α|)."""
+        return self._leaf_count
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def __repr__(self) -> str:
+        return (
+            f"XBWb(nodes={self._node_count}, leaves={self._leaf_count}, "
+            f"size={self.size_in_kbytes():.1f} KB)"
+        )
+
+    # -------------------------------------------------------------- recovery
+
+    def to_trie(self) -> BinaryTrie:
+        """Reconstruct the normalized trie (XBW-b is lossless)."""
+        nodes = [TrieNode() for _ in range(self._node_count)]
+        leaf_seen = 0
+        interior_seen = 0
+        for position in range(self._node_count):
+            if self._si.access(position):
+                nodes[position].label = self._labels.access(leaf_seen)
+                leaf_seen += 1
+            else:
+                interior_seen += 1
+                first_child = 2 * interior_seen - 1  # 0-based position
+                nodes[position].left = nodes[first_child]
+                nodes[position].right = nodes[first_child + 1]
+        trie = BinaryTrie(self._width)
+        trie.root = nodes[0]
+        return trie

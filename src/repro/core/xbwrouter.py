@@ -1,0 +1,122 @@
+"""Update management for XBW-b: batched rebuild and staged download.
+
+§3.2: "Updates, however, may be expensive. Even the underlying
+leaf-pushed trie takes O(n) steps in the worst-case to update, after
+which we could either rebuild the string indexes from scratch (again in
+O(n)) or use a dynamic compressed index". The paper's prototype takes
+the rebuild route — compression runs in user space and the kernel
+receives a fresh serialized blob.
+
+:class:`XBWbRouter` packages that operational pattern: updates edit the
+control FIB and mark the compressed image dirty; lookups are answered
+from the image while it is fresh and fall back to the (slower, always
+correct) control trie while updates are pending; a rebuild is triggered
+explicitly via :meth:`flush` or automatically after
+``rebuild_threshold`` pending updates — the batching every production
+control plane applies to amortize the O(n) rebuild over BGP bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.fib import Fib
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+
+
+@dataclass
+class RouterCounters:
+    """Operational statistics of one router instance."""
+
+    updates: int = 0
+    rebuilds: int = 0
+    fast_lookups: int = 0     # served by the compressed image
+    slow_lookups: int = 0     # served by the control trie while dirty
+
+
+class XBWbRouter:
+    """An XBW-b FIB with control-plane update batching.
+
+    Parameters
+    ----------
+    source:
+        Initial table (:class:`Fib` or :class:`BinaryTrie`).
+    rebuild_threshold:
+        Pending updates that trigger an automatic recompression; 0 means
+        rebuild on every update (always-fast lookups, maximum update
+        cost), large values favor update bursts.
+    """
+
+    def __init__(self, source: Union[Fib, BinaryTrie], rebuild_threshold: int = 1024):
+        if rebuild_threshold < 0:
+            raise ValueError(f"negative rebuild threshold {rebuild_threshold}")
+        if isinstance(source, Fib):
+            self._control = BinaryTrie.from_fib(source)
+        elif isinstance(source, BinaryTrie):
+            self._control = source.copy()
+        else:
+            raise TypeError(f"cannot build an XBWbRouter from {type(source).__name__}")
+        self._threshold = rebuild_threshold
+        self._image = XBWb.from_trie(self._control)
+        self._pending = 0
+        self.counters = RouterCounters()
+
+    # ----------------------------------------------------------------- update
+
+    def update(self, prefix: int, length: int, label: Optional[int]) -> None:
+        """Announce (``label`` int) or withdraw (``label`` None) a route."""
+        if label is not None and label < 1:
+            raise ValueError(f"label must be >= 1 (got {label}); use None to withdraw")
+        if label is None:
+            self._control.delete(prefix, length)  # KeyError propagates
+        else:
+            self._control.insert(prefix, length, label)
+        self._pending += 1
+        self.counters.updates += 1
+        if self._threshold == 0 or self._pending >= max(1, self._threshold):
+            self.flush()
+
+    def flush(self) -> None:
+        """Recompress the control FIB into a fresh image (the 'download')."""
+        if self._pending == 0:
+            return
+        self._image = XBWb.from_trie(self._control)
+        self._pending = 0
+        self.counters.rebuilds += 1
+
+    @property
+    def pending_updates(self) -> int:
+        return self._pending
+
+    @property
+    def is_dirty(self) -> bool:
+        return self._pending > 0
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup(self, address: int) -> Optional[int]:
+        """LPM — compressed fast path when fresh, control trie when dirty."""
+        if self._pending:
+            self.counters.slow_lookups += 1
+            return self._control.lookup(address)
+        self.counters.fast_lookups += 1
+        return self._image.lookup(address)
+
+    # ------------------------------------------------------------------- size
+
+    def image(self) -> XBWb:
+        """The current compressed image (for size reports / the simulator)."""
+        return self._image
+
+    def size_in_bits(self) -> int:
+        """Fast-memory footprint: the compressed image only (the control
+        trie lives in control-plane DRAM, as in §4.1)."""
+        return self._image.size_in_bits()
+
+    def __repr__(self) -> str:
+        return (
+            f"XBWbRouter(pending={self._pending}, rebuilds={self.counters.rebuilds}, "
+            f"image={self._image.size_in_kbytes():.1f} KB)"
+        )

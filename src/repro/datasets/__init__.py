@@ -1,0 +1,67 @@
+"""Workloads: synthetic FIBs, Table 1 stand-in profiles, update feeds,
+lookup traces, and text interchange formats."""
+
+from repro.datasets.fileio import dump_fib, dump_updates, load_fib, load_updates
+from repro.datasets.profiles import (
+    PRIMARY_PROFILE,
+    TABLE1_PROFILES,
+    FibProfile,
+    build_profile_fib,
+    configured_scale,
+    profile,
+)
+from repro.datasets.synthetic import (
+    DFZ_LENGTH_HISTOGRAM,
+    bernoulli_fib,
+    bernoulli_label_sampler,
+    bernoulli_string,
+    internet_like_fib,
+    label_sampler_with_entropy,
+    poisson_label_fib,
+    random_prefix_split_fib,
+    relabel_fib,
+    truncated_poisson_weights,
+)
+from repro.datasets.traces import caida_like_trace, trace_locality, uniform_trace
+from repro.datasets.updates import (
+    BGP_CHURN_LENGTH_HISTOGRAM,
+    UpdateOp,
+    apply_updates,
+    bgp_update_sequence,
+    iter_batches,
+    mean_length,
+    random_update_sequence,
+)
+
+__all__ = [
+    "dump_fib",
+    "dump_updates",
+    "load_fib",
+    "load_updates",
+    "PRIMARY_PROFILE",
+    "TABLE1_PROFILES",
+    "FibProfile",
+    "build_profile_fib",
+    "configured_scale",
+    "profile",
+    "DFZ_LENGTH_HISTOGRAM",
+    "bernoulli_fib",
+    "bernoulli_label_sampler",
+    "bernoulli_string",
+    "internet_like_fib",
+    "label_sampler_with_entropy",
+    "poisson_label_fib",
+    "random_prefix_split_fib",
+    "relabel_fib",
+    "truncated_poisson_weights",
+    "caida_like_trace",
+    "trace_locality",
+    "uniform_trace",
+    "BGP_CHURN_LENGTH_HISTOGRAM",
+    "UpdateOp",
+    "apply_updates",
+    "bgp_update_sequence",
+    "iter_batches",
+    "mean_length",
+    "random_update_sequence",
+]

@@ -1,0 +1,123 @@
+"""Stand-in profiles for the paper's Table 1 FIB instances.
+
+The paper evaluates on 5 router FIBs from the access (taz, hbone,
+access(d), access(v), mobile), 4 RIB dumps from the core (as1221,
+as4637, as6447, as6730) and 2 synthetic tables (fib_600k, fib_1m). None
+are redistributable, so each Table 1 row becomes a :class:`FibProfile`
+recording the published statistics — entry count N, next-hop count δ,
+next-hop entropy H0, and whether a default route is present — from which
+a deterministic, seeded stand-in FIB with the same statistics is
+generated (see DESIGN.md §4 for why this preserves the evaluation).
+
+``scale`` shrinks every profile proportionally so the full harness runs
+in CPython-friendly time; per-prefix metrics (H0, bits/prefix, ν) are
+scale-robust, and ``REPRO_SCALE=1.0`` regenerates full-size tables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.fib import Fib
+from repro.datasets.synthetic import (
+    internet_like_fib,
+    label_sampler_with_entropy,
+    random_prefix_split_fib,
+)
+
+DEFAULT_SCALE_ENV = "REPRO_SCALE"
+FULL_ENV = "REPRO_FULL"
+
+
+@dataclass(frozen=True)
+class FibProfile:
+    """One Table 1 row: target statistics of the original FIB."""
+
+    name: str
+    group: str          # "access", "core", or "synthetic"
+    entries: int        # N
+    next_hops: int      # δ
+    h0: float           # next-hop Shannon entropy reported in the paper
+    default_route: bool
+    generator: str = "internet"  # "internet" or "split"
+    # Paper-reported result columns (KBytes), kept for EXPERIMENTS.md
+    # side-by-side reporting; None where the paper has no value.
+    paper_info_bound_kb: Optional[float] = None
+    paper_entropy_kb: Optional[float] = None
+    paper_xbw_kb: Optional[float] = None
+    paper_pdag_kb: Optional[float] = None
+
+
+TABLE1_PROFILES: Dict[str, FibProfile] = {
+    profile.name: profile
+    for profile in [
+        FibProfile("taz", "access", 410_513, 4, 1.00, False, "internet", 94, 56, 63, 178),
+        FibProfile("hbone", "access", 410_454, 195, 2.00, False, "internet", 356, 142, 149, 396),
+        FibProfile("access_d", "access", 444_513, 28, 1.06, True, "internet", 206, 90, 100, 370),
+        FibProfile("access_v", "access", 2_986, 3, 1.22, True, "internet", 2.8, 2.2, 2.5, 7.5),
+        FibProfile("mobile", "access", 21_783, 16, 1.08, True, "internet", 0.8, 0.4, 1.1, 3.6),
+        FibProfile("as1221", "core", 440_060, 3, 1.54, False, "internet", 130, 115, 111, 331),
+        FibProfile("as4637", "core", 219_581, 3, 1.12, False, "internet", 52, 41, 44, 129),
+        FibProfile("as6447", "core", 445_016, 36, 3.91, False, "internet", 375, 277, 277, 748),
+        FibProfile("as6730", "core", 437_378, 186, 2.98, False, "internet", 421, 209, 213, 545),
+        FibProfile("fib_600k", "synthetic", 600_000, 5, 1.06, False, "split", 257, 157, 179, 462),
+        FibProfile("fib_1m", "synthetic", 1_000_000, 5, 1.06, False, "split", 427, 261, 297, 782),
+    ]
+}
+
+#: The instance every lookup/update benchmark (Table 2, Fig 5) runs on.
+PRIMARY_PROFILE = "taz"
+
+
+def configured_scale(default: float = 0.1) -> float:
+    """Benchmark scale from the environment: ``REPRO_SCALE`` (a float) or
+    ``REPRO_FULL=1`` for full size; otherwise ``default``."""
+    if os.environ.get(FULL_ENV, "") in ("1", "true", "yes"):
+        return 1.0
+    raw = os.environ.get(DEFAULT_SCALE_ENV)
+    if raw:
+        value = float(raw)
+        if not 0.0 < value <= 1.0:
+            raise ValueError(f"{DEFAULT_SCALE_ENV}={raw} outside (0, 1]")
+        return value
+    return default
+
+
+def build_profile_fib(
+    profile: FibProfile, scale: float = 1.0, seed: int = 20130812
+) -> Fib:
+    """Generate the stand-in FIB for a profile at the given scale.
+
+    The seed default is the paper's publication date, so every run of the
+    harness regenerates bit-identical datasets.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale {scale} outside (0, 1]")
+    entries = max(64, int(round(profile.entries * scale)))
+    # Seed derived from the profile name with a *stable* hash (Python's
+    # built-in hash() is salted per process): datasets stay independent
+    # of each other yet identical across runs.
+    import zlib
+
+    profile_seed = (seed + zlib.crc32(profile.name.encode())) & 0xFFFFFFFF
+    sampler = label_sampler_with_entropy(profile.next_hops, profile.h0)
+    if profile.generator == "split":
+        return random_prefix_split_fib(entries, sampler, seed=profile_seed)
+    return internet_like_fib(
+        entries,
+        sampler,
+        seed=profile_seed,
+        default_route=profile.default_route,
+    )
+
+
+def profile(name: str) -> FibProfile:
+    """Look up a profile by name (KeyError lists the valid names)."""
+    try:
+        return TABLE1_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from {sorted(TABLE1_PROFILES)}"
+        ) from None

@@ -1,0 +1,75 @@
+"""Lookup-key traces for the Table 2 experiment.
+
+The paper measures lookup performance under two key streams: uniform
+random 32-bit addresses, and the CAIDA Anonymized Internet Traces 2012
+packet trace [24]. The CAIDA data cannot be shipped, and its relevant
+property for Table 2 is *destination locality* — "the address locality
+in real IP traces helps fib_trie performance to a great extent, as
+fib_trie can keep lookup paths to popular prefixes in cache" — so the
+stand-in is a flow-level trace: a fixed population of destination
+addresses drawn from the FIB's routed prefixes, sampled with Zipf
+popularity (heavy-tailed flow sizes, the canonical traffic model).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.fib import Fib
+from repro.utils.bits import IPV4_WIDTH
+from repro.utils.rng import DiscreteSampler, Seedable, derive_rng, make_rng
+
+
+def uniform_trace(count: int, seed: Seedable = None, width: int = IPV4_WIDTH) -> List[int]:
+    """``count`` uniform random addresses (Table 2's 'rand.' rows)."""
+    if count < 0:
+        raise ValueError("negative trace length")
+    rng = make_rng(seed)
+    return [rng.getrandbits(width) for _ in range(count)]
+
+
+def caida_like_trace(
+    fib: Fib,
+    count: int,
+    seed: Seedable = None,
+    flows: int = 4096,
+    zipf_exponent: float = 1.1,
+) -> List[int]:
+    """A locality-heavy trace over the FIB's routed space (Table 2 'trace').
+
+    ``flows`` destination addresses are drawn from randomly chosen FIB
+    prefixes (one random address inside each), then packets sample those
+    destinations with Zipf(``zipf_exponent``) popularity.
+    """
+    if count < 0:
+        raise ValueError("negative trace length")
+    if flows < 1:
+        raise ValueError("need at least one flow")
+    rng = make_rng(seed)
+    flow_rng = derive_rng(rng, "flows")
+    width = fib.width
+    routes = list(fib)
+    if not routes:
+        return uniform_trace(count, rng, width)
+    destinations: List[int] = []
+    for _ in range(flows):
+        route = routes[flow_rng.randrange(len(routes))]
+        host_bits = width - route.length
+        suffix = flow_rng.getrandbits(host_bits) if host_bits else 0
+        destinations.append((route.prefix << host_bits) | suffix)
+    weights = [1.0 / (rank**zipf_exponent) for rank in range(1, flows + 1)]
+    sampler = DiscreteSampler(weights, values=destinations)
+    return sampler.sample_many(rng, count)
+
+
+def trace_locality(trace: List[int]) -> float:
+    """Fraction of packets going to the top-1% most popular addresses —
+    a quick locality metric used in tests (uniform traces score ~1%)."""
+    if not trace:
+        return 0.0
+    counts: dict[int, int] = {}
+    for address in trace:
+        counts[address] = counts.get(address, 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    top = max(1, len(ranked) // 100)
+    return sum(ranked[:top]) / len(trace)

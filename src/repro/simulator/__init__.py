@@ -1,0 +1,40 @@
+"""Measurement substrate: cache-hierarchy simulation, cycle cost models,
+instrumented lookup engines, and the kbench wall-clock harness."""
+
+from repro.simulator.costmodel import (
+    CLOCK_HZ,
+    FpgaCostReport,
+    LookupCostReport,
+)
+from repro.simulator.engine import (
+    LookupEngine,
+    lctrie_engine,
+    serialized_dag_engine,
+    xbw_engine,
+)
+from repro.simulator.kbench import KbenchResult, kbench, udpflood
+from repro.simulator.memory import (
+    CORE_I5_LEVELS,
+    DRAM_LATENCY_CYCLES,
+    CacheLevelConfig,
+    HierarchyStats,
+    MemoryHierarchy,
+)
+
+__all__ = [
+    "CLOCK_HZ",
+    "FpgaCostReport",
+    "LookupCostReport",
+    "LookupEngine",
+    "lctrie_engine",
+    "serialized_dag_engine",
+    "xbw_engine",
+    "KbenchResult",
+    "kbench",
+    "udpflood",
+    "CORE_I5_LEVELS",
+    "DRAM_LATENCY_CYCLES",
+    "CacheLevelConfig",
+    "HierarchyStats",
+    "MemoryHierarchy",
+]

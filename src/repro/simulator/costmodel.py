@@ -1,0 +1,91 @@
+"""Cycle cost models: CPU lookups and the FPGA of Table 2.
+
+The CPU model charges each lookup
+
+    cycles = Σ access latencies (from the cache simulator)
+           + per_step_alu_cycles × steps
+
+where *steps* is the number of data-dependent node visits (pointer
+chases / primitive calls) of the representation. Throughput is then
+``clock_hz / cycles``, which is what Table 2's "million lookup/sec" and
+"CPU cycle/lookup" columns report for the simulated engines.
+
+The FPGA model reproduces the paper's hardware prototype: the serialized
+prefix DAG lives in synchronous SRAM clocked with the logic, so a lookup
+costs one cycle per memory access plus a small fixed pipeline overhead
+(their Virtex-II measured 7.1 cycles/lookup at an average DAG depth of
+3.7: table access + node accesses + leaf access + ~1.5 cycles of
+pipeline fill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CLOCK_HZ = 2.5e9  # the paper's 2.50 GHz Core i5
+FPGA_PIPELINE_OVERHEAD_CYCLES = 1.5
+
+# Per-step ALU charges (cycles) calibrated so the three software engines
+# land in the paper's relative regimes; see EXPERIMENTS.md for the
+# calibration note.
+SERIALIZED_DAG_STEP_CYCLES = 3.0   # array index + bit extract
+LCTRIE_STEP_CYCLES = 5.0           # stride extract + alias checks
+XBW_PRIMITIVE_CYCLES = 55.0        # rank/select on compressed blocks
+
+
+@dataclass
+class LookupCostReport:
+    """Aggregated lookup cost over one trace."""
+
+    lookups: int
+    memory_cycles: float
+    alu_cycles: float
+    steps: int
+    llc_misses: int
+
+    @property
+    def cycles_per_lookup(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.memory_cycles + self.alu_cycles) / self.lookups
+
+    @property
+    def million_lookups_per_second(self) -> float:
+        cycles = self.cycles_per_lookup
+        if cycles == 0:
+            return 0.0
+        return CLOCK_HZ / cycles / 1e6
+
+    @property
+    def cache_misses_per_packet(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.llc_misses / self.lookups
+
+    @property
+    def steps_per_lookup(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.steps / self.lookups
+
+
+@dataclass
+class FpgaCostReport:
+    """The FPGA row: single-SRAM, one access per clock tick."""
+
+    lookups: int
+    memory_accesses: int
+
+    @property
+    def cycles_per_lookup(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.memory_accesses / self.lookups + FPGA_PIPELINE_OVERHEAD_CYCLES
+
+    def million_lookups_per_second(self, clock_hz: float = 50e6) -> float:
+        """Throughput at a given FPGA clock (the paper's Virtex-II ran at
+        SRAM speed; modern parts clock 20x higher — §5.3)."""
+        cycles = self.cycles_per_lookup
+        if cycles == 0:
+            return 0.0
+        return clock_hz / cycles / 1e6

@@ -1,0 +1,106 @@
+"""Instrumented lookup engines: trace replay through the cache model.
+
+Each engine wraps one FIB representation, replays an address trace
+through its ``lookup_trace`` (the per-lookup byte-address stream) and
+the :class:`~repro.simulator.memory.MemoryHierarchy`, and aggregates a
+:class:`~repro.simulator.costmodel.LookupCostReport`. This is the
+machinery behind every simulated number in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.simulator.costmodel import (
+    LCTRIE_STEP_CYCLES,
+    SERIALIZED_DAG_STEP_CYCLES,
+    XBW_PRIMITIVE_CYCLES,
+    FpgaCostReport,
+    LookupCostReport,
+)
+from repro.simulator.memory import MemoryHierarchy
+
+TraceFn = Callable[[int], Tuple[Optional[int], List[int]]]
+
+
+class LookupEngine:
+    """Replays traces for one representation.
+
+    Parameters
+    ----------
+    trace_fn:
+        ``address -> (label, [byte addresses])`` for one lookup.
+    step_cycles:
+        ALU cycles charged per memory access (data-dependent step).
+    name:
+        Engine label for reports.
+    """
+
+    def __init__(self, trace_fn: TraceFn, step_cycles: float, name: str):
+        self._trace_fn = trace_fn
+        self._step_cycles = step_cycles
+        self.name = name
+
+    def run(
+        self,
+        addresses: Sequence[int],
+        hierarchy: Optional[MemoryHierarchy] = None,
+        warmup: int = 0,
+    ) -> LookupCostReport:
+        """Simulate the trace; the first ``warmup`` lookups prime the
+        caches without being counted (the paper's kbench loops long
+        enough to reach steady state)."""
+        hierarchy = hierarchy or MemoryHierarchy()
+        for address in addresses[:warmup]:
+            _, touched = self._trace_fn(address)
+            hierarchy.warm(touched)
+        memory_cycles = 0.0
+        steps = 0
+        misses_before = hierarchy.stats.llc_misses
+        counted = addresses[warmup:]
+        for address in counted:
+            _, touched = self._trace_fn(address)
+            memory_cycles += hierarchy.access_many(touched)
+            steps += len(touched)
+        return LookupCostReport(
+            lookups=len(counted),
+            memory_cycles=memory_cycles,
+            alu_cycles=self._step_cycles * steps,
+            steps=steps,
+            llc_misses=hierarchy.stats.llc_misses - misses_before,
+        )
+
+    def run_fpga(self, addresses: Sequence[int]) -> FpgaCostReport:
+        """The single-SRAM model: every access is one clock tick."""
+        accesses = 0
+        for address in addresses:
+            _, touched = self._trace_fn(address)
+            accesses += len(touched)
+        return FpgaCostReport(lookups=len(addresses), memory_accesses=accesses)
+
+    def verify_against(
+        self, reference: Callable[[int], Optional[int]], addresses: Sequence[int]
+    ) -> None:
+        """Assert the traced lookups agree with a reference lookup."""
+        for address in addresses:
+            got, _ = self._trace_fn(address)
+            want = reference(address)
+            if got != want:
+                raise AssertionError(
+                    f"{self.name}: lookup({address:#x}) = {got!r}, reference says {want!r}"
+                )
+
+
+def serialized_dag_engine(image) -> LookupEngine:
+    """Engine over a :class:`~repro.core.serialize.SerializedDag`."""
+    return LookupEngine(image.lookup_trace, SERIALIZED_DAG_STEP_CYCLES, "pDAG")
+
+
+def lctrie_engine(trie) -> LookupEngine:
+    """Engine over an :class:`~repro.baselines.lctrie.LCTrie`."""
+    return LookupEngine(trie.lookup_trace, LCTRIE_STEP_CYCLES, "fib_trie")
+
+
+def xbw_engine(xbw) -> LookupEngine:
+    """Engine over an :class:`~repro.core.xbw.XBWb`."""
+    return LookupEngine(xbw.lookup_trace, XBW_PRIMITIVE_CYCLES, "XBW-b")

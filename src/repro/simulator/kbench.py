@@ -1,0 +1,88 @@
+"""kbench — wall-clock micro-benchmark harness.
+
+The paper uses the Linux ``kbench`` tool [37], which "calls the FIB
+lookup function in a tight loop and measures the execution time with
+nanosecond precision". This module mirrors that harness for the
+pure-Python lookup functions. Wall-clock numbers from CPython are
+reported *alongside* the simulated cycle counts (they show the same
+ordering, not the same magnitudes — DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+
+@dataclass
+class KbenchResult:
+    """Wall-clock lookup statistics."""
+
+    name: str
+    lookups: int
+    elapsed_seconds: float
+
+    @property
+    def nanoseconds_per_lookup(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.elapsed_seconds * 1e9 / self.lookups
+
+    @property
+    def lookups_per_second(self) -> float:
+        if self.elapsed_seconds == 0:
+            return 0.0
+        return self.lookups / self.elapsed_seconds
+
+    @property
+    def million_lookups_per_second(self) -> float:
+        return self.lookups_per_second / 1e6
+
+
+def kbench(
+    lookup: Callable[[int], Optional[int]],
+    addresses: Sequence[int],
+    name: str = "lookup",
+    repeat: int = 1,
+    warmup: bool = True,
+) -> KbenchResult:
+    """Tight-loop timing of ``lookup`` over ``addresses``.
+
+    ``repeat`` rounds are run and the fastest is reported (kbench's
+    standard min-of-N to shed scheduler noise); one untimed warmup pass
+    primes allocator and branch state.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    if warmup:
+        for address in addresses[: min(len(addresses), 1024)]:
+            lookup(address)
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for address in addresses:
+            lookup(address)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return KbenchResult(name=name, lookups=len(addresses), elapsed_seconds=best)
+
+
+def udpflood(
+    lookup: Callable[[int], Optional[int]],
+    addresses: Sequence[int],
+    packets: int,
+    name: str = "udpflood",
+) -> KbenchResult:
+    """The macro-benchmark variant [37]: ``packets`` lookups cycling
+    through the address list (models a packet flood to a fixed flow mix)."""
+    if packets < 0:
+        raise ValueError("negative packet count")
+    if not addresses:
+        raise ValueError("empty address list")
+    count = len(addresses)
+    start = time.perf_counter()
+    for i in range(packets):
+        lookup(addresses[i % count])
+    elapsed = time.perf_counter() - start
+    return KbenchResult(name=name, lookups=packets, elapsed_seconds=elapsed)

@@ -1,0 +1,178 @@
+"""Set-associative cache hierarchy simulator.
+
+The paper's lookup numbers (Table 2) are a cache story: "the prefix DAG,
+taking only about 180 KBytes of memory, is most of the time accessed
+from the cache, while fib_trie occupies an impressive 26 MBytes and so
+it does not fit into fast memory". Absolute Mlookups/s cannot be
+reproduced from CPython, so the lookup engines replay each structure's
+per-lookup *byte-address stream* through this hierarchy and a cycle cost
+model instead (repro substitution, DESIGN.md §4).
+
+The default geometry is the paper's test machine: a 2.50 GHz Intel Core
+i5 with 32 KB L1-D, 256 KB L2, and 3 MB L3, 64-byte lines. Replacement
+is LRU per set; fills are inclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    hit_latency_cycles: int
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError(f"non-positive cache geometry in {self.name}")
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if sets < 1:
+            raise ValueError(f"{self.name}: fewer than one set")
+        if sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count {sets} not a power of two")
+
+
+#: The paper's Core i5 (§5: 2x32 KB L1-D, 256 KB L2, 3 MB L3).
+CORE_I5_LEVELS = (
+    CacheLevelConfig("L1", 32 * 1024, 64, 8, 4),
+    CacheLevelConfig("L2", 256 * 1024, 64, 8, 12),
+    CacheLevelConfig("L3", 3 * 1024 * 1024, 64, 12, 36),
+)
+
+DRAM_LATENCY_CYCLES = 180
+
+
+class _Level:
+    """One set-associative LRU level."""
+
+    __slots__ = ("config", "sets", "set_mask", "line_shift", "hits", "misses")
+
+    def __init__(self, config: CacheLevelConfig):
+        self.config = config
+        set_count = config.size_bytes // (config.line_bytes * config.associativity)
+        self.set_mask = set_count - 1
+        self.line_shift = config.line_bytes.bit_length() - 1
+        # Per set: list of tags in LRU order (front = most recent).
+        self.sets: List[List[int]] = [[] for _ in range(set_count)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch a line address; returns True on hit. Fills on miss."""
+        bucket = self.sets[line & self.set_mask]
+        try:
+            bucket.remove(line)
+            bucket.insert(0, line)
+            self.hits += 1
+            return True
+        except ValueError:
+            self.misses += 1
+            bucket.insert(0, line)
+            if len(bucket) > self.config.associativity:
+                bucket.pop()
+            return False
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class AccessOutcome:
+    """Where one access was served and what it cost."""
+
+    level: str
+    latency_cycles: int
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate counters of a simulation run."""
+
+    accesses: int = 0
+    total_cycles: int = 0
+    hits_per_level: dict = field(default_factory=dict)
+    dram_accesses: int = 0
+
+    @property
+    def llc_misses(self) -> int:
+        """Accesses served by DRAM — the 'cache-misses' perf counter the
+        paper monitors."""
+        return self.dram_accesses
+
+
+class MemoryHierarchy:
+    """An inclusive multi-level cache + DRAM."""
+
+    def __init__(
+        self,
+        levels: Sequence[CacheLevelConfig] = CORE_I5_LEVELS,
+        dram_latency_cycles: int = DRAM_LATENCY_CYCLES,
+    ):
+        if not levels:
+            raise ValueError("need at least one cache level")
+        self._levels = [_Level(config) for config in levels]
+        self._dram_latency = dram_latency_cycles
+        self._stats = HierarchyStats(
+            hits_per_level={level.config.name: 0 for level in self._levels}
+        )
+
+    def access(self, byte_address: int) -> AccessOutcome:
+        """Serve one load; fills every missing level on the way (inclusive)."""
+        self._stats.accesses += 1
+        outcome: AccessOutcome | None = None
+        missed: List[_Level] = []
+        for level in self._levels:
+            line = byte_address >> level.line_shift
+            if level.access(line):
+                outcome = AccessOutcome(level.config.name, level.config.hit_latency_cycles)
+                break
+            missed.append(level)
+        if outcome is None:
+            outcome = AccessOutcome("DRAM", self._dram_latency)
+            self._stats.dram_accesses += 1
+        else:
+            self._stats.hits_per_level[outcome.level] += 1
+        self._stats.total_cycles += outcome.latency_cycles
+        return outcome
+
+    def access_many(self, byte_addresses: Sequence[int]) -> int:
+        """Serve a dependent access chain; returns total cycles."""
+        total = 0
+        for address in byte_addresses:
+            total += self.access(address).latency_cycles
+        return total
+
+    def warm(self, byte_addresses: Sequence[int]) -> None:
+        """Touch addresses without recording statistics (cache warm-up)."""
+        saved = self._stats
+        self._stats = HierarchyStats(
+            hits_per_level={level.config.name: 0 for level in self._levels}
+        )
+        for address in byte_addresses:
+            self.access(address)
+        self._stats = saved
+
+    @property
+    def stats(self) -> HierarchyStats:
+        return self._stats
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        for level in self._levels:
+            level.sets = [[] for _ in range(level.set_mask + 1)]
+            level.reset_counters()
+        self._stats = HierarchyStats(
+            hits_per_level={level.config.name: 0 for level in self._levels}
+        )
+
+    def __repr__(self) -> str:
+        names = "/".join(level.config.name for level in self._levels)
+        return f"MemoryHierarchy({names} + DRAM)"

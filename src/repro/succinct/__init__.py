@@ -1,0 +1,24 @@
+"""Succinct data structures: the substrate of the XBW-b FIB compressor.
+
+* :class:`BitBuffer` — packed bit storage,
+* :class:`BitVector` — plain bits + O(1) rank directory (Jacobson [28]),
+* :class:`RRRBitVector` — entropy-compressed bits (RRR [42]),
+* :class:`HuffmanCode` — canonical Huffman coding,
+* :class:`WaveletTree` — Huffman-shaped / balanced wavelet trees [19].
+"""
+
+from repro.succinct.bitbuffer import BitBuffer
+from repro.succinct.bitvector import BitVector
+from repro.succinct.huffman import Codeword, HuffmanCode, huffman_encoded_size
+from repro.succinct.rrr import RRRBitVector
+from repro.succinct.wavelet import WaveletTree
+
+__all__ = [
+    "BitBuffer",
+    "BitVector",
+    "Codeword",
+    "HuffmanCode",
+    "huffman_encoded_size",
+    "RRRBitVector",
+    "WaveletTree",
+]

@@ -1,0 +1,125 @@
+"""Packed bit buffers.
+
+Every succinct structure in this package stores its payload in
+:class:`BitBuffer` (a growable, word-packed bit array) so that reported
+sizes are the true number of encoded bits, not Python object overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+class BitBuffer:
+    """A growable array of bits with random read access.
+
+    Bits are appended most-significant-first within each logical field
+    (i.e. ``append_int(0b101, 3)`` stores bits 1, 0, 1 in that order) and
+    addressed by absolute bit position starting at 0.
+    """
+
+    __slots__ = ("_words", "_length")
+
+    def __init__(self, bits: Iterable[int] = ()):
+        self._words: list[int] = []
+        self._length = 0
+        for bit in bits:
+            self.append_bit(bit)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        return (self.get_bit(i) for i in range(self._length))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BitBuffer):
+            return NotImplemented
+        return self._length == other._length and self._words == other._words
+
+    def __repr__(self) -> str:
+        preview = "".join(str(self.get_bit(i)) for i in range(min(self._length, 48)))
+        suffix = "..." if self._length > 48 else ""
+        return f"BitBuffer({self._length} bits: {preview}{suffix})"
+
+    def append_bit(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        word_index = self._length >> 6
+        if word_index == len(self._words):
+            self._words.append(0)
+        if bit:
+            self._words[word_index] |= 1 << (self._length & 63)
+        self._length += 1
+
+    def append_int(self, value: int, width: int) -> None:
+        """Append ``value`` as a ``width``-bit big-endian field."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if width and value >> width:
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        for position in range(width - 1, -1, -1):
+            self.append_bit((value >> position) & 1)
+
+    def get_bit(self, index: int) -> int:
+        """Read the bit at absolute position ``index``."""
+        if index < 0 or index >= self._length:
+            raise IndexError(f"bit {index} outside buffer of {self._length} bits")
+        return (self._words[index >> 6] >> (index & 63)) & 1
+
+    def get_int(self, index: int, width: int) -> int:
+        """Read a ``width``-bit big-endian field starting at ``index``."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if index < 0 or index + width > self._length:
+            raise IndexError(
+                f"field [{index}, {index + width}) outside buffer of {self._length} bits"
+            )
+        value = 0
+        remaining = width
+        position = index
+        while remaining:
+            word_index = position >> 6
+            offset = position & 63
+            take = min(remaining, _WORD_BITS - offset)
+            chunk = (self._words[word_index] >> offset) & ((1 << take) - 1)
+            # Chunks come out LSB-first within the word; reassemble the
+            # big-endian field by placing earlier bits at higher positions.
+            for i in range(take):
+                bit = (chunk >> i) & 1
+                value |= bit << (width - 1 - (position - index + i))
+            position += take
+            remaining -= take
+        return value
+
+    def size_in_bits(self) -> int:
+        """Number of payload bits stored (the figure reported in tables)."""
+        return self._length
+
+    def size_in_bytes(self) -> int:
+        """Payload size rounded up to whole bytes."""
+        return (self._length + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Serialize to bytes, LSB-first within each byte (word order)."""
+        out = bytearray((self._length + 7) // 8)
+        for i in range(self._length):
+            if (self._words[i >> 6] >> (i & 63)) & 1:
+                out[i >> 3] |= 1 << (i & 7)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, length: int) -> "BitBuffer":
+        """Rebuild a buffer of ``length`` bits from :meth:`to_bytes` output."""
+        if length > len(data) * 8:
+            raise ValueError(f"{length} bits do not fit in {len(data)} bytes")
+        buf = cls()
+        for i in range(length):
+            buf.append_bit((data[i >> 3] >> (i & 7)) & 1)
+        return buf
+
+    def words(self) -> list[int]:
+        """The raw 64-bit word backing (read-only view for rank directories)."""
+        return self._words

@@ -1,0 +1,162 @@
+"""Plain bitvector with a constant-time rank directory.
+
+This is Jacobson's classic two-level rank structure [28]: the bit payload
+is kept verbatim (1 bit per input bit) and a directory of superblock and
+block counters is added so that
+
+* ``rank1(i)`` — ones in positions ``[0, i)`` — is O(1),
+* ``select1(k)`` / ``select0(k)`` are O(log n) by binary search on rank.
+
+It is both a useful structure on its own (wavelet tree internals default
+to it) and the uncompressed baseline against which :mod:`repro.succinct.rrr`
+is evaluated.
+
+Rank/select conventions follow the paper's pseudo-code: positions are
+1-based in :meth:`rank1_inclusive` (``rank_s(S, q)`` counts occurrences in
+``S[1, q]``), while the Pythonic 0-based half-open :meth:`rank1` is what
+internal code uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.succinct.bitbuffer import BitBuffer
+
+_BLOCK_BITS = 64          # one backing word per block
+_SUPERBLOCK_BLOCKS = 8    # 512 bits per superblock
+
+
+class BitVector:
+    """Static bitvector supporting access / rank / select.
+
+    Parameters
+    ----------
+    bits:
+        Iterable of 0/1 (or a prebuilt :class:`BitBuffer`).
+    """
+
+    def __init__(self, bits: Iterable[int] | BitBuffer):
+        if isinstance(bits, BitBuffer):
+            self._buffer = bits
+        else:
+            self._buffer = BitBuffer(bits)
+        self._length = len(self._buffer)
+        self._build_directory()
+
+    def _build_directory(self) -> None:
+        words = self._buffer.words()
+        self._superblock_ranks: list[int] = []
+        self._block_ranks: list[int] = []
+        running = 0
+        for block_index, word in enumerate(words):
+            if block_index % _SUPERBLOCK_BLOCKS == 0:
+                self._superblock_ranks.append(running)
+            self._block_ranks.append(running - self._superblock_ranks[-1])
+            running += word.bit_count()
+        self._total_ones = running
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"BitVector(length={self._length}, ones={self._total_ones})"
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits."""
+        return self._total_ones
+
+    @property
+    def zeros(self) -> int:
+        """Total number of clear bits."""
+        return self._length - self._total_ones
+
+    def access(self, index: int) -> int:
+        """Bit at 0-based ``index``."""
+        return self._buffer.get_bit(index)
+
+    def rank1(self, position: int) -> int:
+        """Number of ones in the half-open range ``[0, position)``."""
+        if position < 0 or position > self._length:
+            raise IndexError(f"rank position {position} outside [0, {self._length}]")
+        if position == 0:
+            return 0
+        word_index = position >> 6
+        offset = position & 63
+        if word_index >= len(self._block_ranks):
+            return self._total_ones
+        superblock = word_index // _SUPERBLOCK_BLOCKS
+        count = self._superblock_ranks[superblock] + self._block_ranks[word_index]
+        if offset:
+            word = self._buffer.words()[word_index]
+            count += (word & ((1 << offset) - 1)).bit_count()
+        return count
+
+    def rank0(self, position: int) -> int:
+        """Number of zeros in ``[0, position)``."""
+        if position < 0 or position > self._length:
+            raise IndexError(f"rank position {position} outside [0, {self._length}]")
+        return position - self.rank1(position)
+
+    def rank1_inclusive(self, position_1based: int) -> int:
+        """Paper-style ``rank1(S, q)``: ones in the 1-based prefix ``S[1, q]``."""
+        return self.rank1(position_1based)
+
+    def rank0_inclusive(self, position_1based: int) -> int:
+        """Paper-style ``rank0(S, q)``: zeros in the 1-based prefix ``S[1, q]``."""
+        return self.rank0(position_1based)
+
+    def select1(self, occurrence: int) -> int:
+        """0-based position of the ``occurrence``-th one (1-based count).
+
+        ``select1(k)`` is the smallest ``p`` with ``rank1(p + 1) == k``.
+        """
+        if occurrence < 1 or occurrence > self._total_ones:
+            raise IndexError(f"select1({occurrence}) outside [1, {self._total_ones}]")
+        return self._select(occurrence, want_one=True)
+
+    def select0(self, occurrence: int) -> int:
+        """0-based position of the ``occurrence``-th zero (1-based count)."""
+        total_zeros = self._length - self._total_ones
+        if occurrence < 1 or occurrence > total_zeros:
+            raise IndexError(f"select0({occurrence}) outside [1, {total_zeros}]")
+        return self._select(occurrence, want_one=False)
+
+    def _select(self, occurrence: int, want_one: bool) -> int:
+        low, high = 0, self._length
+        while low < high:
+            middle = (low + high) // 2
+            count = self.rank1(middle + 1) if want_one else self.rank0(middle + 1)
+            if count < occurrence:
+                low = middle + 1
+            else:
+                high = middle
+        return low
+
+    def size_in_bits(self) -> int:
+        """Payload + directory size in bits (what tables report)."""
+        directory = 64 * len(self._superblock_ranks) + 16 * len(self._block_ranks)
+        return self._length + directory
+
+    def trace_access(self, index: int) -> list[int]:
+        """Byte addresses an access touches: the payload word."""
+        directory_bytes = 8 * len(self._superblock_ranks) + 2 * len(self._block_ranks)
+        return [directory_bytes + (index >> 6) * 8]
+
+    def trace_rank(self, position: int) -> list[int]:
+        """Byte addresses a rank touches: directory entries + payload word."""
+        if position == 0:
+            return []
+        word_index = min(position - 1, self._length - 1) >> 6
+        superblock = word_index // _SUPERBLOCK_BLOCKS
+        directory_bytes = 8 * len(self._superblock_ranks) + 2 * len(self._block_ranks)
+        return [
+            superblock * 8,
+            8 * len(self._superblock_ranks) + word_index * 2,
+            directory_bytes + word_index * 8,
+        ]
+
+    def payload(self) -> BitBuffer:
+        """The raw bit payload."""
+        return self._buffer

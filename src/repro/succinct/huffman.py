@@ -1,0 +1,176 @@
+"""Canonical Huffman codes.
+
+Used to shape the wavelet tree of XBW-b's label string ``S_α``
+(Huffman-shaped wavelet trees store ``S_α`` in ``n(H0 + 1)`` bits and
+answer access/rank in ``O(H0 + 1)`` expected time [19]) and as a
+standalone entropy coder for size accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Sequence
+
+from repro.succinct.bitbuffer import BitBuffer
+
+
+@dataclass(frozen=True)
+class Codeword:
+    """A single prefix-free codeword: ``length`` bits of ``bits``."""
+
+    bits: int
+    length: int
+
+    def __iter__(self):
+        for position in range(self.length - 1, -1, -1):
+            yield (self.bits >> position) & 1
+
+
+class HuffmanCode:
+    """Canonical Huffman code for a finite alphabet.
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping from symbol to a positive weight. Symbols must be
+        sortable against each other (ints throughout this library).
+
+    Notes
+    -----
+    * A one-symbol alphabet is assigned a single 1-bit codeword so the
+      code stays uniquely decodable (the wavelet tree special-cases this
+      away and stores zero bits).
+    * Codes are *canonical*: lexicographically assigned by (length,
+      symbol), so the codebook serializes as just the length of every
+      symbol's codeword.
+    """
+
+    def __init__(self, frequencies: Mapping[Hashable, float]):
+        if not frequencies:
+            raise ValueError("empty alphabet")
+        if any(weight <= 0 for weight in frequencies.values()):
+            raise ValueError("non-positive symbol weight")
+        self._lengths = self._code_lengths(frequencies)
+        self._codewords = self._canonicalize(self._lengths)
+        self._decoder = {
+            (code.length, code.bits): symbol for symbol, code in self._codewords.items()
+        }
+
+    @staticmethod
+    def _code_lengths(frequencies: Mapping[Hashable, float]) -> Dict[Hashable, int]:
+        symbols = sorted(frequencies)
+        if len(symbols) == 1:
+            return {symbols[0]: 1}
+        # Heap items: (weight, tiebreak, set-of-symbols). The tiebreak
+        # keeps heap comparisons away from unorderable payloads.
+        heap: list[tuple[float, int, list]] = []
+        for tiebreak, symbol in enumerate(symbols):
+            heapq.heappush(heap, (float(frequencies[symbol]), tiebreak, [symbol]))
+        counter = len(symbols)
+        depths: Dict[Hashable, int] = {symbol: 0 for symbol in symbols}
+        while len(heap) > 1:
+            weight_a, _, group_a = heapq.heappop(heap)
+            weight_b, _, group_b = heapq.heappop(heap)
+            for symbol in group_a:
+                depths[symbol] += 1
+            for symbol in group_b:
+                depths[symbol] += 1
+            heapq.heappush(heap, (weight_a + weight_b, counter, group_a + group_b))
+            counter += 1
+        return depths
+
+    @staticmethod
+    def _canonicalize(lengths: Mapping[Hashable, int]) -> Dict[Hashable, Codeword]:
+        ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+        codewords: Dict[Hashable, Codeword] = {}
+        code = 0
+        previous_length = 0
+        for symbol, length in ordered:
+            code <<= length - previous_length
+            codewords[symbol] = Codeword(code, length)
+            code += 1
+            previous_length = length
+        return codewords
+
+    # ------------------------------------------------------------------- api
+
+    @property
+    def alphabet(self) -> list:
+        return sorted(self._lengths)
+
+    def codeword(self, symbol) -> Codeword:
+        """The codeword assigned to ``symbol``."""
+        try:
+            return self._codewords[symbol]
+        except KeyError:
+            raise KeyError(f"symbol {symbol!r} not in codebook") from None
+
+    def length(self, symbol) -> int:
+        """Codeword length of ``symbol`` in bits."""
+        return self.codeword(symbol).length
+
+    def lengths(self) -> Dict[Hashable, int]:
+        """Symbol → codeword length (the canonical codebook serialization)."""
+        return dict(self._lengths)
+
+    def expected_length(self, frequencies: Mapping[Hashable, float]) -> float:
+        """Average codeword length under ``frequencies`` (bits/symbol)."""
+        total = float(sum(frequencies.values()))
+        if total <= 0:
+            raise ValueError("weights sum to zero")
+        return sum(
+            frequencies[s] / total * self._lengths[s] for s in frequencies if s in self._lengths
+        )
+
+    def encode(self, symbols: Iterable) -> BitBuffer:
+        """Encode a symbol sequence into a bit buffer."""
+        out = BitBuffer()
+        for symbol in symbols:
+            code = self.codeword(symbol)
+            out.append_int(code.bits, code.length)
+        return out
+
+    def decode(self, buffer: BitBuffer, count: int) -> list:
+        """Decode ``count`` symbols from a buffer produced by :meth:`encode`."""
+        out = []
+        position = 0
+        max_length = max(self._lengths.values())
+        for _ in range(count):
+            bits = 0
+            length = 0
+            while True:
+                if position >= len(buffer):
+                    raise ValueError("truncated Huffman stream")
+                bits = (bits << 1) | buffer.get_bit(position)
+                position += 1
+                length += 1
+                symbol = self._decoder.get((length, bits))
+                if symbol is not None:
+                    out.append(symbol)
+                    break
+                if length > max_length:
+                    raise ValueError("invalid Huffman stream")
+        return out
+
+    def codebook_size_in_bits(self, symbol_width: int) -> int:
+        """Serialized codebook cost: (symbol, length) pairs."""
+        length_width = max(1, max(self._lengths.values()).bit_length())
+        return len(self._lengths) * (symbol_width + length_width)
+
+
+def huffman_encoded_size(sequence: Sequence, symbol_width: int) -> int:
+    """Total encoded bits (payload + codebook) of ``sequence``.
+
+    Convenience used by size ablations; returns ``len(sequence) *
+    symbol_width`` when the sequence has a single distinct symbol or is
+    empty (Huffman cannot beat that trivially small case).
+    """
+    if not sequence:
+        return 0
+    frequencies: Dict[Hashable, int] = {}
+    for symbol in sequence:
+        frequencies[symbol] = frequencies.get(symbol, 0) + 1
+    code = HuffmanCode(frequencies)
+    payload = sum(code.length(symbol) for symbol in sequence)
+    return payload + code.codebook_size_in_bits(symbol_width)

@@ -1,0 +1,282 @@
+"""RRR entropy-compressed bitvector (Raman, Raman, Rao [42]).
+
+The input bitstring is cut into fixed-size blocks of ``b`` bits; each
+block is stored as a pair
+
+* **class** ``c`` — its popcount, in ``ceil(lg(b+1))`` bits, and
+* **offset** — the index of the block's exact bit pattern within the
+  enumeration of all ``C(b, c)`` patterns of that class, in
+  ``ceil(lg C(b, c))`` bits (the combinatorial number system).
+
+Summed over the input this is ``n * H0 + o(n)`` bits. A superblock
+directory stores sampled ranks and offset-stream positions so rank runs
+in O(superblock) = O(1) time for fixed sampling rate, exactly the role
+RRR plays for the ``S_I`` string of XBW-b (Lemma 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.succinct.bitbuffer import BitBuffer
+from repro.utils.bits import bits_for
+
+DEFAULT_BLOCK_BITS = 15
+DEFAULT_SUPERBLOCK_BLOCKS = 32
+
+
+def _binomial_table(block_bits: int) -> list[list[int]]:
+    table = [[0] * (block_bits + 1) for _ in range(block_bits + 1)]
+    for n in range(block_bits + 1):
+        table[n][0] = 1
+        for k in range(1, n + 1):
+            table[n][k] = table[n - 1][k - 1] + (table[n - 1][k] if k <= n - 1 else 0)
+    return table
+
+
+class RRRBitVector:
+    """Static compressed bitvector with access / rank / select.
+
+    Parameters
+    ----------
+    bits:
+        The input bit sequence.
+    block_bits:
+        Block size ``b`` (15 by default; the offset of a block never
+        exceeds ``C(15, 7) = 6435`` so all arithmetic stays tiny).
+    superblock_blocks:
+        Blocks per superblock; controls the rank-sample density and the
+        constant factor of every query.
+    """
+
+    def __init__(
+        self,
+        bits: Iterable[int] | BitBuffer,
+        block_bits: int = DEFAULT_BLOCK_BITS,
+        superblock_blocks: int = DEFAULT_SUPERBLOCK_BLOCKS,
+    ):
+        if block_bits < 1 or block_bits > 62:
+            raise ValueError(f"block size {block_bits} outside [1, 62]")
+        if superblock_blocks < 1:
+            raise ValueError("superblock must contain at least one block")
+        source = bits if isinstance(bits, BitBuffer) else BitBuffer(bits)
+        self._length = len(source)
+        self._block_bits = block_bits
+        self._superblock_blocks = superblock_blocks
+        self._binomial = _binomial_table(block_bits)
+        self._class_width = bits_for(block_bits + 1)
+        self._offset_widths = [bits_for(self._binomial[block_bits][c]) for c in range(block_bits + 1)]
+        self._build(source)
+
+    # ------------------------------------------------------------------ build
+
+    def _build(self, source: BitBuffer) -> None:
+        b = self._block_bits
+        block_count = (self._length + b - 1) // b
+        self._block_count = block_count
+        self._classes = BitBuffer()
+        self._offsets = BitBuffer()
+        self._superblock_rank: list[int] = []
+        self._superblock_offset_position: list[int] = []
+        running_ones = 0
+        for block_index in range(block_count):
+            if block_index % self._superblock_blocks == 0:
+                self._superblock_rank.append(running_ones)
+                self._superblock_offset_position.append(len(self._offsets))
+            start = block_index * b
+            width = min(b, self._length - start)
+            pattern = source.get_int(start, width)
+            if width < b:  # final partial block, zero-padded on the right
+                pattern <<= b - width
+            cls = pattern.bit_count()
+            self._classes.append_int(cls, self._class_width)
+            self._offsets.append_int(self._rank_pattern(pattern, cls), self._offset_widths[cls])
+            running_ones += cls
+        self._total_ones = running_ones
+
+    def _rank_pattern(self, pattern: int, cls: int) -> int:
+        """Combinatorial rank of a b-bit pattern within its class."""
+        offset = 0
+        remaining_ones = cls
+        for position in range(self._block_bits):
+            if remaining_ones == 0:
+                break
+            bit = (pattern >> (self._block_bits - 1 - position)) & 1
+            remaining_positions = self._block_bits - 1 - position
+            if bit:
+                offset += self._binomial[remaining_positions][remaining_ones]
+                remaining_ones -= 1
+        return offset
+
+    def _unrank_pattern(self, offset: int, cls: int) -> int:
+        """Inverse of :meth:`_rank_pattern`."""
+        pattern = 0
+        remaining_ones = cls
+        for position in range(self._block_bits):
+            if remaining_ones == 0:
+                break
+            remaining_positions = self._block_bits - 1 - position
+            ways_with_zero = self._binomial[remaining_positions][remaining_ones]
+            if offset >= ways_with_zero:
+                pattern |= 1 << remaining_positions
+                offset -= ways_with_zero
+                remaining_ones -= 1
+        return pattern
+
+    # ----------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return (
+            f"RRRBitVector(length={self._length}, ones={self._total_ones}, "
+            f"b={self._block_bits}, size={self.size_in_bits()} bits)"
+        )
+
+    @property
+    def ones(self) -> int:
+        return self._total_ones
+
+    @property
+    def zeros(self) -> int:
+        return self._length - self._total_ones
+
+    def _block_fields(self, block_index: int) -> tuple[int, int, int]:
+        """(class, offset_position, offset_width) of a block, by scanning
+        forward from the covering superblock sample."""
+        superblock = block_index // self._superblock_blocks
+        position = self._superblock_offset_position[superblock]
+        first_block = superblock * self._superblock_blocks
+        for scan in range(first_block, block_index):
+            cls = self._classes.get_int(scan * self._class_width, self._class_width)
+            position += self._offset_widths[cls]
+        cls = self._classes.get_int(block_index * self._class_width, self._class_width)
+        return cls, position, self._offset_widths[cls]
+
+    def _block_pattern(self, block_index: int) -> int:
+        cls, position, width = self._block_fields(block_index)
+        offset = self._offsets.get_int(position, width) if width else 0
+        return self._unrank_pattern(offset, cls)
+
+    def access(self, index: int) -> int:
+        """Bit at 0-based ``index``."""
+        if index < 0 or index >= self._length:
+            raise IndexError(f"bit {index} outside vector of {self._length} bits")
+        block_index, within = divmod(index, self._block_bits)
+        pattern = self._block_pattern(block_index)
+        return (pattern >> (self._block_bits - 1 - within)) & 1
+
+    def rank1(self, position: int) -> int:
+        """Ones in the half-open range ``[0, position)``."""
+        if position < 0 or position > self._length:
+            raise IndexError(f"rank position {position} outside [0, {self._length}]")
+        if position == 0:
+            return 0
+        block_index, within = divmod(position, self._block_bits)
+        if block_index >= self._block_count:
+            return self._total_ones
+        superblock = block_index // self._superblock_blocks
+        count = self._superblock_rank[superblock]
+        offset_position = self._superblock_offset_position[superblock]
+        first_block = superblock * self._superblock_blocks
+        for scan in range(first_block, block_index):
+            cls = self._classes.get_int(scan * self._class_width, self._class_width)
+            count += cls
+            offset_position += self._offset_widths[cls]
+        if within:
+            cls = self._classes.get_int(block_index * self._class_width, self._class_width)
+            width = self._offset_widths[cls]
+            offset = self._offsets.get_int(offset_position, width) if width else 0
+            pattern = self._unrank_pattern(offset, cls)
+            count += (pattern >> (self._block_bits - within)).bit_count()
+        return count
+
+    def rank0(self, position: int) -> int:
+        """Zeros in ``[0, position)``."""
+        if position < 0 or position > self._length:
+            raise IndexError(f"rank position {position} outside [0, {self._length}]")
+        return position - self.rank1(position)
+
+    def rank1_inclusive(self, position_1based: int) -> int:
+        """Paper-style ``rank1(S, q)`` over the 1-based prefix ``S[1, q]``."""
+        return self.rank1(position_1based)
+
+    def rank0_inclusive(self, position_1based: int) -> int:
+        """Paper-style ``rank0(S, q)`` over the 1-based prefix ``S[1, q]``."""
+        return self.rank0(position_1based)
+
+    def select1(self, occurrence: int) -> int:
+        """0-based position of the ``occurrence``-th set bit."""
+        if occurrence < 1 or occurrence > self._total_ones:
+            raise IndexError(f"select1({occurrence}) outside [1, {self._total_ones}]")
+        return self._select(occurrence, want_one=True)
+
+    def select0(self, occurrence: int) -> int:
+        """0-based position of the ``occurrence``-th clear bit."""
+        total_zeros = self.zeros
+        if occurrence < 1 or occurrence > total_zeros:
+            raise IndexError(f"select0({occurrence}) outside [1, {total_zeros}]")
+        return self._select(occurrence, want_one=False)
+
+    def _select(self, occurrence: int, want_one: bool) -> int:
+        low, high = 0, self._length
+        while low < high:
+            middle = (low + high) // 2
+            count = self.rank1(middle + 1) if want_one else self.rank0(middle + 1)
+            if count < occurrence:
+                low = middle + 1
+            else:
+                high = middle
+        return low
+
+    # ------------------------------------------------------------ trace model
+
+    def _layout(self) -> tuple[int, int, int]:
+        """(dir_base, classes_base, offsets_base) byte offsets of the
+        encoded regions, laid out directory-first."""
+        dir_bytes = (len(self._superblock_rank) + len(self._superblock_offset_position)) * 8
+        classes_bytes = (len(self._classes) + 7) // 8
+        return 0, dir_bytes, dir_bytes + classes_bytes
+
+    def trace_access(self, index: int) -> list[int]:
+        """Byte addresses an :meth:`access` at ``index`` touches: the
+        superblock directory entry, the class-stream scan range, and the
+        offset word of the target block."""
+        dir_base, classes_base, offsets_base = self._layout()
+        block_index = index // self._block_bits
+        superblock = block_index // self._superblock_blocks
+        first_block = superblock * self._superblock_blocks
+        addresses = [dir_base + superblock * 16]
+        addresses.append(classes_base + (first_block * self._class_width) // 8)
+        addresses.append(classes_base + (block_index * self._class_width) // 8)
+        _, position, _ = self._block_fields(block_index)
+        addresses.append(offsets_base + position // 8)
+        return addresses
+
+    def trace_rank(self, position: int) -> list[int]:
+        """Byte addresses a rank at ``position`` touches (same regions)."""
+        if position == 0:
+            return []
+        return self.trace_access(min(position, self._length) - 1)
+
+    # ------------------------------------------------------------------- size
+
+    def size_in_bits(self) -> int:
+        """Encoded size: class stream + offset stream + directory."""
+        directory = 0
+        rank_width = bits_for(self._length + 1)
+        position_width = bits_for(len(self._offsets) + 1)
+        directory += len(self._superblock_rank) * rank_width
+        directory += len(self._superblock_offset_position) * position_width
+        return len(self._classes) + len(self._offsets) + directory
+
+    def to_bits(self) -> list[int]:
+        """Decompress back to the original bit list (for testing)."""
+        out: list[int] = []
+        for block_index in range(self._block_count):
+            pattern = self._block_pattern(block_index)
+            width = min(self._block_bits, self._length - block_index * self._block_bits)
+            for position in range(width):
+                out.append((pattern >> (self._block_bits - 1 - position)) & 1)
+        return out

@@ -1,0 +1,253 @@
+"""Wavelet trees with access / rank / select over integer sequences.
+
+The wavelet tree stores a sequence ``S`` over alphabet Σ as one bitvector
+per tree node: each symbol is routed root-to-leaf along its codeword and
+contributes one bit per visited node. With a balanced (fixed-width) shape
+queries cost ``O(lg δ)``; with a Huffman shape the *expected* cost and the
+total size drop to ``H0 + 1`` bits per symbol — this is the
+"Huffman-shaped WaveletTree" of [19] that the paper's XBW-b prototype
+uses for the label string ``S_α`` (Lemma 3).
+
+Node bitvectors default to the plain :class:`~repro.succinct.bitvector.BitVector`;
+pass ``bitvector_factory=RRRBitVector`` for compressed nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.huffman import Codeword, HuffmanCode
+from repro.utils.bits import bits_for
+
+
+class _Node:
+    __slots__ = ("bitvector", "zero_child", "one_child", "symbol")
+
+    def __init__(self):
+        self.bitvector = None
+        self.zero_child: Optional[_Node] = None
+        self.one_child: Optional[_Node] = None
+        self.symbol = None  # set on leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.symbol is not None
+
+
+def _balanced_codewords(symbols: Sequence) -> Dict[object, Codeword]:
+    ordered = sorted(set(symbols))
+    width = max(1, bits_for(len(ordered)))
+    return {symbol: Codeword(index, width) for index, symbol in enumerate(ordered)}
+
+
+class WaveletTree:
+    """Static wavelet tree.
+
+    Parameters
+    ----------
+    sequence:
+        The symbols to index (any hashable, mutually sortable values;
+        this library always uses small ints — next-hop labels).
+    shape:
+        ``"huffman"`` (default) or ``"balanced"``.
+    bitvector_factory:
+        Constructor called with an iterable of bits for every node;
+        defaults to the plain rank/select :class:`BitVector`.
+    """
+
+    def __init__(
+        self,
+        sequence: Iterable,
+        shape: str = "huffman",
+        bitvector_factory: Callable = BitVector,
+    ):
+        self._sequence_length = 0
+        symbols = list(sequence)
+        self._sequence_length = len(symbols)
+        self._shape = shape
+        self._factory = bitvector_factory
+        if not symbols:
+            self._root = None
+            self._codewords: Dict[object, Codeword] = {}
+            return
+        if shape == "huffman":
+            frequencies: Dict[object, int] = {}
+            for symbol in symbols:
+                frequencies[symbol] = frequencies.get(symbol, 0) + 1
+            if len(frequencies) == 1:
+                only = next(iter(frequencies))
+                self._codewords = {only: Codeword(0, 0)}
+            else:
+                self._codewords = {
+                    s: HuffmanCode(frequencies).codeword(s) for s in frequencies
+                }
+        elif shape == "balanced":
+            self._codewords = _balanced_codewords(symbols)
+            if len(self._codewords) == 1:
+                only = next(iter(self._codewords))
+                self._codewords = {only: Codeword(0, 0)}
+        else:
+            raise ValueError(f"unknown wavelet shape {shape!r}")
+        self._root = self._build(symbols, depth=0)
+
+    def _build(self, symbols: list, depth: int) -> _Node:
+        node = _Node()
+        first_code = self._codewords[symbols[0]]
+        if first_code.length == depth:
+            # All symbols routed here completed their codeword: leaf.
+            node.symbol = symbols[0]
+            return node
+        bits = []
+        zeros: list = []
+        ones: list = []
+        for symbol in symbols:
+            code = self._codewords[symbol]
+            bit = (code.bits >> (code.length - 1 - depth)) & 1
+            bits.append(bit)
+            (ones if bit else zeros).append(symbol)
+        node.bitvector = self._factory(bits)
+        if zeros:
+            node.zero_child = self._build(zeros, depth + 1)
+        if ones:
+            node.one_child = self._build(ones, depth + 1)
+        return node
+
+    # ------------------------------------------------------------ trace model
+
+    def _node_base(self, node: _Node) -> int:
+        """Byte offset of a node's bitvector in the serialized layout
+        (preorder, computed lazily and cached)."""
+        bases = getattr(self, "_bases", None)
+        if bases is None:
+            bases = {}
+            cursor = 0
+            stack = [self._root] if self._root else []
+            while stack:
+                current = stack.pop()
+                bases[id(current)] = cursor
+                if current.bitvector is not None:
+                    cursor += (current.bitvector.size_in_bits() + 7) // 8
+                if current.one_child:
+                    stack.append(current.one_child)
+                if current.zero_child:
+                    stack.append(current.zero_child)
+            self._bases = bases
+        return bases[id(node)]
+
+    def trace_access(self, index: int) -> tuple[object, list[int]]:
+        """Symbol at ``index`` plus the byte addresses the walk touches."""
+        if index < 0 or index >= self._sequence_length:
+            raise IndexError(f"index {index} outside sequence of {self._sequence_length}")
+        addresses: list[int] = []
+        node = self._root
+        while not node.is_leaf:
+            base = self._node_base(node)
+            if hasattr(node.bitvector, "trace_access"):
+                addresses.extend(base + a for a in node.bitvector.trace_access(index))
+            bit = node.bitvector.access(index)
+            if bit:
+                index = node.bitvector.rank1(index)
+                node = node.one_child
+            else:
+                index = node.bitvector.rank0(index)
+                node = node.zero_child
+        return node.symbol, addresses
+
+    # ------------------------------------------------------------------- api
+
+    def __len__(self) -> int:
+        return self._sequence_length
+
+    def __repr__(self) -> str:
+        return (
+            f"WaveletTree(length={self._sequence_length}, "
+            f"alphabet={len(self._codewords)}, shape={self._shape!r})"
+        )
+
+    @property
+    def alphabet(self) -> list:
+        return sorted(self._codewords)
+
+    def access(self, index: int):
+        """Symbol at 0-based ``index``."""
+        if index < 0 or index >= self._sequence_length:
+            raise IndexError(f"index {index} outside sequence of {self._sequence_length}")
+        node = self._root
+        while not node.is_leaf:
+            bit = node.bitvector.access(index)
+            if bit:
+                index = node.bitvector.rank1(index)
+                node = node.one_child
+            else:
+                index = node.bitvector.rank0(index)
+                node = node.zero_child
+        return node.symbol
+
+    def rank(self, symbol, position: int) -> int:
+        """Occurrences of ``symbol`` in the half-open prefix ``[0, position)``."""
+        if position < 0 or position > self._sequence_length:
+            raise IndexError(
+                f"rank position {position} outside [0, {self._sequence_length}]"
+            )
+        code = self._codewords.get(symbol)
+        if code is None:
+            return 0
+        node = self._root
+        for depth in range(code.length):
+            if node is None or node.is_leaf:
+                return 0
+            bit = (code.bits >> (code.length - 1 - depth)) & 1
+            if bit:
+                position = node.bitvector.rank1(position)
+                node = node.one_child
+            else:
+                position = node.bitvector.rank0(position)
+                node = node.zero_child
+        return position if node is not None else 0
+
+    def select(self, symbol, occurrence: int) -> int:
+        """0-based position of the ``occurrence``-th ``symbol`` (1-based count)."""
+        code = self._codewords.get(symbol)
+        if code is None:
+            raise KeyError(f"symbol {symbol!r} not in tree")
+        total = self.rank(symbol, self._sequence_length)
+        if occurrence < 1 or occurrence > total:
+            raise IndexError(f"select({symbol!r}, {occurrence}) outside [1, {total}]")
+        # Walk down recording the path, then walk back up with select.
+        path: list[tuple[_Node, int]] = []
+        node = self._root
+        for depth in range(code.length):
+            bit = (code.bits >> (code.length - 1 - depth)) & 1
+            path.append((node, bit))
+            node = node.one_child if bit else node.zero_child
+        position = occurrence - 1
+        for parent, bit in reversed(path):
+            if bit:
+                position = parent.bitvector.select1(position + 1)
+            else:
+                position = parent.bitvector.select0(position + 1)
+        return position
+
+    def to_list(self) -> list:
+        """Decompress the full sequence (testing helper)."""
+        return [self.access(i) for i in range(self._sequence_length)]
+
+    # ------------------------------------------------------------------- size
+
+    def size_in_bits(self) -> int:
+        """Total node-bitvector bits plus the serialized codebook."""
+        total = 0
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            if node.bitvector is not None:
+                total += node.bitvector.size_in_bits()
+            if node.zero_child:
+                stack.append(node.zero_child)
+            if node.one_child:
+                stack.append(node.one_child)
+        symbol_width = max(1, bits_for(len(self._codewords)))
+        length_width = 6  # codeword lengths < 64 in any realistic FIB
+        total += len(self._codewords) * (symbol_width + length_width)
+        return total

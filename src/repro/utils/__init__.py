@@ -1,0 +1,38 @@
+"""Shared low-level helpers: bit twiddling, Lambert W, seeded randomness."""
+
+from repro.utils.bits import (
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    address_bits,
+    bits_for,
+    format_prefix,
+    lg,
+    parse_prefix,
+    popcount,
+    prefix_bit,
+    prefix_contains,
+    prefix_of,
+    prefix_to_address,
+)
+from repro.utils.lambertw import lambert_w, lambert_w_floor_div_ln2
+from repro.utils.rng import DiscreteSampler, make_rng, derive_rng
+
+__all__ = [
+    "IPV4_WIDTH",
+    "IPV6_WIDTH",
+    "address_bits",
+    "bits_for",
+    "format_prefix",
+    "lg",
+    "parse_prefix",
+    "popcount",
+    "prefix_bit",
+    "prefix_contains",
+    "prefix_of",
+    "prefix_to_address",
+    "lambert_w",
+    "lambert_w_floor_div_ln2",
+    "DiscreteSampler",
+    "make_rng",
+    "derive_rng",
+]

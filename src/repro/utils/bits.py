@@ -1,0 +1,139 @@
+"""Bit-level helpers shared across the library.
+
+Addresses and prefixes are manipulated as plain Python integers: an
+IP address of width ``W`` is an integer in ``[0, 2**W)`` whose most
+significant bit is bit 0 of the *address string* (network byte order).
+A prefix is the pair ``(value, length)`` where ``value`` is the prefix
+bits left-aligned *within its own length*, i.e. the integer formed by
+the first ``length`` bits of any covered address.
+
+The paper's pseudo-code primitive ``bits(a, q, k)`` — "take ``k`` bits
+of address ``a`` starting at bit position ``q`` (MSB first)" — is
+:func:`address_bits`.
+"""
+
+from __future__ import annotations
+
+IPV4_WIDTH = 32
+IPV6_WIDTH = 128
+
+
+def lg(x: int) -> int:
+    """Return ``ceil(log2(x))``, the paper's ``lg x`` notation.
+
+    By convention ``lg 1 == 0`` and ``lg`` of anything smaller than 1 is
+    an error: the notation counts the bits needed to distinguish ``x``
+    alternatives.
+    """
+    if x < 1:
+        raise ValueError(f"lg is undefined for {x!r}")
+    return (x - 1).bit_length()
+
+
+def bits_for(count: int) -> int:
+    """Number of bits required to address ``count`` distinct items.
+
+    Like :func:`lg` but defined (as 0) for ``count in (0, 1)``, which is
+    convenient when sizing pointer fields for possibly-empty arrays.
+    """
+    if count <= 1:
+        return 0
+    return (count - 1).bit_length()
+
+
+def address_bits(address: int, start: int, count: int, width: int = IPV4_WIDTH) -> int:
+    """Extract ``count`` bits of ``address`` starting at MSB-position ``start``.
+
+    This is the paper's ``bits(a, q, k)`` primitive used by every lookup
+    routine: bit position 0 is the most significant bit of the ``width``
+    bit address.
+
+    >>> address_bits(0b1011 << 28, 0, 1)
+    1
+    >>> address_bits(0b1011 << 28, 1, 2)
+    1
+    """
+    if start < 0 or count < 0 or start + count > width:
+        raise ValueError(f"bit range [{start}, {start + count}) outside width {width}")
+    shift = width - start - count
+    return (address >> shift) & ((1 << count) - 1)
+
+
+def prefix_of(address: int, length: int, width: int = IPV4_WIDTH) -> int:
+    """Return the ``length``-bit prefix value covering ``address``."""
+    if length == 0:
+        return 0
+    return address >> (width - length)
+
+
+def prefix_to_address(value: int, length: int, width: int = IPV4_WIDTH) -> int:
+    """Left-align a prefix value into a full ``width``-bit address."""
+    if length < 0 or length > width:
+        raise ValueError(f"prefix length {length} outside [0, {width}]")
+    if value >> length:
+        raise ValueError(f"prefix value {value:#x} wider than its length {length}")
+    return value << (width - length)
+
+
+def prefix_bit(value: int, length: int, position: int) -> int:
+    """Bit at MSB-position ``position`` of a ``length``-bit prefix value."""
+    if position < 0 or position >= length:
+        raise ValueError(f"bit {position} outside prefix of length {length}")
+    return (value >> (length - 1 - position)) & 1
+
+
+def prefix_contains(value: int, length: int, other_value: int, other_length: int) -> bool:
+    """True if prefix (value, length) covers prefix (other_value, other_length)."""
+    if other_length < length:
+        return False
+    return (other_value >> (other_length - length)) == value
+
+
+def format_prefix(value: int, length: int, width: int = IPV4_WIDTH) -> str:
+    """Render a prefix in dotted-quad/CIDR form (IPv4) or hex form otherwise.
+
+    >>> format_prefix(0b1, 1)
+    '128.0.0.0/1'
+    """
+    address = prefix_to_address(value, length, width)
+    if width == IPV4_WIDTH:
+        octets = [(address >> (24 - 8 * i)) & 0xFF for i in range(4)]
+        return "{}.{}.{}.{}/{}".format(*octets, length)
+    return f"{address:#0{2 + width // 4}x}/{length}"
+
+
+def parse_prefix(text: str, width: int = IPV4_WIDTH) -> tuple[int, int]:
+    """Parse ``a.b.c.d/len`` (IPv4) or ``0x..../len`` into (value, length)."""
+    body, _, len_text = text.strip().partition("/")
+    length = int(len_text) if len_text else width
+    if length < 0 or length > width:
+        raise ValueError(f"prefix length {length} outside [0, {width}] in {text!r}")
+    if body.startswith("0x") or body.startswith("0X"):
+        address = int(body, 16)
+    else:
+        parts = body.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address {body!r}")
+        address = 0
+        for part in parts:
+            octet = int(part)
+            if octet < 0 or octet > 255:
+                raise ValueError(f"octet {octet} out of range in {text!r}")
+            address = (address << 8) | octet
+    if address >> width:
+        raise ValueError(f"address {body!r} wider than {width} bits")
+    return prefix_of(address, length, width), length
+
+
+def popcount(x: int) -> int:
+    """Population count of a non-negative integer."""
+    return x.bit_count()
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the lowest ``width`` bits of ``value``."""
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out

@@ -1,0 +1,68 @@
+"""Principal branch of the Lambert W-function.
+
+The leaf-push barrier formulas (2) and (3) of the paper set
+
+    lambda = floor( W(n ln delta) / ln 2 )        (info-theoretic form)
+    lambda = floor( W(n H0 ln 2) / ln 2 )         (entropy form)
+
+where ``W`` is the product logarithm, defined by ``z = W(z) * e**W(z)``.
+We implement the principal branch for ``z >= 0`` ourselves (Halley's
+iteration) so the core library has no SciPy dependency; the test suite
+cross-checks against :func:`scipy.special.lambertw`.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MAX_ITERATIONS = 64
+_TOLERANCE = 1e-14
+
+
+def lambert_w(z: float) -> float:
+    """Principal branch ``W0(z)`` for ``z >= 0``.
+
+    Solves ``w * exp(w) == z`` via Halley's method with a standard
+    two-regime initial guess (series near 0, ``log(z) - log(log(z))``
+    asymptotic for large ``z``).
+
+    >>> round(lambert_w(0.0), 12)
+    0.0
+    >>> round(lambert_w(math.e), 12)
+    1.0
+    """
+    if math.isnan(z):
+        raise ValueError("lambert_w of NaN")
+    if z < 0:
+        raise ValueError(f"lambert_w implemented for z >= 0 only, got {z}")
+    if z == 0.0:
+        return 0.0
+    if z == math.inf:
+        return math.inf
+
+    if z < math.e:
+        # Series seed around the origin: W(z) ~ z - z^2 + 3/2 z^3 ...
+        w = z * (1.0 - z + 1.5 * z * z) if z < 0.5 else math.log1p(z) * 0.7
+    else:
+        log_z = math.log(z)
+        w = log_z - math.log(log_z) if log_z > 1.0 else log_z
+
+    for _ in range(_MAX_ITERATIONS):
+        exp_w = math.exp(w)
+        numerator = w * exp_w - z
+        # Halley step: robust near w = 0 and converges cubically.
+        denominator = exp_w * (w + 1.0) - (w + 2.0) * numerator / (2.0 * w + 2.0)
+        if denominator == 0.0:
+            break
+        step = numerator / denominator
+        w -= step
+        if abs(step) <= _TOLERANCE * (1.0 + abs(w)):
+            break
+    return w
+
+
+def lambert_w_floor_div_ln2(z: float) -> int:
+    """Return ``floor(W(z) / ln 2)``, the form both barrier equations use."""
+    if z <= 0:
+        return 0
+    return int(math.floor(lambert_w(z) / math.log(2.0)))

@@ -1,0 +1,92 @@
+"""Deterministic random-source helpers.
+
+Every stochastic component of the library (dataset generators, update
+feeds, traces) accepts either an integer seed or a ready
+:class:`random.Random`; this module centralizes the coercion so that
+experiments are reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Union
+
+Seedable = Union[int, random.Random, None]
+
+
+def make_rng(seed: Seedable = None) -> random.Random:
+    """Coerce ``seed`` into a :class:`random.Random` instance.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` seeds a
+    new generator; an existing generator is passed through unchanged (so
+    callers can share one stream across stages).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive_rng(rng: random.Random, label: str) -> random.Random:
+    """Fork a child generator keyed by ``label``.
+
+    Used when one seeded experiment needs several independent streams
+    (e.g. prefix shapes vs. next-hop labels) whose draws must not
+    interleave-depend on each other.
+    """
+    # String seeds are hashed with SHA-512 by random.seed (version 2),
+    # which is stable across processes (unlike built-in hash()).
+    return random.Random(f"{rng.getrandbits(64)}:{label}")
+
+
+class DiscreteSampler:
+    """Sample from a fixed discrete distribution by inverse CDF.
+
+    Probabilities need not be normalized. Sampling is O(log k) per draw
+    via :func:`bisect.bisect` on the cumulative weights.
+    """
+
+    def __init__(self, weights: Sequence[float], values: Optional[Sequence] = None):
+        if not weights:
+            raise ValueError("empty weight vector")
+        if any(w < 0 for w in weights):
+            raise ValueError("negative weight")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights sum to zero")
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+        self._values = list(values) if values is not None else list(range(len(weights)))
+        if len(self._values) != len(weights):
+            raise ValueError("values and weights length mismatch")
+
+    @property
+    def probabilities(self) -> list[float]:
+        """Normalized probability of each value, in order."""
+        probs = []
+        prev = 0.0
+        for c in self._cumulative:
+            probs.append(c - prev)
+            prev = c
+        return probs
+
+    @property
+    def values(self) -> list:
+        return list(self._values)
+
+    def sample(self, rng: random.Random):
+        """Draw one value."""
+        import bisect
+
+        u = rng.random()
+        index = bisect.bisect_left(self._cumulative, u)
+        if index >= len(self._values):
+            index = len(self._values) - 1
+        return self._values[index]
+
+    def sample_many(self, rng: random.Random, count: int) -> list:
+        """Draw ``count`` values."""
+        return [self.sample(rng) for _ in range(count)]

@@ -1,0 +1,168 @@
+"""Unit tests for the experiment assembly layer (tables, figures, bounds)."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    check_entropy_ordering,
+    check_theorem1,
+    check_theorem2,
+    check_xbw_entropy_bound,
+)
+from repro.analysis.fig5 import measure_update_point, render_fig5, sweep_barriers
+from repro.analysis.fig67 import (
+    measure_fig6_point,
+    measure_fig7_point,
+    render_fig6,
+    render_fig7,
+    sweep_fig7,
+)
+from repro.analysis.report import banner, format_cell, render_series, render_table
+from repro.analysis.table1 import measure_fib, render_table1, sanity_check_row
+from repro.analysis.table2 import Table2Inputs, build_table2, render_table2
+from repro.core.entropy import fib_entropy
+from repro.core.stringmodel import FoldedString, theorem1_barrier
+from repro.core.xbw import XBWb
+from repro.datasets.synthetic import bernoulli_string
+from repro.datasets.traces import uniform_trace
+from repro.datasets.updates import random_update_sequence
+
+
+class TestReportRendering:
+    def test_format_cell(self):
+        assert format_cell(3) == "3"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(31.4159) == "31.4"
+        assert format_cell(31415.9) == "31,416"
+        assert format_cell(0.0) == "0"
+        assert format_cell("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [33, 444]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_series(self):
+        text = render_series("title", "x", {"y": [1.0, 2.0]}, [10, 20])
+        assert "title" in text and "10" in text
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+
+class TestTable1:
+    def test_measure_paper_fib(self, paper_fib):
+        row = measure_fib(paper_fib, name="example", barrier=2)
+        assert row.entries == 6
+        assert row.next_hops == 3
+        assert row.entropy_kb <= row.info_bound_kb
+        assert row.eta_pdag > 0
+        assert sanity_check_row(row) == []
+
+    def test_render(self, paper_fib):
+        row = measure_fib(paper_fib, name="example", barrier=2)
+        text = render_table1([row])
+        assert "example" in text and "eta_pDAG" in text
+
+    def test_prebuilt_structures_reused(self, paper_fib):
+        from repro.core.prefixdag import PrefixDag
+
+        xbw = XBWb.from_fib(paper_fib)
+        dag = PrefixDag(paper_fib, barrier=2)
+        row = measure_fib(paper_fib, xbw=xbw, dag=dag)
+        assert row.pdag_kb == pytest.approx(dag.size_in_kbytes())
+
+
+class TestTable2:
+    def test_build_and_render(self, medium_fib):
+        inputs = Table2Inputs.build(medium_fib, barrier=8)
+        streams = {"rand": uniform_trace(400, seed=1)}
+        rows = build_table2(inputs, streams, xbw_sample=100)
+        names = [row.name for row in rows]
+        assert names == ["XBW-b", "pDAG", "fib_trie", "FPGA"]
+        text = render_table2(rows)
+        assert "fib_trie" in text
+
+    def test_engines_agree_with_reference(self, medium_fib, rng):
+        inputs = Table2Inputs.build(medium_fib, barrier=8)
+        for _ in range(150):
+            address = rng.getrandbits(32)
+            want = inputs.reference.lookup(address)
+            assert inputs.image.lookup(address) == want
+            assert inputs.lctrie.lookup(address) == want
+            assert inputs.xbw.lookup(address) == want
+
+
+class TestFig5:
+    def test_single_point(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 60, seed=2)
+        point = measure_update_point(medium_fib, 8, ops, "random")
+        assert point.updates_applied == 60
+        assert point.size_kb > 0
+        assert point.microseconds_per_update > 0
+
+    def test_sweep_and_render(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 30, seed=3)
+        points = sweep_barriers(medium_fib, {"random": ops}, barriers=[0, 8, 32])
+        assert len(points) == 3
+        assert "lambda" in render_fig5(points)
+
+    def test_memory_monotone_in_barrier(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 10, seed=4)
+        points = sweep_barriers(medium_fib, {"random": ops}, barriers=[0, 32])
+        assert points[0].size_kb < points[1].size_kb
+
+
+class TestFig67:
+    def test_fig6_point(self, medium_fib):
+        point = measure_fig6_point(medium_fib, 0.2, barrier=8)
+        assert 0 < point.h0 <= 1.0
+        assert point.pdag_kb > 0
+        assert point.efficiency > 0
+
+    def test_fig6_render(self, medium_fib):
+        points = [measure_fig6_point(medium_fib, p, barrier=8, include_xbw=False)
+                  for p in (0.1, 0.5)]
+        assert "nu" in render_fig6(points)
+        assert points[0].h0 < points[1].h0
+
+    def test_fig7_sweep(self):
+        points = sweep_fig7(length=1 << 10, grid=(0.05, 0.5))
+        assert len(points) == 2
+        assert points[0].h0 < points[1].h0
+        assert "lambda" in render_fig7(points)
+
+    def test_fig7_efficiency_regime(self):
+        # The paper's nu hovers around 3 at moderate entropy.
+        point = measure_fig7_point(1 << 14, 0.5, seed=1)
+        assert 1.5 <= point.efficiency <= 6.0
+
+
+class TestBounds:
+    def test_entropy_ordering(self, medium_fib):
+        check = check_entropy_ordering(fib_entropy(medium_fib))
+        assert check.holds
+        assert check.slack >= 1.0
+
+    def test_xbw_bound(self, medium_fib):
+        report = fib_entropy(medium_fib)
+        check = check_xbw_entropy_bound(XBWb.from_fib(medium_fib), report)
+        assert check.holds, str(check)
+
+    def test_theorem1_on_string(self):
+        symbols = bernoulli_string(1 << 14, 0.5, seed=2)
+        barrier = theorem1_barrier(len(symbols), 2, 14)
+        folded = FoldedString(symbols, barrier=barrier)
+        check = check_theorem1(folded.report())
+        assert check.holds, str(check)
+
+    def test_theorem2_on_string(self):
+        for p in (0.05, 0.2, 0.5):
+            symbols = bernoulli_string(1 << 14, p, seed=3)
+            folded = FoldedString(symbols)  # eq (3) barrier
+            check = check_theorem2(folded.report())
+            assert check.holds, str(check)
+
+    def test_bound_check_str(self, medium_fib):
+        check = check_entropy_ordering(fib_entropy(medium_fib))
+        assert "OK" in str(check)

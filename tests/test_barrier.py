@@ -1,0 +1,76 @@
+"""Unit tests for leaf-push barrier selection (equations (2) and (3))."""
+
+import math
+
+import pytest
+
+from repro.core.barrier import (
+    barrier_sweep,
+    entropy_barrier,
+    info_theoretic_barrier,
+    update_bound_nodes,
+)
+
+
+class TestEquation2:
+    def test_degenerate_inputs(self):
+        assert info_theoretic_barrier(0, 4) == 0
+        assert info_theoretic_barrier(100, 1) == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            info_theoretic_barrier(-1, 2)
+        with pytest.raises(ValueError):
+            info_theoretic_barrier(10, 0)
+
+    def test_realistic_fib(self):
+        # 440K prefixes, 4 next-hops: the paper operates at lambda ~ 11.
+        barrier = info_theoretic_barrier(440_000, 4)
+        assert 10 <= barrier <= 15
+
+    def test_clamped_to_width(self):
+        assert info_theoretic_barrier(2**40, 256, width=32) == 32
+
+    def test_monotone_in_n(self):
+        barriers = [info_theoretic_barrier(n, 4) for n in (100, 10_000, 1_000_000)]
+        assert barriers == sorted(barriers)
+
+
+class TestEquation3:
+    def test_degenerate_inputs(self):
+        assert entropy_barrier(0, 1.0) == 0
+        assert entropy_barrier(100, 0.0) == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            entropy_barrier(-1, 1.0)
+        with pytest.raises(ValueError):
+            entropy_barrier(10, -0.5)
+
+    def test_realistic_fib(self):
+        barrier = entropy_barrier(440_000, 1.0)
+        assert 10 <= barrier <= 14
+
+    def test_reduces_to_eq2_at_max_entropy(self):
+        # Footnote 2: (3) transforms into (2) at H0 = lg delta.
+        for n in (10_000, 500_000):
+            for delta in (2, 4, 16):
+                assert entropy_barrier(n, math.log2(delta)) == info_theoretic_barrier(
+                    n, delta
+                )
+
+    def test_lower_entropy_lower_barrier(self):
+        high = entropy_barrier(500_000, 4.0)
+        low = entropy_barrier(500_000, 0.1)
+        assert low <= high
+
+
+class TestHelpers:
+    def test_sweep(self):
+        assert list(barrier_sweep(width=4)) == [0, 1, 2, 3, 4]
+        assert list(barrier_sweep(width=8, step=4)) == [0, 4, 8]
+
+    def test_update_bound(self):
+        assert update_bound_nodes(32, 32) == 33
+        assert update_bound_nodes(32, 11) == 32 + (1 << 21)
+        assert update_bound_nodes(32, 0) == 32 + 2**32

@@ -1,0 +1,103 @@
+"""Unit tests for the packed bit buffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.succinct.bitbuffer import BitBuffer
+
+
+class TestAppendGet:
+    def test_empty(self):
+        buf = BitBuffer()
+        assert len(buf) == 0
+        assert buf.size_in_bits() == 0
+        assert buf.size_in_bytes() == 0
+
+    def test_single_bits(self):
+        buf = BitBuffer([1, 0, 1, 1])
+        assert [buf.get_bit(i) for i in range(4)] == [1, 0, 1, 1]
+
+    def test_truthy_bits(self):
+        buf = BitBuffer()
+        buf.append_bit(7)
+        buf.append_bit(0)
+        assert buf.get_bit(0) == 1
+        assert buf.get_bit(1) == 0
+
+    def test_get_bit_bounds(self):
+        buf = BitBuffer([1])
+        with pytest.raises(IndexError):
+            buf.get_bit(1)
+        with pytest.raises(IndexError):
+            buf.get_bit(-1)
+
+    def test_int_field_msb_first(self):
+        buf = BitBuffer()
+        buf.append_int(0b101, 3)
+        assert [buf.get_bit(i) for i in range(3)] == [1, 0, 1]
+        assert buf.get_int(0, 3) == 0b101
+
+    def test_int_field_across_words(self):
+        buf = BitBuffer()
+        buf.append_int(0, 60)
+        buf.append_int(0xABCD, 16)
+        assert buf.get_int(60, 16) == 0xABCD
+
+    def test_append_int_rejects_overflow(self):
+        buf = BitBuffer()
+        with pytest.raises(ValueError):
+            buf.append_int(4, 2)
+
+    def test_zero_width_field(self):
+        buf = BitBuffer()
+        buf.append_int(0, 0)
+        assert len(buf) == 0
+
+    def test_get_int_bounds(self):
+        buf = BitBuffer([1, 0])
+        with pytest.raises(IndexError):
+            buf.get_int(1, 2)
+
+    def test_iteration(self):
+        bits = [1, 0, 0, 1, 1]
+        assert list(BitBuffer(bits)) == bits
+
+    def test_equality(self):
+        assert BitBuffer([1, 0]) == BitBuffer([1, 0])
+        assert BitBuffer([1, 0]) != BitBuffer([1, 1])
+
+    @given(st.lists(st.integers(0, 1), max_size=300))
+    def test_roundtrip_bits(self, bits):
+        buf = BitBuffer(bits)
+        assert list(buf) == bits
+
+    @given(st.lists(st.tuples(st.integers(1, 40), st.data()), max_size=20))
+    def test_roundtrip_fields(self, specs):
+        fields = []
+        buf = BitBuffer()
+        for width, data in specs:
+            value = data.draw(st.integers(0, (1 << width) - 1))
+            fields.append((value, width))
+            buf.append_int(value, width)
+        position = 0
+        for value, width in fields:
+            assert buf.get_int(position, width) == value
+            position += width
+
+
+class TestBytes:
+    def test_bytes_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        buf = BitBuffer(bits)
+        rebuilt = BitBuffer.from_bytes(buf.to_bytes(), len(bits))
+        assert list(rebuilt) == bits
+
+    def test_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            BitBuffer.from_bytes(b"\x00", 9)
+
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    def test_bytes_roundtrip_random(self, bits):
+        buf = BitBuffer(bits)
+        assert list(BitBuffer.from_bytes(buf.to_bytes(), len(bits))) == bits

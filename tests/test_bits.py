@@ -1,0 +1,174 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    address_bits,
+    bits_for,
+    format_prefix,
+    lg,
+    parse_prefix,
+    popcount,
+    prefix_bit,
+    prefix_contains,
+    prefix_of,
+    prefix_to_address,
+    reverse_bits,
+)
+
+
+class TestLg:
+    def test_lg_one_is_zero(self):
+        assert lg(1) == 0
+
+    def test_lg_powers_of_two(self):
+        assert lg(2) == 1
+        assert lg(4) == 2
+        assert lg(1024) == 10
+
+    def test_lg_rounds_up(self):
+        assert lg(3) == 2
+        assert lg(5) == 3
+        assert lg(1025) == 11
+
+    def test_lg_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lg(0)
+        with pytest.raises(ValueError):
+            lg(-3)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_lg_is_ceil_log2(self, x):
+        assert (1 << lg(x)) >= x
+        if x > 1:
+            assert (1 << (lg(x) - 1)) < x
+
+
+class TestBitsFor:
+    def test_degenerate_counts(self):
+        assert bits_for(0) == 0
+        assert bits_for(1) == 0
+
+    def test_small_counts(self):
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(256) == 8
+        assert bits_for(257) == 9
+
+
+class TestAddressBits:
+    def test_msb_first(self):
+        address = 0b1011 << 28
+        assert address_bits(address, 0, 1) == 1
+        assert address_bits(address, 1, 1) == 0
+        assert address_bits(address, 2, 1) == 1
+        assert address_bits(address, 3, 1) == 1
+
+    def test_multi_bit_extract(self):
+        address = 0xDEADBEEF
+        assert address_bits(address, 0, 8) == 0xDE
+        assert address_bits(address, 8, 8) == 0xAD
+        assert address_bits(address, 24, 8) == 0xEF
+
+    def test_full_width(self):
+        assert address_bits(0x12345678, 0, 32) == 0x12345678
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            address_bits(0, 30, 4)
+        with pytest.raises(ValueError):
+            address_bits(0, -1, 1)
+
+    def test_custom_width(self):
+        assert address_bits(0b101, 0, 1, width=3) == 1
+        assert address_bits(0b101, 2, 1, width=3) == 1
+
+
+class TestPrefixOps:
+    def test_prefix_of(self):
+        assert prefix_of(0xFF000000, 8) == 0xFF
+        assert prefix_of(0xFF000000, 0) == 0
+
+    def test_prefix_roundtrip(self):
+        assert prefix_to_address(0xFF, 8) == 0xFF000000
+        assert prefix_to_address(0, 0) == 0
+
+    def test_prefix_to_address_rejects_wide_value(self):
+        with pytest.raises(ValueError):
+            prefix_to_address(0b11, 1)
+
+    def test_prefix_to_address_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_to_address(0, 33)
+
+    def test_prefix_bit(self):
+        assert prefix_bit(0b101, 3, 0) == 1
+        assert prefix_bit(0b101, 3, 1) == 0
+        assert prefix_bit(0b101, 3, 2) == 1
+
+    def test_prefix_bit_range_check(self):
+        with pytest.raises(ValueError):
+            prefix_bit(0b101, 3, 3)
+
+    def test_prefix_contains_basic(self):
+        # 10/2 contains 101/3 but not vice versa.
+        assert prefix_contains(0b10, 2, 0b101, 3)
+        assert not prefix_contains(0b101, 3, 0b10, 2)
+
+    def test_prefix_contains_self(self):
+        assert prefix_contains(0b10, 2, 0b10, 2)
+
+    def test_prefix_contains_root(self):
+        assert prefix_contains(0, 0, 0b1011, 4)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 32), st.integers(0, 32))
+    def test_contains_matches_address_semantics(self, address, len_a, len_b):
+        a = prefix_of(address, len_a)
+        b = prefix_of(address, len_b)
+        if len_a <= len_b:
+            assert prefix_contains(a, len_a, b, len_b)
+
+
+class TestFormatParse:
+    def test_format_ipv4(self):
+        assert format_prefix(0b1, 1) == "128.0.0.0/1"
+        assert format_prefix(0, 0) == "0.0.0.0/0"
+        assert format_prefix(0xC0A80101, 32) == "192.168.1.1/32"
+
+    def test_parse_ipv4(self):
+        assert parse_prefix("128.0.0.0/1") == (0b1, 1)
+        assert parse_prefix("0.0.0.0/0") == (0, 0)
+        assert parse_prefix("192.168.1.1") == (0xC0A80101, 32)
+
+    def test_parse_hex(self):
+        assert parse_prefix("0x80000000/1") == (1, 1)
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            parse_prefix("300.0.0.0/8")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/40")
+
+    @given(st.integers(0, 32).flatmap(lambda l: st.tuples(st.integers(0, max(0, 2**l - 1)), st.just(l))))
+    def test_format_parse_roundtrip(self, pair):
+        value, length = pair
+        assert parse_prefix(format_prefix(value, length)) == (value, length)
+
+
+class TestMisc:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_reverse_bits(self):
+        assert reverse_bits(0b100, 3) == 0b001
+        assert reverse_bits(0b110, 3) == 0b011
+        assert reverse_bits(0, 8) == 0
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_reverse_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value

@@ -1,0 +1,130 @@
+"""Stateful property testing of the prefix DAG against a model FIB.
+
+Hypothesis drives arbitrary interleavings of announce/withdraw/lookup
+against a :class:`PrefixDag` while mirroring them into a plain dict
+model; after every step the DAG must forward exactly like the model and
+keep its internal reference counts consistent. This is the strongest
+correctness check in the suite — it explores update interleavings that
+the unit tests cannot enumerate.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.core.trie import BinaryTrie
+
+MAX_LENGTH = 10
+WIDTH = 32
+
+prefix_strategy = st.integers(0, MAX_LENGTH).flatmap(
+    lambda length: st.tuples(
+        st.integers(0, max(0, (1 << length) - 1)), st.just(length)
+    )
+)
+
+
+class DagModelMachine(RuleBasedStateMachine):
+    @initialize(barrier=st.integers(0, 12), seed=st.integers(0, 2**16))
+    def setup(self, barrier, seed):
+        self.barrier = barrier
+        self.model: dict[tuple[int, int], int] = {}
+        rng = random.Random(seed)
+        fib = Fib(WIDTH)
+        for _ in range(rng.randint(0, 15)):
+            length = rng.randint(0, MAX_LENGTH)
+            value = rng.getrandbits(length) if length else 0
+            label = rng.randint(1, 4)
+            fib.add(value, length, label)
+            self.model[(value, length)] = label
+        self.dag = PrefixDag(fib, barrier=barrier)
+        self.steps = 0
+
+    @rule(prefix=prefix_strategy, label=st.integers(1, 4))
+    def announce(self, prefix, label):
+        value, length = prefix
+        self.dag.update(value, length, label)
+        self.model[(value, length)] = label
+        self.steps += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def withdraw(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        value, length = key
+        self.dag.update(value, length, None)
+        del self.model[key]
+        self.steps += 1
+
+    @rule(prefix=prefix_strategy)
+    def withdraw_missing_raises(self, prefix):
+        value, length = prefix
+        if (value, length) in self.model:
+            return
+        try:
+            self.dag.update(value, length, None)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("withdrawing a missing route must raise")
+
+    def _model_lookup(self, address):
+        best_length = -1
+        best_label = None
+        for (value, length), label in self.model.items():
+            matches = length == 0 or (address >> (WIDTH - length)) == value
+            if matches and length > best_length:
+                best_length = length
+                best_label = label
+        return best_label
+
+    @invariant()
+    def forwarding_matches_model(self):
+        if not hasattr(self, "dag"):
+            return
+        rng = random.Random(self.steps * 7919 + 13)
+        for _ in range(20):
+            address = rng.getrandbits(WIDTH)
+            assert self.dag.lookup(address) == self._model_lookup(address)
+
+    @invariant()
+    def refcounts_consistent(self):
+        if not hasattr(self, "dag"):
+            return
+        self.dag.check_integrity()
+
+    @invariant()
+    def canonical_against_rebuild(self):
+        if not hasattr(self, "dag") or self.steps % 5:
+            return  # expensive: check every fifth step
+        fresh = PrefixDag(self.dag.control_trie, barrier=self.barrier)
+        assert fresh.folded_interior_count() == self.dag.folded_interior_count()
+
+
+DagModelMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestDagModel = DagModelMachine.TestCase
+
+
+def test_model_lookup_helper_agrees_with_trie():
+    """The machine's brute-force model must itself be right."""
+    rng = random.Random(5)
+    machine = DagModelMachine()
+    machine.setup(barrier=4, seed=11)
+    trie = BinaryTrie(WIDTH)
+    for (value, length), label in machine.model.items():
+        trie.insert(value, length, label)
+    for _ in range(300):
+        address = rng.getrandbits(WIDTH)
+        assert machine._model_lookup(address) == trie.lookup(address)

@@ -1,0 +1,167 @@
+"""Unit, property, and stateful tests for prefix-DAG updates (§4.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import check_theorem3
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+def assert_dag_matches_control(dag, rng, samples=400):
+    """The DAG must forward exactly like its control trie, and its folded
+    structure must match a fresh fold of that control trie."""
+    control = dag.control_trie
+    assert_forwarding_equivalent(control.lookup, dag.lookup, rng, samples=samples)
+    fresh = PrefixDag(control, barrier=dag.barrier)
+    assert fresh.folded_interior_count() == dag.folded_interior_count()
+    assert fresh.folded_leaf_count() == dag.folded_leaf_count()
+    dag.check_integrity()
+
+
+class TestAboveBarrierUpdates:
+    def test_change_short_route(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=8)
+        dag.update(0b0, 1, 9)  # 0/1: 3 -> 9
+        assert dag.lookup(0b0000 << 28) == 3  # still covered by 00/2
+        assert dag.lookup(0b0101 << 28) == 2  # covered by 01/2
+        assert_dag_matches_control(dag, rng)
+
+    def test_default_route_change_is_cheap(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=8)
+        cost = dag.update(0, 0, 4)
+        assert not cost.refolded_subtrie
+        assert cost.nodes_folded == 0
+        assert dag.lookup(0b1111 << 28) == 4
+
+    def test_default_route_change_with_barrier_zero_refolds(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=0)
+        cost = dag.update(0, 0, 4)
+        assert cost.refolded_subtrie
+        assert dag.lookup(0b1111 << 28) == 4
+        dag.check_integrity()
+
+    def test_insert_new_short_route(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=8)
+        dag.update(0b11, 2, 5)
+        assert dag.lookup(0b1100 << 28) == 5
+        assert_dag_matches_control(dag, rng)
+
+    def test_withdraw_short_route(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=8)
+        dag.update(0b0, 1, None)
+        assert dag.lookup(0b0000 << 28) == 3  # 00/2 still present
+        assert_dag_matches_control(dag, rng)
+
+    def test_withdraw_missing_route_raises(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=8)
+        with pytest.raises(KeyError):
+            dag.update(0b111, 3, None)
+
+    def test_rejects_invalid_label(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=8)
+        with pytest.raises(ValueError):
+            dag.update(0, 1, 0)
+
+
+class TestBelowBarrierUpdates:
+    def test_long_route_insert(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=2)
+        cost = dag.update(0b00110011, 8, 7)
+        assert cost.refolded_subtrie
+        assert dag.lookup(0b00110011 << 24) == 7
+        assert_dag_matches_control(dag, rng)
+
+    def test_long_route_withdraw(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=2)
+        dag.update(0b00010011, 8, 7)
+        dag.update(0b00010011, 8, None)
+        assert dag.lookup(0b00010011 << 24) == 3  # back to 00/2
+        assert_dag_matches_control(dag, rng)
+
+    def test_update_at_barrier_depth(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=2)
+        dag.update(0b10, 2, 6)  # exactly at the barrier
+        assert dag.lookup(0b1000 << 28) == 6
+        assert_dag_matches_control(dag, rng)
+
+    def test_refold_reuses_shared_nodes(self, rng):
+        # Updating one sub-universe must not disturb the sharing of others.
+        fib = Fib()
+        for top in range(4):
+            for suffix in range(8):
+                fib.add((top << 6) | suffix, 8, 1 + suffix % 2)
+        dag = PrefixDag(fib, barrier=2)
+        before = dag.folded_interior_count()
+        dag.update((1 << 6) | 3, 8, 3)  # original label was 1 + 3 % 2 = 2
+        dag.update((1 << 6) | 3, 8, 2)  # revert to the original
+        assert dag.folded_interior_count() == before
+        assert_dag_matches_control(dag, rng)
+
+    def test_withdraw_whole_subtree(self, rng):
+        fib = Fib()
+        fib.add(0b1010101010, 10, 3)
+        dag = PrefixDag(fib, barrier=4)
+        dag.update(0b1010101010, 10, None)
+        assert dag.lookup(0b10101010 << 24) is None
+        assert dag.folded_interior_count() == 0
+        assert_dag_matches_control(dag, rng)
+
+    def test_theorem3_budget(self, medium_fib, rng):
+        dag = PrefixDag(medium_fib, barrier=11)
+        for _ in range(40):
+            length = rng.randint(11, 32)
+            prefix = rng.getrandbits(length)
+            cost = dag.update(prefix, length, rng.randint(1, 4))
+            check = check_theorem3(dag, cost)
+            assert check.holds, str(check)
+
+
+class TestUpdateSequences:
+    @given(st.integers(0, 2**31), st.integers(0, 13))
+    @settings(max_examples=25, deadline=None)
+    def test_random_update_sequences_stay_canonical(self, seed, barrier):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 30, 3, max_length=12)
+        dag = PrefixDag(fib, barrier=barrier)
+        for _ in range(60):
+            length = rng.randint(0, 12)
+            prefix = rng.getrandbits(length) if length else 0
+            if rng.random() < 0.3:
+                try:
+                    dag.update(prefix, length, None)
+                except KeyError:
+                    pass
+            else:
+                dag.update(prefix, length, rng.randint(1, 4))
+        assert_dag_matches_control(dag, random.Random(seed + 1), samples=200)
+
+    def test_withdraw_everything(self, rng):
+        fib = random_fib(rng, 40, 3, max_length=10)
+        dag = PrefixDag(fib, barrier=5)
+        for route in list(fib):
+            dag.update(route.prefix, route.length, None)
+        assert dag.folded_interior_count() == 0
+        for _ in range(100):
+            assert dag.lookup(rng.getrandbits(32)) is None
+        dag.check_integrity()
+
+    def test_rebuild_from_empty(self, paper_fib, rng):
+        dag = PrefixDag(Fib(), barrier=2)
+        for route in paper_fib:
+            dag.update(route.prefix, route.length, route.label)
+        trie = BinaryTrie.from_fib(paper_fib)
+        assert_forwarding_equivalent(trie.lookup, dag.lookup, rng)
+        dag.check_integrity()
+
+    def test_update_costs_reported(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=2)
+        cost = dag.update(0b0011001100, 10, 5)
+        assert cost.total_work > 0
+        assert cost.nodes_folded > 0

@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in module and package docstrings.
+
+The usage examples in docstrings are part of the public documentation;
+this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.utils.bits
+import repro.utils.lambertw
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.utils.bits, repro.utils.lambertw],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

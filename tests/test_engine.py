@@ -1,0 +1,100 @@
+"""Unit tests for the instrumented lookup engines and cost models."""
+
+import pytest
+
+from repro.baselines.lctrie import fib_trie
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import SerializedDag
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+from repro.datasets.traces import uniform_trace
+from repro.simulator.costmodel import FpgaCostReport, LookupCostReport
+from repro.simulator.engine import (
+    LookupEngine,
+    lctrie_engine,
+    serialized_dag_engine,
+    xbw_engine,
+)
+from repro.simulator.memory import MemoryHierarchy
+
+
+@pytest.fixture
+def image(medium_fib):
+    return SerializedDag(PrefixDag(medium_fib, barrier=8))
+
+
+class TestLookupEngine:
+    def test_run_report_fields(self, image):
+        engine = serialized_dag_engine(image)
+        trace = uniform_trace(300, seed=1)
+        report = engine.run(trace, MemoryHierarchy(), warmup=50)
+        assert report.lookups == 250
+        assert report.memory_cycles > 0
+        assert report.steps_per_lookup >= 1
+        assert report.cycles_per_lookup > 0
+        assert report.million_lookups_per_second > 0
+
+    def test_verify_against_reference(self, medium_fib, image):
+        engine = serialized_dag_engine(image)
+        reference = BinaryTrie.from_fib(medium_fib)
+        engine.verify_against(reference.lookup, uniform_trace(200, seed=2))
+
+    def test_verify_catches_mismatch(self, image):
+        engine = serialized_dag_engine(image)
+        with pytest.raises(AssertionError):
+            engine.verify_against(lambda address: -1, uniform_trace(10, seed=3))
+
+    def test_fpga_report(self, image):
+        engine = serialized_dag_engine(image)
+        report = engine.run_fpga(uniform_trace(200, seed=4))
+        assert report.lookups == 200
+        # 1 table access + a handful of node hops.
+        assert 1.5 <= report.cycles_per_lookup <= 40
+
+    def test_custom_engine(self):
+        engine = LookupEngine(lambda a: (1, [a % 1024]), step_cycles=2.0, name="toy")
+        report = engine.run([1, 2, 3, 4], MemoryHierarchy())
+        assert report.alu_cycles == 8.0
+
+
+class TestEngineOrdering:
+    """The paper's qualitative Table 2 claims, on a mid-sized FIB."""
+
+    def test_pdag_beats_lctrie(self, medium_fib, image):
+        trace = uniform_trace(1500, seed=5)
+        dag_report = serialized_dag_engine(image).run(trace, MemoryHierarchy(), warmup=300)
+        lct_report = lctrie_engine(fib_trie(medium_fib)).run(
+            trace, MemoryHierarchy(), warmup=300
+        )
+        assert dag_report.cycles_per_lookup < lct_report.cycles_per_lookup
+
+    def test_xbw_is_slowest(self, medium_fib, image):
+        trace = uniform_trace(400, seed=6)
+        xbw_report = xbw_engine(XBWb.from_fib(medium_fib)).run(
+            trace, MemoryHierarchy(), warmup=100
+        )
+        dag_report = serialized_dag_engine(image).run(trace, MemoryHierarchy(), warmup=100)
+        assert xbw_report.cycles_per_lookup > 10 * dag_report.cycles_per_lookup
+
+    def test_pdag_cache_resident(self, medium_fib, image):
+        trace = uniform_trace(2000, seed=7)
+        report = serialized_dag_engine(image).run(trace, MemoryHierarchy(), warmup=500)
+        assert report.cache_misses_per_packet < 0.2
+
+
+class TestCostReports:
+    def test_zero_lookup_report(self):
+        report = LookupCostReport(0, 0.0, 0.0, 0, 0)
+        assert report.cycles_per_lookup == 0.0
+        assert report.million_lookups_per_second == 0.0
+        assert report.cache_misses_per_packet == 0.0
+
+    def test_fpga_throughput_scales_with_clock(self):
+        report = FpgaCostReport(lookups=100, memory_accesses=500)
+        slow = report.million_lookups_per_second(50e6)
+        fast = report.million_lookups_per_second(1e9)
+        assert fast == pytest.approx(20 * slow)
+
+    def test_fpga_zero(self):
+        report = FpgaCostReport(0, 0)
+        assert report.cycles_per_lookup == 0.0

@@ -1,0 +1,131 @@
+"""Exhaustive equivalence on small address universes.
+
+With W = 8 the whole address space (256 addresses) can be checked
+address by address, for every barrier and against every representation —
+no sampling gaps. Hypothesis drives the FIB contents; the checks are
+total.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lctrie import LCTrie
+from repro.baselines.ortc import ortc_compress
+from repro.baselines.shapegraph import ShapeGraph
+from repro.core.fib import INVALID_LABEL, Fib
+from repro.core.multibit import MultibitDag
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import SerializedDag
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+
+WIDTH = 8
+
+entry_strategy = st.integers(0, WIDTH).flatmap(
+    lambda length: st.tuples(
+        st.integers(0, max(0, (1 << length) - 1)),
+        st.just(length),
+        st.integers(1, 4),
+    )
+)
+fib_strategy = st.lists(entry_strategy, min_size=0, max_size=24)
+
+
+def build_fib(entries) -> Fib:
+    fib = Fib(WIDTH)
+    for value, length, label in entries:
+        fib.add(value, length, label)
+    return fib
+
+
+def full_table(lookup) -> list:
+    return [lookup(address) for address in range(1 << WIDTH)]
+
+
+class TestExhaustive:
+    @given(fib_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_all_representations_agree_everywhere(self, entries):
+        fib = build_fib(entries)
+        reference = full_table(BinaryTrie.from_fib(fib).lookup)
+        assert full_table(XBWb.from_fib(fib).lookup) == reference
+        assert full_table(LCTrie(fib).lookup) == reference
+        assert full_table(ShapeGraph(fib).lookup) == reference
+        for barrier in (0, 3, WIDTH):
+            dag = PrefixDag(fib, barrier=barrier)
+            assert full_table(dag.lookup) == reference
+            assert full_table(SerializedDag(dag).lookup) == reference
+        for stride in (1, 2, 4):
+            assert full_table(MultibitDag(fib, stride=stride).lookup) == reference
+
+    @given(fib_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_ortc_exact_function(self, entries):
+        fib = build_fib(entries)
+        reference = full_table(BinaryTrie.from_fib(fib).lookup)
+        aggregated = ortc_compress(fib).to_trie()
+        got = [
+            None if label in (None, INVALID_LABEL) else label
+            for label in full_table(aggregated.lookup)
+        ]
+        assert got == reference
+
+    @given(fib_strategy, st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_update_sequence_exact(self, entries, seed):
+        fib = build_fib(entries)
+        dag = PrefixDag(fib, barrier=4)
+        control = BinaryTrie.from_fib(fib)
+        rng = random.Random(seed)
+        for _ in range(15):
+            length = rng.randint(0, WIDTH)
+            value = rng.getrandbits(length) if length else 0
+            if rng.random() < 0.3:
+                try:
+                    dag.update(value, length, None)
+                    control.delete(value, length)
+                except KeyError:
+                    pass
+            else:
+                label = rng.randint(1, 4)
+                dag.update(value, length, label)
+                control.insert(value, length, label)
+        assert full_table(dag.lookup) == full_table(control.lookup)
+        dag.check_integrity()
+
+
+class TestWideWidths:
+    """The same machinery at W = 64 (nothing in the library is
+    IPv4-specific; the paper's IPv6 remark)."""
+
+    def test_w64_pipeline(self):
+        rng = random.Random(9)
+        fib = Fib(width=64)
+        for _ in range(60):
+            length = rng.randint(0, 48)
+            value = rng.getrandbits(length) if length else 0
+            fib.add(value, length, rng.randint(1, 5))
+        reference = BinaryTrie.from_fib(fib)
+        dag = PrefixDag(fib, barrier=16)
+        xbw = XBWb.from_fib(fib)
+        image = SerializedDag(dag)
+        for _ in range(400):
+            address = rng.getrandbits(64)
+            want = reference.lookup(address)
+            assert dag.lookup(address) == want
+            assert xbw.lookup(address) == want
+            assert image.lookup(address) == want
+
+    def test_w16_multibit(self):
+        rng = random.Random(10)
+        fib = Fib(width=16)
+        for _ in range(40):
+            length = rng.randint(0, 16)
+            value = rng.getrandbits(length) if length else 0
+            fib.add(value, length, rng.randint(1, 3))
+        reference = full = [BinaryTrie.from_fib(fib).lookup(a) for a in range(1 << 16)]
+        dag = MultibitDag(fib, stride=4)
+        assert [dag.lookup(a) for a in range(1 << 16)] == reference

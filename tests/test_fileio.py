@@ -1,0 +1,68 @@
+"""Unit tests for the text interchange formats."""
+
+import pytest
+
+from repro.core.fib import Fib
+from repro.datasets.fileio import dump_fib, dump_updates, load_fib, load_updates
+from repro.datasets.updates import UpdateOp
+
+
+class TestFibFiles:
+    def test_roundtrip(self, paper_fib, tmp_path):
+        path = tmp_path / "paper.fib"
+        dump_fib(paper_fib, path)
+        assert load_fib(path) == paper_fib
+
+    def test_roundtrip_random(self, medium_fib, tmp_path):
+        path = tmp_path / "medium.fib"
+        dump_fib(medium_fib, path)
+        assert load_fib(path) == medium_fib
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "hand.fib"
+        path.write_text("# comment\n\n10.0.0.0/8 3  # trailing comment\n")
+        fib = load_fib(path)
+        assert fib.get(10, 8) == 3
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.fib"
+        path.write_text("10.0.0.0/8\n")
+        with pytest.raises(ValueError, match="bad.fib:1"):
+            load_fib(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fib"
+        path.write_text("")
+        assert len(load_fib(path)) == 0
+
+
+class TestUpdateFiles:
+    def test_roundtrip(self, tmp_path):
+        ops = [
+            UpdateOp(0b1010, 4, 3),
+            UpdateOp(0, 0, 1),
+            UpdateOp(0b11, 2, None),
+        ]
+        path = tmp_path / "feed.log"
+        dump_updates(ops, path)
+        assert load_updates(path) == ops
+
+    def test_malformed_op(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("X 10.0.0.0/8 1\n")
+        with pytest.raises(ValueError):
+            load_updates(path)
+
+    def test_announce_missing_label(self, tmp_path):
+        path = tmp_path / "bad2.log"
+        path.write_text("A 10.0.0.0/8\n")
+        with pytest.raises(ValueError):
+            load_updates(path)
+
+    def test_generated_feed_roundtrip(self, medium_fib, tmp_path):
+        from repro.datasets.updates import bgp_update_sequence
+
+        ops = bgp_update_sequence(medium_fib, 50, seed=1, withdraw_fraction=0.2)
+        path = tmp_path / "bgp.log"
+        dump_updates(ops, path)
+        assert load_updates(path) == ops

@@ -1,0 +1,56 @@
+"""Unit tests for the higher-order S_α entropy analysis."""
+
+import pytest
+
+from repro.analysis.highorder import (
+    label_string,
+    measure_high_order,
+    render_high_order,
+)
+from repro.datasets.profiles import build_profile_fib, profile
+
+
+class TestHighOrder:
+    def test_label_string_matches_fig2(self, paper_fib):
+        assert label_string(paper_fib) == [2, 3, 2, 2, 1]
+
+    def test_measure_fields(self, medium_fib):
+        report = measure_high_order(medium_fib, name="medium")
+        assert report.leaves > 0
+        assert report.h0 >= report.h1 - 1e9  # both defined
+        assert 0.0 <= report.h1
+        assert 0.0 <= report.h2
+
+    def test_headroom_range(self, medium_fib):
+        report = measure_high_order(medium_fib)
+        assert -0.1 <= report.order1_headroom <= 1.0
+        assert -0.1 <= report.order2_headroom <= 1.0
+
+    def test_realistic_fibs_show_context(self):
+        # BFS clusters same-level leaves, so even our IID-labeled
+        # stand-ins show H1 < H0 — the contextual dependency §3.2
+        # speculates about. (Real FIBs, whose next-hops correlate with
+        # topology, would show more.)
+        fib = build_profile_fib(profile("as6447"), scale=0.01)
+        report = measure_high_order(fib, name="as6447")
+        assert report.h1 < report.h0
+        assert report.order1_headroom > 0.05
+
+    def test_iid_labels_show_little_context(self):
+        fib = build_profile_fib(profile("taz"), scale=0.01)
+        report = measure_high_order(fib, name="taz")
+        assert report.h1 <= report.h0
+        assert report.order1_headroom < 0.2
+
+    def test_zero_entropy_fib(self):
+        from repro.core.fib import Fib
+
+        fib = Fib()
+        fib.add(0, 0, 1)
+        report = measure_high_order(fib)
+        assert report.h0 == 0.0
+        assert report.order1_headroom == 0.0
+
+    def test_render(self, medium_fib):
+        text = render_high_order([measure_high_order(medium_fib, name="m")])
+        assert "headroom" in text and "m" in text

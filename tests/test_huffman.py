@@ -1,0 +1,123 @@
+"""Unit and property tests for canonical Huffman coding."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import shannon_entropy
+from repro.succinct.huffman import HuffmanCode, huffman_encoded_size
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({})
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({1: 0})
+
+    def test_single_symbol_gets_one_bit(self):
+        code = HuffmanCode({5: 10})
+        assert code.length(5) == 1
+
+    def test_two_symbols(self):
+        code = HuffmanCode({1: 3, 2: 1})
+        assert code.length(1) == 1
+        assert code.length(2) == 1
+
+    def test_skewed_weights_get_skewed_lengths(self):
+        code = HuffmanCode({1: 100, 2: 10, 3: 1})
+        assert code.length(1) == 1
+        assert code.length(3) == 2
+
+    def test_unknown_symbol(self):
+        code = HuffmanCode({1: 1})
+        with pytest.raises(KeyError):
+            code.codeword(99)
+
+
+class TestPrefixFreedom:
+    @given(
+        st.dictionaries(
+            st.integers(0, 50), st.integers(1, 1000), min_size=1, max_size=20
+        )
+    )
+    def test_codes_are_prefix_free(self, frequencies):
+        code = HuffmanCode(frequencies)
+        words = [(c.bits, c.length) for c in (code.codeword(s) for s in frequencies)]
+        for i, (bits_a, len_a) in enumerate(words):
+            for j, (bits_b, len_b) in enumerate(words):
+                if i == j:
+                    continue
+                shorter = min(len_a, len_b)
+                assert (bits_a >> (len_a - shorter)) != (bits_b >> (len_b - shorter)), (
+                    "one codeword is a prefix of another"
+                )
+
+    @given(
+        st.dictionaries(st.integers(0, 30), st.integers(1, 100), min_size=2, max_size=12)
+    )
+    def test_kraft_equality(self, frequencies):
+        # An optimal prefix code satisfies Kraft with equality.
+        code = HuffmanCode(frequencies)
+        total = sum(2.0 ** -code.length(s) for s in frequencies)
+        assert total == pytest.approx(1.0)
+
+
+class TestCodecRoundtrip:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=400))
+    @settings(max_examples=60)
+    def test_encode_decode_roundtrip(self, symbols):
+        frequencies = {}
+        for s in symbols:
+            frequencies[s] = frequencies.get(s, 0) + 1
+        code = HuffmanCode(frequencies)
+        assert code.decode(code.encode(symbols), len(symbols)) == symbols
+
+    def test_decode_truncated_stream(self):
+        code = HuffmanCode({1: 1, 2: 1})
+        encoded = code.encode([1])
+        with pytest.raises(ValueError):
+            code.decode(encoded, 2)
+
+
+class TestOptimality:
+    def test_within_one_bit_of_entropy(self):
+        rng = random.Random(5)
+        symbols = [rng.choices([1, 2, 3, 4], weights=[8, 4, 2, 1])[0] for _ in range(5000)]
+        frequencies = {}
+        for s in symbols:
+            frequencies[s] = frequencies.get(s, 0) + 1
+        code = HuffmanCode(frequencies)
+        h0 = shannon_entropy(frequencies)
+        average = code.expected_length(frequencies)
+        assert h0 <= average < h0 + 1.0
+
+    def test_dyadic_weights_hit_entropy_exactly(self):
+        frequencies = {1: 4, 2: 2, 3: 1, 4: 1}
+        code = HuffmanCode(frequencies)
+        assert code.expected_length(frequencies) == pytest.approx(
+            shannon_entropy(frequencies)
+        )
+
+    def test_canonical_codes_ordered(self):
+        # Canonical property: sorting by (length, symbol) yields
+        # numerically increasing codewords.
+        code = HuffmanCode({1: 10, 2: 10, 3: 1, 4: 1})
+        ordered = sorted(code.lengths().items(), key=lambda kv: (kv[1], kv[0]))
+        values = [code.codeword(s).bits << (8 - code.codeword(s).length) for s, _ in ordered]
+        assert values == sorted(values)
+
+    def test_encoded_size_helper(self):
+        assert huffman_encoded_size([], 8) == 0
+        size = huffman_encoded_size([1, 1, 1, 2], 8)
+        assert size > 0
+
+    def test_expected_length_rejects_zero_weights(self):
+        code = HuffmanCode({1: 1})
+        with pytest.raises(ValueError):
+            code.expected_length({1: 0})

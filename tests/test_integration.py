@@ -1,0 +1,123 @@
+"""Integration tests: every representation, one truth.
+
+These tests drive the full pipeline the way the benchmark harness does —
+generate a dataset, build every representation, and check that all of
+them implement the same forwarding function while their sizes line up
+with the paper's ordering.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.lctrie import fib_trie
+from repro.baselines.ortc import ortc_compress
+from repro.baselines.patricia import PatriciaTrie
+from repro.baselines.tabular import TabularFib
+from repro.core.entropy import fib_entropy
+from repro.core.fib import INVALID_LABEL
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import SerializedDag
+from repro.core.trie import BinaryTrie
+from repro.core.xbw import XBWb
+from repro.datasets.profiles import build_profile_fib, profile
+from repro.datasets.synthetic import poisson_label_fib
+from repro.datasets.traces import caida_like_trace, uniform_trace
+from repro.datasets.updates import apply_updates, bgp_update_sequence
+
+
+@pytest.fixture(scope="module")
+def taz_small():
+    return build_profile_fib(profile("taz"), scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def representations(taz_small):
+    dag = PrefixDag(taz_small, barrier=11)
+    return {
+        "trie": BinaryTrie.from_fib(taz_small),
+        "dag": dag,
+        "image": SerializedDag(dag),
+        "xbw": XBWb.from_fib(taz_small),
+        "lctrie": fib_trie(taz_small),
+        "patricia": PatriciaTrie(taz_small),
+        "tabular": TabularFib(taz_small),
+    }
+
+
+class TestSevenWayEquivalence:
+    def test_uniform_addresses(self, representations):
+        rng = random.Random(1)
+        reference = representations["trie"]
+        for _ in range(400):
+            address = rng.getrandbits(32)
+            want = reference.lookup(address)
+            for name, rep in representations.items():
+                if name in ("trie", "tabular"):
+                    continue
+                assert rep.lookup(address) == want, f"{name} diverges at {address:#x}"
+
+    def test_trace_addresses(self, taz_small, representations):
+        reference = representations["trie"]
+        for address in caida_like_trace(taz_small, 300, seed=2):
+            want = reference.lookup(address)
+            for name in ("dag", "image", "xbw", "lctrie"):
+                assert representations[name].lookup(address) == want
+
+    def test_ortc_equivalence(self, taz_small, representations):
+        result = ortc_compress(taz_small)
+        assert len(result) < len(taz_small)  # aggregation must help
+        aggregated = result.to_trie()
+        reference = representations["trie"]
+        rng = random.Random(3)
+        for _ in range(300):
+            address = rng.getrandbits(32)
+            got = aggregated.lookup(address)
+            got = None if got in (None, INVALID_LABEL) else got
+            assert got == reference.lookup(address)
+
+
+class TestSizeOrdering:
+    """The paper's headline size story, end to end."""
+
+    def test_compressors_beat_classic_structures(self, taz_small, representations):
+        xbw_bits = representations["xbw"].size_in_bits()
+        dag_bits = representations["dag"].size_in_bits()
+        lct_bits = representations["lctrie"].size_in_bits()
+        pat_bits = representations["patricia"].size_in_bits()
+        assert xbw_bits < dag_bits < lct_bits
+        assert dag_bits < pat_bits
+
+    def test_xbw_near_entropy(self, taz_small, representations):
+        report = fib_entropy(taz_small)
+        ratio = representations["xbw"].size_in_bits() / report.entropy_bits
+        assert 0.8 <= ratio <= 1.6  # "XBW-b very closely matches entropy bounds"
+
+    def test_dag_within_small_factor_of_entropy(self, taz_small, representations):
+        report = fib_entropy(taz_small)
+        nu = representations["dag"].size_in_bits() / report.entropy_bits
+        assert 1.0 <= nu <= 6.0  # the paper measures ~2.6-4.1
+
+
+class TestChurnPipeline:
+    def test_bgp_churn_end_to_end(self, taz_small):
+        dag = PrefixDag(taz_small, barrier=11)
+        ops = bgp_update_sequence(taz_small, 400, seed=4, withdraw_fraction=0.1)
+        apply_updates(dag, ops)
+        dag.check_integrity()
+        # The DAG still matches its own control trie after churn...
+        rng = random.Random(5)
+        for _ in range(300):
+            address = rng.getrandbits(32)
+            assert dag.lookup(address) == dag.control_trie.lookup(address)
+        # ...and re-serializing preserves the updated function.
+        image = SerializedDag(dag)
+        for _ in range(300):
+            address = rng.getrandbits(32)
+            assert image.lookup(address) == dag.lookup(address)
+
+    def test_split_fib_full_coverage(self):
+        fib = poisson_label_fib(2000, 5, seed=6)
+        dag = PrefixDag(fib, barrier=9)
+        for address in uniform_trace(300, seed=7):
+            assert dag.lookup(address) is not None  # split FIBs cover everything

@@ -1,0 +1,43 @@
+"""Unit tests for the kbench wall-clock harness."""
+
+import pytest
+
+from repro.simulator.kbench import kbench, udpflood
+
+
+class TestKbench:
+    def test_basic_run(self):
+        result = kbench(lambda a: a & 1, list(range(2000)), name="parity")
+        assert result.name == "parity"
+        assert result.lookups == 2000
+        assert result.elapsed_seconds > 0
+        assert result.lookups_per_second > 0
+        assert result.nanoseconds_per_lookup > 0
+
+    def test_repeat_takes_min(self):
+        single = kbench(lambda a: a, list(range(500)), repeat=1)
+        multi = kbench(lambda a: a, list(range(500)), repeat=3)
+        assert multi.elapsed_seconds <= single.elapsed_seconds * 3
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ValueError):
+            kbench(lambda a: a, [1], repeat=0)
+
+    def test_mlps_consistency(self):
+        result = kbench(lambda a: a, list(range(1000)))
+        assert result.million_lookups_per_second == pytest.approx(
+            result.lookups_per_second / 1e6
+        )
+
+
+class TestUdpflood:
+    def test_cycles_through_addresses(self):
+        seen = []
+        udpflood(seen.append, [10, 20], 5)
+        assert seen == [10, 20, 10, 20, 10]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            udpflood(lambda a: a, [], 10)
+        with pytest.raises(ValueError):
+            udpflood(lambda a: a, [1], -1)

@@ -1,0 +1,69 @@
+"""Unit tests for the Lambert W implementation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.special import lambertw as scipy_lambertw
+
+from repro.utils.lambertw import lambert_w, lambert_w_floor_div_ln2
+
+
+class TestLambertW:
+    def test_zero(self):
+        assert lambert_w(0.0) == 0.0
+
+    def test_w_of_e(self):
+        assert lambert_w(math.e) == pytest.approx(1.0, abs=1e-12)
+
+    def test_small_value(self):
+        # W(0.1) from the defining identity.
+        w = lambert_w(0.1)
+        assert w * math.exp(w) == pytest.approx(0.1, rel=1e-12)
+
+    def test_large_value(self):
+        w = lambert_w(1e12)
+        assert w * math.exp(w) == pytest.approx(1e12, rel=1e-9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lambert_w(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            lambert_w(float("nan"))
+
+    def test_infinity(self):
+        assert lambert_w(math.inf) == math.inf
+
+    @given(st.floats(min_value=1e-9, max_value=1e15))
+    def test_defining_identity(self, z):
+        w = lambert_w(z)
+        assert w * math.exp(w) == pytest.approx(z, rel=1e-8)
+
+    @given(st.floats(min_value=1e-6, max_value=1e12))
+    def test_matches_scipy(self, z):
+        assert lambert_w(z) == pytest.approx(float(scipy_lambertw(z).real), rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1e12), st.floats(min_value=0.0, max_value=1e12))
+    def test_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert lambert_w(low) <= lambert_w(high) + 1e-12
+
+
+class TestBarrierForm:
+    def test_nonpositive_is_zero(self):
+        assert lambert_w_floor_div_ln2(0.0) == 0
+        assert lambert_w_floor_div_ln2(-5.0) == 0
+
+    def test_known_value(self):
+        # W(e)/ln 2 = 1/ln 2 ~ 1.4427 -> floor 1
+        assert lambert_w_floor_div_ln2(math.e) == 1
+
+    def test_realistic_fib_scale(self):
+        # n = 440K, H0 = 1: lambda = floor(W(440000 * ln 2) / ln 2).
+        z = 440_000 * math.log(2)
+        expected = int(math.floor(float(scipy_lambertw(z).real) / math.log(2)))
+        assert lambert_w_floor_div_ln2(z) == expected
+        assert 10 <= expected <= 14  # the paper's lambda = 11 regime

@@ -1,0 +1,143 @@
+"""Unit and property tests for the LC-trie (fib_trie model) and Patricia."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lctrie import LCTrie, fib_trie
+from repro.baselines.patricia import PATRICIA_NODE_BYTES, PatriciaTrie
+from repro.core.fib import Fib
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+class TestConstruction:
+    def test_rejects_bad_fill(self, paper_fib):
+        with pytest.raises(ValueError):
+            LCTrie(paper_fib, fill_factor=0.0)
+        with pytest.raises(ValueError):
+            LCTrie(paper_fib, fill_factor=1.5)
+
+    def test_rejects_bad_stride(self, paper_fib):
+        with pytest.raises(ValueError):
+            LCTrie(paper_fib, max_bits=0)
+
+    def test_empty_fib(self):
+        trie = LCTrie(Fib())
+        assert trie.lookup(0) is None
+        assert trie.stats().leaves == 0
+
+    def test_alias_merging(self):
+        # 10/2 and 1000/4 share the key 1000...0: one leaf, two aliases.
+        fib = Fib()
+        fib.add(0b10, 2, 1)
+        fib.add(0b1000, 4, 2)
+        trie = LCTrie(fib)
+        stats = trie.stats()
+        assert stats.leaves == 1
+        assert stats.aliases == 2
+        assert trie.lookup(0b1000 << 28) == 2
+        assert trie.lookup(0b1011 << 28) == 1
+
+
+class TestLookup:
+    def test_paper_example(self, paper_fib, rng):
+        trie = BinaryTrie.from_fib(paper_fib)
+        lc = fib_trie(paper_fib)
+        assert_forwarding_equivalent(trie.lookup, lc.lookup, rng)
+
+    def test_backtracking_through_skip(self):
+        # Covering prefix found despite path compression skipping its bits.
+        fib = Fib()
+        fib.add(0b11, 2, 7)          # cover
+        fib.add(0b110000, 6, 1)
+        fib.add(0b110011, 6, 2)
+        lc = LCTrie(fib)
+        assert lc.lookup(0b111111 << 26) == 7
+        assert lc.lookup(0b110000 << 26) == 1
+
+    def test_no_default_no_match(self):
+        fib = Fib()
+        fib.add(0b0, 1, 1)
+        lc = LCTrie(fib)
+        assert lc.lookup(0xFFFFFFFF) is None
+
+    def test_default_route(self):
+        fib = Fib()
+        fib.add(0, 0, 9)
+        fib.add(0b1010, 4, 1)
+        lc = LCTrie(fib)
+        assert lc.lookup(0b1010 << 28) == 1
+        assert lc.lookup(0b0101 << 28) == 9
+
+    @given(st.integers(0, 2**31), st.floats(min_value=0.3, max_value=1.0),
+           st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_random(self, seed, fill, max_bits):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 50, 4, max_length=14)
+        trie = BinaryTrie.from_fib(fib)
+        lc = LCTrie(fib, fill_factor=fill, max_bits=max_bits)
+        for _ in range(80):
+            address = rng.getrandbits(32)
+            assert lc.lookup(address) == trie.lookup(address)
+
+    def test_lookup_with_depth(self, medium_fib, rng):
+        lc = fib_trie(medium_fib)
+        label, depth = lc.lookup_with_depth(rng.getrandbits(32))
+        assert depth >= 1
+
+
+class TestStatsAndSizes:
+    def test_level_compression_reduces_depth(self, medium_fib):
+        wide = LCTrie(medium_fib, fill_factor=0.5, max_bits=16)
+        binary = LCTrie(medium_fib, fill_factor=1.0, max_bits=1)
+        assert wide.stats().average_depth < binary.stats().average_depth
+
+    def test_average_depth_matches_sampling(self, medium_fib, rng):
+        lc = fib_trie(medium_fib)
+        stats = lc.stats()
+        sampled = [lc.lookup_with_depth(rng.getrandbits(32))[1] for _ in range(4000)]
+        assert abs(sum(sampled) / len(sampled) - stats.average_depth) < 0.6
+        assert max(sampled) <= stats.max_depth
+
+    def test_size_model(self, medium_fib):
+        lc = fib_trie(medium_fib)
+        assert lc.size_in_bytes() > 0
+        assert lc.size_in_bits() == lc.size_in_bytes() * 8
+        # The kernel model is tens of bytes per prefix.
+        assert lc.size_in_bytes() > 40 * len(medium_fib)
+
+    def test_trace_agrees_with_lookup(self, medium_fib, rng):
+        lc = fib_trie(medium_fib)
+        for _ in range(100):
+            address = rng.getrandbits(32)
+            label, trace = lc.lookup_trace(address)
+            assert label == lc.lookup(address)
+            assert trace
+
+
+class TestPatricia:
+    def test_is_binary(self, medium_fib):
+        pat = PatriciaTrie(medium_fib)
+        # Every tnode in a Patricia tree is binary.
+        assert pat.stats().max_depth <= 32
+
+    def test_equivalence(self, medium_fib, rng):
+        trie = BinaryTrie.from_fib(medium_fib)
+        pat = PatriciaTrie(medium_fib)
+        assert_forwarding_equivalent(trie.lookup, pat.lookup, rng)
+
+    def test_24_bytes_per_node(self, paper_fib):
+        pat = PatriciaTrie(paper_fib)
+        stats = pat.stats()
+        assert pat.size_in_bytes() == (stats.tnodes + stats.leaves) * PATRICIA_NODE_BYTES
+
+    def test_deeper_than_lctrie(self, medium_fib):
+        assert (
+            PatriciaTrie(medium_fib).stats().average_depth
+            >= fib_trie(medium_fib).stats().average_depth
+        )

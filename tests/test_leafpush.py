@@ -1,0 +1,138 @@
+"""Unit and property tests for leaf-pushing normalization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fib import INVALID_LABEL
+from repro.core.leafpush import (
+    count_leaves,
+    is_normalized,
+    is_proper_leaf_labeled,
+    leaf_labels,
+    leaf_pushed_trie,
+)
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+class TestPaperExample:
+    def test_fig1e_shape(self, paper_trie):
+        # Fig 1(e): the leaf-pushed trie has leaves labeled 3,2,2,1 at
+        # depth 3 and one leaf labeled 2 at depth 1 — 5 leaves, 9 nodes.
+        pushed = leaf_pushed_trie(paper_trie)
+        assert count_leaves(pushed) == 5
+        assert pushed.node_count() == 9
+        labels = sorted(leaf_labels(pushed))
+        assert labels == [1, 2, 2, 2, 3]
+
+    def test_fig1e_forwarding(self, paper_trie, rng):
+        pushed = leaf_pushed_trie(paper_trie)
+        assert_forwarding_equivalent(paper_trie.lookup, pushed.lookup, rng)
+
+
+class TestInvariants:
+    def test_proper_p1_p2(self, paper_trie):
+        pushed = leaf_pushed_trie(paper_trie)
+        assert is_proper_leaf_labeled(pushed)
+        assert is_normalized(pushed)
+
+    def test_p3_node_bound(self, paper_trie):
+        pushed = leaf_pushed_trie(paper_trie)
+        n = count_leaves(pushed)
+        assert pushed.node_count() < 2 * n
+
+    def test_original_not_proper(self, paper_trie):
+        assert not is_proper_leaf_labeled(paper_trie)
+
+    def test_empty_trie_becomes_bottom_leaf(self):
+        pushed = leaf_pushed_trie(BinaryTrie())
+        assert pushed.root.is_leaf
+        assert pushed.root.label == INVALID_LABEL
+
+    def test_default_only_fib(self):
+        trie = BinaryTrie()
+        trie.insert(0, 0, 7)
+        pushed = leaf_pushed_trie(trie)
+        assert pushed.root.is_leaf
+        assert pushed.root.label == 7
+
+    def test_sibling_collapse(self):
+        # 0/1 -> 5 and 1/1 -> 5 collapse into a single root leaf.
+        trie = BinaryTrie()
+        trie.insert(0b0, 1, 5)
+        trie.insert(0b1, 1, 5)
+        pushed = leaf_pushed_trie(trie)
+        assert pushed.root.is_leaf
+        assert pushed.root.label == 5
+
+    def test_collapse_cascades(self):
+        # Four /2 entries with the same label collapse all the way up.
+        trie = BinaryTrie()
+        for value in range(4):
+            trie.insert(value, 2, 9)
+        pushed = leaf_pushed_trie(trie)
+        assert pushed.root.is_leaf
+
+    def test_custom_default_label(self):
+        trie = BinaryTrie()
+        trie.insert(0b1, 1, 3)
+        pushed = leaf_pushed_trie(trie, default=8)
+        # The uncovered left half inherits the supplied default.
+        assert pushed.root.left.label == 8
+
+    def test_uniqueness_for_equivalent_fibs(self):
+        # Two syntactically different FIBs with identical forwarding
+        # normalize to the same trie (what makes FIB entropy well-defined).
+        a = BinaryTrie()
+        a.insert(0, 0, 1)
+        b = BinaryTrie()
+        b.insert(0b0, 1, 1)
+        b.insert(0b1, 1, 1)
+
+        def shape(node):
+            if node.is_leaf:
+                return ("leaf", node.label)
+            return ("node", shape(node.left), shape(node.right))
+
+        assert shape(leaf_pushed_trie(a).root) == shape(leaf_pushed_trie(b).root)
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_forwarding_preserved(self, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 50, 4, max_length=10)
+        trie = BinaryTrie.from_fib(fib)
+        pushed = leaf_pushed_trie(trie)
+
+        def pushed_lookup(address):
+            label = pushed.lookup(address)
+            return None if label == INVALID_LABEL else label
+
+        for _ in range(80):
+            address = rng.getrandbits(32)
+            assert pushed_lookup(address) == trie.lookup(address)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_always_proper_and_normalized(self, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 40, 5, max_length=9)
+        pushed = leaf_pushed_trie(BinaryTrie.from_fib(fib))
+        assert is_proper_leaf_labeled(pushed)
+        assert is_normalized(pushed)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 30, 3, max_length=8)
+        once = leaf_pushed_trie(BinaryTrie.from_fib(fib))
+        twice = leaf_pushed_trie(once)
+        assert once.node_count() == twice.node_count()
+        assert sorted(leaf_labels(once)) == sorted(leaf_labels(twice))

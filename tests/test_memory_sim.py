@@ -1,0 +1,129 @@
+"""Unit tests for the cache hierarchy simulator."""
+
+import pytest
+
+from repro.simulator.memory import (
+    CORE_I5_LEVELS,
+    CacheLevelConfig,
+    MemoryHierarchy,
+)
+
+
+def tiny_hierarchy():
+    """A 2-level hierarchy small enough to reason about by hand:
+    L1 = 4 lines of 64 B, direct... 2-way; L2 = 16 lines, 4-way."""
+    return MemoryHierarchy(
+        levels=(
+            CacheLevelConfig("L1", 4 * 64, 64, 2, 1),
+            CacheLevelConfig("L2", 16 * 64, 64, 4, 10),
+        ),
+        dram_latency_cycles=100,
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig("X", 0, 64, 8, 1)
+        with pytest.raises(ValueError):
+            CacheLevelConfig("X", 100, 64, 8, 1)  # < 1 set
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig("X", 3 * 64, 64, 1, 1)
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(levels=())
+
+    def test_core_i5_preset(self):
+        names = [level.name for level in CORE_I5_LEVELS]
+        assert names == ["L1", "L2", "L3"]
+        assert CORE_I5_LEVELS[0].size_bytes == 32 * 1024
+
+
+class TestAccessBehavior:
+    def test_cold_miss_goes_to_dram(self):
+        hierarchy = tiny_hierarchy()
+        outcome = hierarchy.access(0)
+        assert outcome.level == "DRAM"
+        assert outcome.latency_cycles == 100
+
+    def test_second_access_hits_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        outcome = hierarchy.access(0)
+        assert outcome.level == "L1"
+        assert outcome.latency_cycles == 1
+
+    def test_same_line_hits(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        assert hierarchy.access(63).level == "L1"  # same 64-B line
+        assert hierarchy.access(64).level == "DRAM"  # next line
+
+    def test_l1_eviction_falls_to_l2(self):
+        hierarchy = tiny_hierarchy()
+        # L1: 2 sets x 2 ways. Lines 0, 2, 4 all map to set 0; the
+        # third evicts the first from L1, but L2 retains it.
+        for line in (0, 2, 4):
+            hierarchy.access(line * 64)
+        assert hierarchy.access(0).level == "L2"
+
+    def test_lru_order(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0 * 64)
+        hierarchy.access(2 * 64)
+        hierarchy.access(0 * 64)      # refresh line 0
+        hierarchy.access(4 * 64)      # evicts line 2 (LRU), not line 0
+        assert hierarchy.access(0 * 64).level == "L1"
+        assert hierarchy.access(2 * 64).level == "L2"
+
+    def test_stats_accumulate(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.access(0)
+        stats = hierarchy.stats
+        assert stats.accesses == 2
+        assert stats.dram_accesses == 1
+        assert stats.llc_misses == 1
+        assert stats.hits_per_level["L1"] == 1
+        assert stats.total_cycles == 101
+
+    def test_access_many_sums_cycles(self):
+        hierarchy = tiny_hierarchy()
+        total = hierarchy.access_many([0, 0, 0])
+        assert total == 100 + 1 + 1
+
+    def test_warm_does_not_count(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.warm([0, 64, 128])
+        assert hierarchy.stats.accesses == 0
+        assert hierarchy.access(0).level == "L1"  # but contents are warm
+
+    def test_reset(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0)
+        hierarchy.reset()
+        assert hierarchy.stats.accesses == 0
+        assert hierarchy.access(0).level == "DRAM"
+
+
+class TestWorkingSetBehavior:
+    def test_small_working_set_is_cache_resident(self):
+        hierarchy = MemoryHierarchy()
+        addresses = [i * 64 for i in range(200)]  # ~12 KB
+        hierarchy.warm(addresses)
+        for address in addresses:
+            assert hierarchy.access(address).level == "L1"
+
+    def test_huge_working_set_misses(self):
+        hierarchy = MemoryHierarchy()
+        import random
+
+        rng = random.Random(1)
+        # 64 MB working set (too big for 3 MB L3): random probes miss.
+        addresses = [rng.randrange(64 * 1024 * 1024) for _ in range(3000)]
+        hierarchy.warm(addresses[:1000])
+        misses = sum(1 for a in addresses[1000:] if hierarchy.access(a).level == "DRAM")
+        assert misses > 1500  # overwhelmingly DRAM

@@ -1,0 +1,106 @@
+"""Unit and property tests for multibit prefix DAGs (§7 extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multibit import MultibitDag
+from repro.core.prefixdag import PrefixDag
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+class TestConstruction:
+    def test_rejects_bad_stride(self, paper_fib):
+        with pytest.raises(ValueError):
+            MultibitDag(paper_fib, stride=0)
+        with pytest.raises(ValueError):
+            MultibitDag(paper_fib, stride=5)  # does not divide 32
+
+    def test_accepts_fib_and_trie(self, paper_fib):
+        via_fib = MultibitDag(paper_fib, stride=2)
+        via_trie = MultibitDag(BinaryTrie.from_fib(paper_fib), stride=2)
+        assert via_fib.interior_count() == via_trie.interior_count()
+
+    def test_stride_one_matches_binary_fold(self, medium_fib):
+        # Stride 1 must reproduce the fully-folded binary prefix DAG.
+        multibit = MultibitDag(medium_fib, stride=1)
+        binary = PrefixDag(medium_fib, barrier=0)
+        assert multibit.interior_count() == binary.folded_interior_count()
+        assert multibit.leaf_count() == binary.folded_leaf_count()
+
+
+class TestLookup:
+    @pytest.mark.parametrize("stride", [1, 2, 4, 8])
+    def test_paper_example(self, paper_fib, stride, rng):
+        trie = BinaryTrie.from_fib(paper_fib)
+        dag = MultibitDag(paper_fib, stride=stride)
+        assert_forwarding_equivalent(trie.lookup, dag.lookup, rng)
+
+    @given(st.integers(0, 2**31), st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_random(self, seed, stride):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 40, 4, max_length=12)
+        trie = BinaryTrie.from_fib(fib)
+        dag = MultibitDag(fib, stride=stride)
+        for _ in range(60):
+            address = rng.getrandbits(32)
+            assert dag.lookup(address) == trie.lookup(address)
+
+    def test_depth_shrinks_with_stride(self, medium_fib):
+        depth1 = MultibitDag(medium_fib, stride=1).max_depth()
+        depth4 = MultibitDag(medium_fib, stride=4).max_depth()
+        depth8 = MultibitDag(medium_fib, stride=8).max_depth()
+        assert depth8 <= depth4 <= depth1
+        assert depth8 <= 4  # 32 / 8
+
+    def test_lookup_with_depth_bounded(self, medium_fib, rng):
+        dag = MultibitDag(medium_fib, stride=4)
+        for _ in range(100):
+            _, depth = dag.lookup_with_depth(rng.getrandbits(32))
+            assert depth <= 8  # 32 / 4
+
+    def test_no_route(self):
+        from repro.core.fib import Fib
+
+        fib = Fib()
+        fib.add(0b1, 1, 4)
+        dag = MultibitDag(fib, stride=4)
+        assert dag.lookup(0xF0000000) == 4
+        assert dag.lookup(0x0F000000) is None
+
+
+class TestSpaceTimeTradeoff:
+    def test_larger_stride_costs_space(self, medium_fib):
+        # The expansion of controlled prefix expansion: wider nodes trade
+        # memory for depth (the O(log W) vs size tension of §7).
+        size2 = MultibitDag(medium_fib, stride=2).size_in_bits()
+        size8 = MultibitDag(medium_fib, stride=8).size_in_bits()
+        assert size8 > size2
+
+    def test_folding_still_shares(self, rng):
+        # Repeated sub-universes still merge at stride 4.
+        from repro.core.fib import Fib
+
+        fib = Fib()
+        rng2 = random.Random(3)
+        subroutes = [(rng2.getrandbits(12), 12) for _ in range(50)]
+        for top in (1, 2, 3):
+            for index, (suffix, length) in enumerate(subroutes):
+                fib.add((top << length) | suffix, 8 + length, 1 + index % 3)
+        dag = MultibitDag(fib, stride=4)
+        solo = MultibitDag(
+            Fib.from_entries(
+                [((1 << l) | s, 8 + l, 1 + i % 3) for i, (s, l) in enumerate(subroutes)]
+            ),
+            stride=4,
+        )
+        # Three copies cost barely more than one.
+        assert dag.interior_count() < 2.0 * solo.interior_count()
+
+    def test_repr(self, paper_fib):
+        assert "MultibitDag" in repr(MultibitDag(paper_fib, stride=4))

@@ -1,0 +1,77 @@
+"""Unit tests for the higher-order entropy estimator (§3.2 discussion)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import order_k_entropy, shannon_entropy
+
+
+class TestOrderK:
+    def test_rejects_negative_order(self):
+        with pytest.raises(ValueError):
+            order_k_entropy([1, 2], -1)
+
+    def test_order_zero_matches_h0(self):
+        rng = random.Random(1)
+        symbols = [rng.choice([1, 2, 3]) for _ in range(2000)]
+        histogram = {}
+        for s in symbols:
+            histogram[s] = histogram.get(s, 0) + 1
+        assert order_k_entropy(symbols, 0) == pytest.approx(
+            shannon_entropy(histogram), abs=1e-9
+        )
+
+    def test_short_sequence(self):
+        assert order_k_entropy([1], 2) == 0.0
+        assert order_k_entropy([], 0) == 0.0
+
+    def test_deterministic_alternation_has_zero_h1(self):
+        symbols = [1, 2] * 500
+        assert order_k_entropy(symbols, 0) == pytest.approx(1.0, abs=1e-6)
+        assert order_k_entropy(symbols, 1) == pytest.approx(0.0, abs=1e-6)
+
+    def test_markov_chain_between_orders(self):
+        # A sticky two-state chain: H1 well below H0.
+        rng = random.Random(2)
+        symbols = [1]
+        for _ in range(5000):
+            stay = rng.random() < 0.95
+            symbols.append(symbols[-1] if stay else 3 - symbols[-1])
+        h0 = order_k_entropy(symbols, 0)
+        h1 = order_k_entropy(symbols, 1)
+        assert h1 < 0.5 * h0
+
+    @given(st.lists(st.integers(0, 3), min_size=10, max_size=400), st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_conditioning_reduces_entropy(self, symbols, k):
+        # Empirical conditional entropy over the SAME positions: a k+1
+        # context can only reduce it (Jensen). Dropping the first symbol
+        # aligns the order-k estimate onto the order-(k+1) sample window.
+        if len(symbols) <= k + 1:
+            return
+        assert (
+            order_k_entropy(symbols, k + 1)
+            <= order_k_entropy(symbols[1:], k) + 1e-9
+        )
+
+    def test_iid_sequence_h1_close_to_h0(self):
+        rng = random.Random(3)
+        symbols = [rng.choice([1, 2, 3, 4]) for _ in range(20000)]
+        h0 = order_k_entropy(symbols, 0)
+        h1 = order_k_entropy(symbols, 1)
+        assert h1 == pytest.approx(h0, abs=0.02)
+
+    def test_fib_leaf_labels(self, medium_fib):
+        # Applying the estimator to S_alpha as §3.2 suggests.
+        from repro.core.leafpush import leaf_pushed_trie
+        from repro.core.trie import BinaryTrie
+        from repro.core.xbw import XBWb
+
+        normalized = leaf_pushed_trie(BinaryTrie.from_fib(medium_fib))
+        _, labels = XBWb._serialize(normalized)
+        h0 = order_k_entropy(labels, 0)
+        h1 = order_k_entropy(labels, 1)
+        assert 0 <= h1 <= h0

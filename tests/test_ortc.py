@@ -1,0 +1,108 @@
+"""Unit and property tests for the ORTC aggregation baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ortc import ortc_compress
+from repro.core.fib import INVALID_LABEL, Fib
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import random_fib
+
+
+def ortc_lookup(result, address):
+    label = result.to_trie().lookup(address)
+    return None if label in (None, INVALID_LABEL) else label
+
+
+class TestFig1Example:
+    def test_minimal_entry_count(self, paper_fib):
+        # Fig 1(c): the 6-entry example FIB aggregates to 3 entries.
+        result = ortc_compress(paper_fib)
+        assert len(result) == 3
+
+    def test_entries(self, paper_fib):
+        result = ortc_compress(paper_fib)
+        assert set(result.entries) == {(0, 0, 2), (0b000, 3, 3), (0b011, 3, 1)}
+
+    def test_forwarding_preserved(self, paper_fib, rng):
+        result = ortc_compress(paper_fib)
+        trie = BinaryTrie.from_fib(paper_fib)
+        aggregated = result.to_trie()
+        for _ in range(500):
+            address = rng.getrandbits(32)
+            got = aggregated.lookup(address)
+            got = None if got in (None, INVALID_LABEL) else got
+            assert got == trie.lookup(address)
+
+    def test_to_fib(self, paper_fib):
+        fib = ortc_compress(paper_fib).to_fib()
+        assert len(fib) == 3
+
+
+class TestEdgeCases:
+    def test_empty_fib(self):
+        result = ortc_compress(Fib())
+        assert len(result) == 0
+        assert ortc_lookup(result, 123) is None
+
+    def test_single_default(self):
+        fib = Fib()
+        fib.add(0, 0, 5)
+        result = ortc_compress(fib)
+        assert result.entries == [(0, 0, 5)]
+
+    def test_redundant_specifics_removed(self):
+        # A default route plus same-label specifics: 1 entry suffices.
+        fib = Fib()
+        fib.add(0, 0, 1)
+        fib.add(0b10, 2, 1)
+        fib.add(0b1011, 4, 1)
+        assert len(ortc_compress(fib)) == 1
+
+    def test_null_route_representation(self):
+        # Two disjoint deep islands with the same label around an
+        # unrouted gap can force ORTC to aggregate with a null route.
+        fib = Fib()
+        fib.add(0b00, 2, 1)
+        fib.add(0b11, 2, 1)
+        result = ortc_compress(fib)
+        trie = BinaryTrie.from_fib(fib)
+        rng = random.Random(1)
+        for _ in range(300):
+            address = rng.getrandbits(32)
+            assert ortc_lookup(result, address) == trie.lookup(address)
+        if result.null_routes:
+            with pytest.raises(ValueError):
+                result.to_fib()
+
+    def test_accepts_trie_input(self, paper_trie):
+        assert len(ortc_compress(paper_trie)) == 3
+
+
+class TestProperties:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_never_larger_and_always_equivalent(self, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 40, 3, max_length=10)
+        result = ortc_compress(fib)
+        # ORTC is optimal, so in particular never worse than the input
+        # (modulo representing uncovered space, worth at most 1 entry).
+        assert len(result) <= len(fib) + 1
+        trie = BinaryTrie.from_fib(fib)
+        for _ in range(80):
+            address = rng.getrandbits(32)
+            assert ortc_lookup(result, address) == trie.lookup(address)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent_entry_count(self, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 30, 3, max_length=8)
+        once = ortc_compress(fib)
+        twice = ortc_compress(once.to_trie())
+        assert len(twice) <= len(once)

@@ -1,0 +1,186 @@
+"""Unit and property tests for trie-folding / prefix DAGs (§4): build."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+class TestConstruction:
+    def test_from_fib_and_trie_agree(self, paper_fib, rng):
+        via_fib = PrefixDag(paper_fib, barrier=2)
+        via_trie = PrefixDag(BinaryTrie.from_fib(paper_fib), barrier=2)
+        assert via_fib.folded_interior_count() == via_trie.folded_interior_count()
+        assert_forwarding_equivalent(via_fib.lookup, via_trie.lookup, rng)
+
+    def test_control_trie_is_a_copy(self, paper_fib):
+        trie = BinaryTrie.from_fib(paper_fib)
+        dag = PrefixDag(trie, barrier=2)
+        trie.insert(0b111, 3, 9)
+        assert dag.control_trie.get(0b111, 3) is None
+
+    def test_rejects_bad_barrier(self, paper_fib):
+        with pytest.raises(ValueError):
+            PrefixDag(paper_fib, barrier=-1)
+        with pytest.raises(ValueError):
+            PrefixDag(paper_fib, barrier=33)
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(TypeError):
+            PrefixDag([("not", "a", "fib")])
+
+    def test_auto_barrier_uses_equation3(self, medium_fib):
+        from repro.core.barrier import entropy_barrier
+
+        dag = PrefixDag(medium_fib)
+        report = dag.entropy_report()
+        assert dag.barrier == entropy_barrier(report.leaves, report.h0, 32)
+
+    def test_barrier_zero_folds_root(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=0)
+        assert dag.above_node_count() == 0
+        dag.check_integrity()
+
+    def test_barrier_w_is_plain_trie(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=32)
+        # Nothing to fold below depth 32 in this FIB.
+        assert dag.folded_interior_count() == 0
+
+
+class TestFig3Example:
+    """The Fig 3 worked example: folding halves the example trie."""
+
+    def test_lambda0_fold(self, fig3_fib, rng):
+        trie = BinaryTrie.from_fib(fig3_fib)
+        dag = PrefixDag(fig3_fib, barrier=0)
+        # Fig 3(c): the fully folded DAG shares the two identical
+        # sub-tries; it must be strictly smaller than the unfolded tree.
+        assert dag.node_count() < dag.unfolded_node_count()
+        assert_forwarding_equivalent(trie.lookup, dag.lookup, rng)
+        dag.check_integrity()
+
+    def test_fig3_sharing(self, fig3_fib):
+        # In the leaf-pushed form of the Fig 3 trie the sub-tries under
+        # 0/1 and 11/2 are identical: (leaf 2, leaf 3) — one interned
+        # node serves both (plus under 10/2 after pushing).
+        dag = PrefixDag(fig3_fib, barrier=0)
+        shared = [
+            node
+            for node in dag.iter_unique_nodes()
+            if not node.is_leaf and node.refcount >= 2
+        ]
+        assert shared, "expected at least one shared interior node"
+
+    @pytest.mark.parametrize("barrier", [0, 1, 2, 3])
+    def test_all_barriers_equivalent(self, fig3_fib, barrier, rng):
+        trie = BinaryTrie.from_fib(fig3_fib)
+        dag = PrefixDag(fig3_fib, barrier=barrier)
+        assert_forwarding_equivalent(trie.lookup, dag.lookup, rng, samples=300)
+        dag.check_integrity()
+
+    def test_larger_barrier_larger_size(self, fig3_fib):
+        # Fig 3(c) vs 3(e) vs 3(f): raising lambda grows the structure.
+        sizes = [PrefixDag(fig3_fib, barrier=b).node_count() for b in (0, 1, 2)]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+
+class TestLookupSemantics:
+    def test_paper_example(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=2)
+        assert dag.lookup(0b0111 << 28) == 1
+        assert dag.lookup(0b0010 << 28) == 2
+        assert dag.lookup(0b0000 << 28) == 3
+        assert dag.lookup(0b1100 << 28) == 2
+
+    def test_no_route_returns_none(self):
+        fib = Fib()
+        fib.add(0b1, 1, 4)
+        dag = PrefixDag(fib, barrier=0)
+        assert dag.lookup(0x80000000) == 4
+        assert dag.lookup(0x7FFFFFFF) is None
+
+    def test_invalid_label_leaf_defers_to_above_barrier(self):
+        # A label above the barrier must shine through blackhole leaves
+        # below it (the l(lp(bottom)) erasure of §4.1).
+        fib = Fib()
+        fib.add(0b0, 1, 7)          # label above barrier 3
+        fib.add(0b00001, 5, 2)      # more specific below barrier
+        dag = PrefixDag(fib, barrier=3)
+        assert dag.lookup(0b00001 << 27) == 2
+        assert dag.lookup(0b00000 << 27) == 7  # through the bottom leaf
+        assert dag.lookup(0b01111 << 27) == 7
+
+    def test_lookup_with_depth(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=2)
+        label, depth = dag.lookup_with_depth(0b0111 << 28)
+        assert label == 1
+        assert depth >= 2
+
+    @given(st.integers(0, 2**31), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_random(self, seed, barrier):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 50, 4, max_length=12)
+        trie = BinaryTrie.from_fib(fib)
+        dag = PrefixDag(fib, barrier=barrier)
+        for _ in range(80):
+            address = rng.getrandbits(32)
+            assert dag.lookup(address) == trie.lookup(address)
+
+
+class TestStructure:
+    def test_folding_is_canonical(self, rng):
+        # Two different insertion orders give identical folded structure.
+        fib = random_fib(rng, 100, 3, max_length=10)
+        entries = [(r.prefix, r.length, r.label) for r in fib]
+        shuffled = list(entries)
+        rng.shuffle(shuffled)
+        a = PrefixDag(Fib.from_entries(entries), barrier=4)
+        b = PrefixDag(Fib.from_entries(shuffled), barrier=4)
+        assert a.folded_interior_count() == b.folded_interior_count()
+        assert a.folded_leaf_count() == b.folded_leaf_count()
+
+    def test_folding_shares_repeated_structure(self, rng):
+        # A FIB with two identical /8 sub-universes folds them together.
+        fib = Fib()
+        rng2 = random.Random(77)
+        subroutes = [(rng2.getrandbits(8), 8) for _ in range(40)]
+        for top in (0b00000001, 0b00000010):
+            for index, (suffix, length) in enumerate(subroutes):
+                fib.add((top << length) | suffix, 8 + length, 1 + index % 3)
+        dag = PrefixDag(fib, barrier=8)
+        unfolded = dag.unfolded_node_count()
+        assert dag.node_count() < 0.7 * unfolded
+
+    def test_depth_profile_matches_sampling(self, medium_fib, rng):
+        dag = PrefixDag(medium_fib, barrier=6)
+        expected, maximum = dag.depth_profile()
+        sampled = [dag.lookup_with_depth(rng.getrandbits(32))[1] for _ in range(4000)]
+        assert max(sampled) <= maximum
+        assert abs(sum(sampled) / len(sampled) - expected) < 0.5
+
+    def test_stats_totals(self, medium_fib):
+        dag = PrefixDag(medium_fib, barrier=6)
+        stats = dag.stats()
+        assert stats.total_nodes == dag.node_count()
+        assert stats.barrier == 6
+        assert stats.control_nodes == dag.control_trie.node_count()
+
+    def test_size_model_positive(self, medium_fib):
+        dag = PrefixDag(medium_fib, barrier=6)
+        assert dag.size_in_bits() > 0
+        assert dag.size_in_kbytes() == pytest.approx(dag.size_in_bits() / 8192)
+
+    def test_integrity_after_build(self, medium_fib):
+        for barrier in (0, 3, 6, 11, 32):
+            PrefixDag(medium_fib, barrier=barrier).check_integrity()
+
+    def test_repr(self, paper_fib):
+        assert "PrefixDag" in repr(PrefixDag(paper_fib, barrier=2))

@@ -1,0 +1,100 @@
+"""Unit tests for the Table 1 stand-in profiles."""
+
+import pytest
+
+from repro.core.entropy import fib_entropy, shannon_entropy
+from repro.datasets.profiles import (
+    TABLE1_PROFILES,
+    build_profile_fib,
+    configured_scale,
+    profile,
+)
+
+
+class TestProfileTable:
+    def test_eleven_rows(self):
+        assert len(TABLE1_PROFILES) == 11
+
+    def test_groups(self):
+        groups = {p.group for p in TABLE1_PROFILES.values()}
+        assert groups == {"access", "core", "synthetic"}
+
+    def test_lookup_by_name(self):
+        assert profile("taz").entries == 410_513
+        with pytest.raises(KeyError):
+            profile("nonexistent")
+
+    def test_paper_columns_recorded(self):
+        taz = profile("taz")
+        assert taz.paper_pdag_kb == 178
+        assert taz.paper_xbw_kb == 63
+
+
+class TestGeneration:
+    def test_scaled_size(self):
+        fib = build_profile_fib(profile("access_v"), scale=1.0)
+        assert len(fib) == 2986
+
+    def test_scale_floor(self):
+        fib = build_profile_fib(profile("access_v"), scale=0.001)
+        assert len(fib) >= 64
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            build_profile_fib(profile("taz"), scale=0.0)
+        with pytest.raises(ValueError):
+            build_profile_fib(profile("taz"), scale=1.5)
+
+    def test_deterministic(self):
+        a = build_profile_fib(profile("mobile"), scale=0.5)
+        b = build_profile_fib(profile("mobile"), scale=0.5)
+        assert a == b
+
+    def test_profiles_differ(self):
+        a = build_profile_fib(profile("as1221"), scale=0.01)
+        b = build_profile_fib(profile("as4637"), scale=0.02)
+        assert a != b
+
+    def test_delta_matches_target(self):
+        prof = profile("as1221")
+        fib = build_profile_fib(prof, scale=0.02)
+        assert fib.delta <= prof.next_hops
+
+    def test_entry_entropy_near_target(self):
+        prof = profile("as6447")  # highest-entropy profile
+        fib = build_profile_fib(prof, scale=0.02)
+        measured = shannon_entropy(fib.label_histogram())
+        assert measured == pytest.approx(prof.h0, abs=0.35)
+
+    def test_default_route_flag(self):
+        with_default = build_profile_fib(profile("access_d"), scale=0.005)
+        without = build_profile_fib(profile("taz"), scale=0.005)
+        assert with_default.get(0, 0) is not None
+        assert without.get(0, 0) is None
+
+    def test_split_generator_for_synthetic(self):
+        fib = build_profile_fib(profile("fib_600k"), scale=0.002)
+        # Split FIBs cover the whole space: every address matches.
+        report = fib_entropy(fib)
+        assert 0 not in report.label_histogram  # no bottom leaves
+
+
+class TestScaleConfig:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert configured_scale(0.25) == 0.25
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert configured_scale() == 0.5
+
+    def test_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert configured_scale() == 1.0
+
+    def test_env_scale_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "7")
+        with pytest.raises(ValueError):
+            configured_scale()

@@ -1,0 +1,80 @@
+"""Unit tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import DiscreteSampler, derive_rng, make_rng
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestDeriveRng:
+    def test_deterministic_per_label(self):
+        a = derive_rng(make_rng(7), "labels").random()
+        b = derive_rng(make_rng(7), "labels").random()
+        assert a == b
+
+    def test_labels_independent(self):
+        rng1 = make_rng(7)
+        rng2 = make_rng(7)
+        assert derive_rng(rng1, "a").random() != derive_rng(rng2, "b").random()
+
+
+class TestDiscreteSampler:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiscreteSampler([1.0, -0.5])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            DiscreteSampler([0.0, 0.0])
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(ValueError):
+            DiscreteSampler([1.0, 1.0], values=[1])
+
+    def test_default_values_are_indices(self):
+        sampler = DiscreteSampler([1.0, 1.0, 1.0])
+        assert sampler.values == [0, 1, 2]
+
+    def test_probabilities_normalized(self):
+        sampler = DiscreteSampler([2.0, 6.0])
+        probs = sampler.probabilities
+        assert probs[0] == pytest.approx(0.25)
+        assert probs[1] == pytest.approx(0.75)
+
+    def test_degenerate_distribution(self):
+        sampler = DiscreteSampler([1.0], values=["only"])
+        rng = make_rng(3)
+        assert all(sampler.sample(rng) == "only" for _ in range(50))
+
+    def test_sampling_frequencies(self):
+        sampler = DiscreteSampler([0.9, 0.1], values=["a", "b"])
+        rng = make_rng(11)
+        draws = sampler.sample_many(rng, 20_000)
+        fraction_a = draws.count("a") / len(draws)
+        assert 0.88 <= fraction_a <= 0.92
+
+    def test_zero_weight_value_never_sampled(self):
+        sampler = DiscreteSampler([1.0, 0.0, 1.0], values=["a", "never", "c"])
+        rng = make_rng(5)
+        assert "never" not in sampler.sample_many(rng, 5000)
+
+    def test_sample_many_length(self):
+        sampler = DiscreteSampler([1, 2, 3])
+        assert len(sampler.sample_many(make_rng(1), 17)) == 17

@@ -1,0 +1,140 @@
+"""Unit and property tests for the RRR compressed bitvector."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rrr import RRRBitVector
+
+
+class TestConstruction:
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            RRRBitVector([1], block_bits=0)
+        with pytest.raises(ValueError):
+            RRRBitVector([1], block_bits=63)
+
+    def test_rejects_bad_superblock(self):
+        with pytest.raises(ValueError):
+            RRRBitVector([1], superblock_blocks=0)
+
+    def test_empty(self):
+        rrr = RRRBitVector([])
+        assert len(rrr) == 0
+        assert rrr.rank1(0) == 0
+
+    def test_roundtrip_simple(self):
+        bits = [1, 0, 1, 1, 0, 0, 0, 1]
+        assert RRRBitVector(bits).to_bits() == bits
+
+    def test_partial_final_block(self):
+        bits = [1] * 20  # not a multiple of the 15-bit block
+        rrr = RRRBitVector(bits)
+        assert rrr.to_bits() == bits
+        assert rrr.ones == 20
+
+
+class TestQueries:
+    def test_access(self):
+        bits = [i % 5 == 0 for i in range(100)]
+        rrr = RRRBitVector(bits)
+        for index in range(100):
+            assert rrr.access(index) == bits[index]
+
+    def test_access_bounds(self):
+        rrr = RRRBitVector([1, 0])
+        with pytest.raises(IndexError):
+            rrr.access(2)
+
+    def test_rank_matches_plain(self):
+        rng = random.Random(3)
+        bits = [rng.randint(0, 1) for _ in range(700)]
+        rrr = RRRBitVector(bits)
+        plain = BitVector(bits)
+        for position in range(0, 701, 13):
+            assert rrr.rank1(position) == plain.rank1(position)
+            assert rrr.rank0(position) == plain.rank0(position)
+
+    def test_select_matches_plain(self):
+        rng = random.Random(4)
+        bits = [rng.randint(0, 1) for _ in range(400)]
+        rrr = RRRBitVector(bits)
+        plain = BitVector(bits)
+        for occurrence in range(1, rrr.ones + 1, 7):
+            assert rrr.select1(occurrence) == plain.select1(occurrence)
+        for occurrence in range(1, rrr.zeros + 1, 7):
+            assert rrr.select0(occurrence) == plain.select0(occurrence)
+
+    def test_select_bounds(self):
+        rrr = RRRBitVector([1, 0, 1])
+        with pytest.raises(IndexError):
+            rrr.select1(3)
+        with pytest.raises(IndexError):
+            rrr.select0(2)
+
+    def test_inclusive_rank_convention(self):
+        rrr = RRRBitVector([0, 0, 1, 0, 0, 1, 1, 1, 1])
+        assert rrr.rank0_inclusive(4) == 3
+        assert rrr.rank1_inclusive(3) == 1
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=400))
+    @settings(max_examples=60)
+    def test_rank_property(self, bits):
+        rrr = RRRBitVector(bits)
+        step = max(1, len(bits) // 11)
+        expected = 0
+        checkpoints = {i: sum(bits[:i]) for i in range(0, len(bits) + 1, step)}
+        for position, want in checkpoints.items():
+            assert rrr.rank1(position) == want
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, bits):
+        assert RRRBitVector(bits).to_bits() == bits
+
+
+class TestCompression:
+    def test_sparse_bits_compress(self):
+        # 1% density: entropy ~0.08 bits/bit; RRR must beat plain storage.
+        rng = random.Random(9)
+        bits = [1 if rng.random() < 0.01 else 0 for _ in range(30_000)]
+        rrr = RRRBitVector(bits)
+        assert rrr.size_in_bits() < 0.5 * len(bits)
+
+    def test_dense_random_bits_near_raw(self):
+        # Max-entropy input cannot compress; overhead must stay modest.
+        rng = random.Random(10)
+        bits = [rng.randint(0, 1) for _ in range(30_000)]
+        rrr = RRRBitVector(bits)
+        assert rrr.size_in_bits() < 1.35 * len(bits)
+
+    def test_size_tracks_entropy(self):
+        rng = random.Random(11)
+        n = 20_000
+
+        def build(p):
+            bits = [1 if rng.random() < p else 0 for _ in range(n)]
+            return RRRBitVector(bits).size_in_bits()
+
+        assert build(0.02) < build(0.1) < build(0.5)
+
+    def test_entropy_bound_with_slack(self):
+        # Size <= n*h(p) + o(n): check with generous constant slack.
+        rng = random.Random(12)
+        n, p = 40_000, 0.05
+        bits = [1 if rng.random() < p else 0 for _ in range(n)]
+        h = -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+        rrr = RRRBitVector(bits)
+        assert rrr.size_in_bits() <= n * h + 0.35 * n
+
+    def test_trace_methods_return_addresses(self):
+        bits = [i % 7 == 0 for i in range(1000)]
+        rrr = RRRBitVector(bits)
+        addresses = rrr.trace_access(500)
+        assert addresses and all(a >= 0 for a in addresses)
+        assert rrr.trace_rank(0) == []
+        assert rrr.trace_rank(999)

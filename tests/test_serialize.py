@@ -1,0 +1,121 @@
+"""Unit tests for the serialized prefix-DAG image (§5.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fib import Fib
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import SerializedDag
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+class TestEquivalence:
+    def test_paper_example(self, paper_fib, rng):
+        dag = PrefixDag(paper_fib, barrier=2)
+        image = SerializedDag(dag)
+        trie = BinaryTrie.from_fib(paper_fib)
+        assert_forwarding_equivalent(trie.lookup, image.lookup, rng)
+
+    @pytest.mark.parametrize("barrier", [0, 1, 4, 8, 12])
+    def test_every_barrier(self, medium_fib, barrier, rng):
+        dag = PrefixDag(medium_fib, barrier=barrier)
+        image = SerializedDag(dag)
+        assert_forwarding_equivalent(dag.lookup, image.lookup, rng, samples=300)
+
+    @given(st.integers(0, 2**31), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_random_fibs(self, seed, barrier):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 40, 4, max_length=14)
+        dag = PrefixDag(fib, barrier=barrier)
+        image = SerializedDag(dag)
+        trie = BinaryTrie.from_fib(fib)
+        for _ in range(60):
+            address = rng.getrandbits(32)
+            assert image.lookup(address) == trie.lookup(address)
+
+    def test_empty_fib(self):
+        image = SerializedDag(PrefixDag(Fib(), barrier=4))
+        assert image.lookup(0) is None
+        assert image.lookup(2**32 - 1) is None
+
+    def test_default_only(self):
+        fib = Fib()
+        fib.add(0, 0, 9)
+        image = SerializedDag(PrefixDag(fib, barrier=4))
+        assert image.lookup(0) == 9
+        assert image.lookup(2**31) == 9
+
+
+class TestGuardsAndSizes:
+    def test_rejects_huge_barrier(self, paper_fib):
+        dag = PrefixDag(paper_fib, barrier=30)
+        with pytest.raises(ValueError):
+            SerializedDag(dag)
+
+    def test_size_components(self, medium_fib):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=8))
+        expected = (
+            len(image.table_ref) * image.table_entry_bytes
+            + image.interior_count * image.node_entry_bytes
+            + image.leaf_count * image.leaf_entry_bytes
+        )
+        assert image.size_in_bytes() == expected
+        assert image.size_in_bits() == expected * 8
+
+    def test_table_has_2_to_barrier_entries(self, medium_fib):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=7))
+        assert len(image.table_ref) == 1 << 7
+
+    def test_repr(self, paper_fib):
+        assert "SerializedDag" in repr(SerializedDag(PrefixDag(paper_fib, barrier=2)))
+
+
+class TestTraces:
+    def test_trace_label_agrees(self, medium_fib, rng):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=8))
+        for _ in range(200):
+            address = rng.getrandbits(32)
+            label, addresses = image.lookup_trace(address)
+            assert label == image.lookup(address)
+            assert addresses, "every lookup touches at least the stride table"
+
+    def test_trace_addresses_inside_image(self, medium_fib, rng):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=8))
+        size = image.size_in_bytes()
+        for _ in range(100):
+            _, addresses = image.lookup_trace(rng.getrandbits(32))
+            assert all(0 <= a < size for a in addresses)
+
+    def test_trace_first_access_is_stride_table(self, medium_fib, rng):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=8))
+        _, addresses = image.lookup_trace(rng.getrandbits(32))
+        assert addresses[0] < image.node_base
+
+
+class TestDepthProfile:
+    def test_matches_sampled_traces(self, medium_fib, rng):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=8))
+        expected, maximum = image.depth_profile()
+        sampled = []
+        for _ in range(4000):
+            _, trace = image.lookup_trace(rng.getrandbits(32))
+            sampled.append(len(trace) - 1)  # drop the stride-table access
+        assert abs(sum(sampled) / len(sampled) - expected) < 0.3
+        assert max(sampled) <= maximum
+
+    def test_empty_image(self):
+        image = SerializedDag(PrefixDag(Fib(), barrier=4))
+        expected, maximum = image.depth_profile()
+        assert expected == 0.0
+        assert maximum == 0
+
+    def test_depth_bounded_by_remaining_width(self, medium_fib):
+        image = SerializedDag(PrefixDag(medium_fib, barrier=8))
+        _, maximum = image.depth_profile()
+        assert maximum <= 32 - 8 + 1  # chain plus the final leaf

@@ -1,0 +1,99 @@
+"""Failure-injection tests for the serialized image validator.
+
+A forwarding-plane blob that survives a corrupted download is a routing
+incident; :meth:`SerializedDag.validate` must catch every class of
+structural damage. Each test corrupts one field and expects a
+ValueError.
+"""
+
+import pytest
+
+from repro.core.prefixdag import PrefixDag
+from repro.core.serialize import NULL_REF, SerializedDag
+
+
+@pytest.fixture
+def image(medium_fib):
+    return SerializedDag(PrefixDag(medium_fib, barrier=8))
+
+
+class TestValidImages:
+    def test_fresh_image_validates(self, image):
+        image.validate()
+
+    def test_empty_fib_image_validates(self):
+        from repro.core.fib import Fib
+
+        SerializedDag(PrefixDag(Fib(), barrier=4)).validate()
+
+    def test_image_after_updates_validates(self, medium_fib, rng):
+        dag = PrefixDag(medium_fib, barrier=8)
+        for _ in range(50):
+            length = rng.randint(0, 16)
+            dag.update(rng.getrandbits(length) if length else 0, length, rng.randint(1, 5))
+        SerializedDag(dag).validate()
+
+
+class TestCorruption:
+    def test_truncated_table(self, image):
+        image.table_ref.pop()
+        with pytest.raises(ValueError, match="stride table"):
+            image.validate()
+
+    def test_mismatched_child_arrays(self, image):
+        image.left.append(0)
+        with pytest.raises(ValueError, match="child arrays"):
+            image.validate()
+
+    def test_out_of_range_table_ref(self, image):
+        image.table_ref[0] = (image.interior_count + 5) << 1
+        with pytest.raises(ValueError, match="out of range"):
+            image.validate()
+
+    def test_out_of_range_leaf_ref(self, image):
+        image.table_ref[0] = ((image.leaf_count + 3) << 1) | 1
+        with pytest.raises(ValueError, match="leaf reference"):
+            image.validate()
+
+    def test_negative_ref(self, image):
+        for index in range(image.interior_count):
+            if image.left[index] != NULL_REF:
+                image.left[index] = -7
+                break
+        with pytest.raises(ValueError, match="negative reference"):
+            image.validate()
+
+    def test_null_child(self, image):
+        assert image.interior_count > 0
+        image.right[0] = NULL_REF
+        with pytest.raises(ValueError, match="null child"):
+            image.validate()
+
+    def test_out_of_range_child(self, image):
+        image.left[0] = (image.interior_count + 9) << 1
+        with pytest.raises(ValueError, match="out of range"):
+            image.validate()
+
+    def test_negative_label(self, image):
+        image.leaf_label[0] = -1
+        with pytest.raises(ValueError, match="negative"):
+            image.validate()
+
+    def test_negative_table_label(self, image):
+        image.table_label[0] = -2
+        with pytest.raises(ValueError, match="negative"):
+            image.validate()
+
+    def test_self_cycle(self, image):
+        assert image.interior_count > 0
+        image.left[0] = 0 << 1  # node 0 points to itself
+        with pytest.raises(ValueError, match="cycle"):
+            image.validate()
+
+    def test_two_node_cycle(self, image):
+        if image.interior_count < 2:
+            pytest.skip("image too small for a 2-cycle")
+        image.left[0] = 1 << 1
+        image.left[1] = 0 << 1
+        with pytest.raises(ValueError, match="cycle"):
+            image.validate()

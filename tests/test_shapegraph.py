@@ -1,0 +1,78 @@
+"""Unit tests for the Shape graph baseline (§6 related work)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.shapegraph import ShapeGraph
+from repro.core.prefixdag import PrefixDag
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent, random_fib
+
+
+class TestLookup:
+    def test_paper_example(self, paper_fib, rng):
+        trie = BinaryTrie.from_fib(paper_fib)
+        shape = ShapeGraph(paper_fib)
+        assert_forwarding_equivalent(trie.lookup, shape.lookup, rng)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_random(self, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 40, 4, max_length=12)
+        trie = BinaryTrie.from_fib(fib)
+        shape = ShapeGraph(fib)
+        for _ in range(60):
+            address = rng.getrandbits(32)
+            assert shape.lookup(address) == trie.lookup(address)
+
+    def test_lookup_with_depth(self, medium_fib, rng):
+        shape = ShapeGraph(medium_fib)
+        label, depth = shape.lookup_with_depth(rng.getrandbits(32))
+        assert 0 <= depth <= 32
+
+
+class TestStructure:
+    def test_shape_merging_is_aggressive(self, medium_fib):
+        # Ignoring labels merges at least as much as respecting them.
+        shape = ShapeGraph(medium_fib)
+        labeled = PrefixDag(medium_fib, barrier=0)
+        assert shape.shape_node_count() <= labeled.node_count()
+
+    def test_hash_holds_all_labeled_leaves(self, paper_fib):
+        shape = ShapeGraph(paper_fib)
+        # Fig 1(e): 5 leaves, all labeled (no bottom leaves here).
+        assert shape.hash_entries() == 5
+
+    def test_bottom_leaves_not_hashed(self):
+        from repro.core.fib import Fib
+
+        fib = Fib()
+        fib.add(0b1, 1, 4)  # half the space unrouted
+        shape = ShapeGraph(fib)
+        assert shape.hash_entries() == 1
+
+    def test_hash_dominates_size(self, medium_fib):
+        # The paper's criticism: the next-hop hash is the giant part.
+        shape = ShapeGraph(medium_fib)
+        assert shape.hash_size_in_bits() > shape.shape_size_in_bits()
+
+    def test_pdag_beats_shapegraph_total(self, medium_fib):
+        # Label-aware folding wins overall (the point of §6).
+        shape = ShapeGraph(medium_fib)
+        dag = PrefixDag(medium_fib, barrier=0)
+        assert dag.size_in_bits() < shape.size_in_bits()
+
+    def test_size_components(self, medium_fib):
+        shape = ShapeGraph(medium_fib)
+        assert shape.size_in_bits() == (
+            shape.shape_size_in_bits() + shape.hash_size_in_bits()
+        )
+        assert shape.size_in_kbytes() == pytest.approx(shape.size_in_bits() / 8192)
+
+    def test_repr(self, paper_fib):
+        assert "ShapeGraph" in repr(ShapeGraph(paper_fib))

@@ -1,0 +1,63 @@
+"""Unit tests for the §4.2 memory model."""
+
+import pytest
+
+from repro.core.prefixdag import PrefixDag
+from repro.core.sizemodel import (
+    binary_trie_size_bits,
+    kbytes,
+    label_width,
+    patricia_size_bits,
+    pointer_width,
+    prefix_dag_size_bits,
+    tabular_size_bits,
+)
+
+
+class TestFieldWidths:
+    def test_pointer_width_floors_at_one(self):
+        assert pointer_width(0) == 1
+        assert pointer_width(1) == 1
+
+    def test_pointer_width_reserves_null(self):
+        assert pointer_width(3) == 2
+        assert pointer_width(255) == 8
+        assert pointer_width(256) == 9  # 256 nodes + null needs 9 bits
+
+    def test_label_width(self):
+        assert label_width(1) == 1
+        assert label_width(3) == 2
+        assert label_width(255) == 8
+
+
+class TestModels:
+    def test_tabular(self):
+        assert tabular_size_bits(0, 4, 32) == 0
+        assert tabular_size_bits(100, 4, 32) == 100 * (32 + 2)
+
+    def test_patricia_is_24_bytes_per_node(self):
+        assert patricia_size_bits(10) == 10 * 24 * 8
+
+    def test_binary_trie(self):
+        bits = binary_trie_size_bits(100, 4)
+        assert bits == 100 * (2 * pointer_width(100) + label_width(4))
+
+    def test_kbytes(self):
+        assert kbytes(8192) == pytest.approx(1.0)
+
+    def test_dag_model_consistency(self, medium_fib):
+        dag = PrefixDag(medium_fib, barrier=6)
+        above = dag.above_node_count()
+        interior = dag.folded_interior_count()
+        leaves = dag.folded_leaf_count()
+        ptr = pointer_width(above + interior + leaves)
+        labels = label_width(max(leaves, dag.entropy_report().delta))
+        expected = above * (ptr + labels) + interior * 2 * ptr + leaves * labels
+        assert prefix_dag_size_bits(dag) == expected
+
+    def test_dag_smaller_than_plain_trie(self, medium_fib):
+        # The whole point of the paper: folding beats the trie it folds.
+        dag = PrefixDag(medium_fib, barrier=4)
+        control = dag.control_trie
+        trie_bits = binary_trie_size_bits(control.node_count(), medium_fib.delta)
+        assert prefix_dag_size_bits(dag) < trie_bits

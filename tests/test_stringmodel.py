@@ -1,0 +1,120 @@
+"""Unit tests for the string model (Fig 4, Theorems 1–2 setting)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stringmodel import FoldedString, pad_to_power_of_two
+
+
+class TestFig4Example:
+    def test_banana_access(self):
+        # Fig 4: "bananaba" on a complete depth-3 trie; the third
+        # character is accessed by looking up key 3 - 1 = 010b.
+        symbols = [ord(c) for c in "bananaba"]
+        folded = FoldedString(symbols, barrier=0)
+        assert folded.access(0b010) == ord("n")
+        assert [chr(folded.access(i)) for i in range(8)] == list("bananaba")
+
+    def test_banana_shares_leaves(self):
+        symbols = [ord(c) for c in "bananaba"]
+        folded = FoldedString(symbols, barrier=0)
+        # Alphabet {b, a, n}: exactly 3 coalesced leaves (Fig 4(c)).
+        assert folded.folded_leaf_count() == 3
+
+    def test_banana_folds_repeated_pairs(self):
+        # "na" appears twice and "ba" twice: the folded DAG must have
+        # fewer interiors than the complete tree's 7.
+        symbols = [ord(c) for c in "bananaba"]
+        folded = FoldedString(symbols, barrier=0)
+        assert folded.folded_interior_count() < 7
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FoldedString([])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FoldedString([1, 2, 3])
+
+    def test_rejects_bad_barrier(self):
+        with pytest.raises(ValueError):
+            FoldedString([1, 2, 3, 4], barrier=5)
+
+    def test_pad_to_power_of_two(self):
+        assert pad_to_power_of_two([1, 2, 3]) == [1, 2, 3, 3]
+        assert pad_to_power_of_two([1, 2, 3], fill=0) == [1, 2, 3, 0]
+        assert pad_to_power_of_two([5]) == [5]
+        with pytest.raises(ValueError):
+            pad_to_power_of_two([])
+
+    def test_auto_barrier_in_range(self):
+        rng = random.Random(1)
+        symbols = [rng.randint(0, 3) for _ in range(1 << 10)]
+        folded = FoldedString(symbols)
+        assert 0 <= folded.barrier <= 10
+
+
+class TestAccess:
+    @pytest.mark.parametrize("barrier", [0, 2, 5, 8])
+    def test_roundtrip(self, barrier):
+        rng = random.Random(barrier)
+        symbols = [rng.randint(0, 5) for _ in range(1 << 8)]
+        folded = FoldedString(symbols, barrier=barrier)
+        assert folded.to_list() == symbols
+
+    def test_access_bounds(self):
+        folded = FoldedString([1, 2, 3, 4])
+        with pytest.raises(IndexError):
+            folded.access(4)
+
+    def test_degenerate_full_barrier(self):
+        symbols = [3, 1, 4, 1]
+        folded = FoldedString(symbols, barrier=2)
+        assert folded.to_list() == symbols
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=128))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, raw):
+        symbols = pad_to_power_of_two(raw)
+        folded = FoldedString(symbols)
+        assert folded.to_list() == symbols
+
+
+class TestCompression:
+    def test_constant_string_collapses(self):
+        folded = FoldedString([7] * 1024, barrier=0)
+        assert folded.folded_interior_count() == 0
+        assert folded.folded_leaf_count() == 1
+
+    def test_periodic_string_folds_to_log_size(self):
+        symbols = [1, 2] * 512
+        folded = FoldedString(symbols, barrier=0)
+        # Period-2 strings fold to a chain of ~log2(n) distinct nodes.
+        assert folded.folded_interior_count() <= 10
+
+    def test_low_entropy_smaller_than_high(self):
+        rng = random.Random(5)
+        n = 1 << 12
+        low = [1 if rng.random() < 0.02 else 2 for _ in range(n)]
+        high = [rng.randint(1, 2) for _ in range(n)]
+        assert (
+            FoldedString(low).size_in_bits() < FoldedString(high).size_in_bits()
+        )
+
+    def test_report_fields(self):
+        rng = random.Random(6)
+        symbols = [1 if rng.random() < 0.1 else 2 for _ in range(1 << 12)]
+        report = FoldedString(symbols).report()
+        assert report.length == 1 << 12
+        assert report.delta == 2
+        assert 0 < report.h0 < 1
+        assert report.entropy_bits == pytest.approx(report.h0 * report.length)
+        assert report.size_bits > 0
+        assert report.efficiency == pytest.approx(
+            report.size_bits / report.entropy_bits
+        )

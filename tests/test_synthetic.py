@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import math
+
+import pytest
+
+from repro.core.entropy import entropy_of_probabilities, shannon_entropy
+from repro.datasets.synthetic import (
+    bernoulli_fib,
+    bernoulli_label_sampler,
+    bernoulli_string,
+    internet_like_fib,
+    label_sampler_with_entropy,
+    poisson_label_fib,
+    random_prefix_split_fib,
+    relabel_fib,
+    truncated_poisson_weights,
+)
+from repro.utils.rng import DiscreteSampler, make_rng
+
+
+class TestSamplers:
+    def test_truncated_poisson_weights(self):
+        weights = truncated_poisson_weights(4, 0.6)
+        assert len(weights) == 4
+        assert weights[0] > weights[1] > weights[2] > weights[3]
+
+    def test_truncated_poisson_rejects_bad(self):
+        with pytest.raises(ValueError):
+            truncated_poisson_weights(0, 0.6)
+        with pytest.raises(ValueError):
+            truncated_poisson_weights(4, 0.0)
+
+    def test_entropy_targeted_sampler(self):
+        sampler = label_sampler_with_entropy(8, 1.5)
+        assert entropy_of_probabilities(sampler.probabilities) == pytest.approx(
+            1.5, abs=1e-6
+        )
+        assert sampler.values == list(range(1, 9))
+
+    def test_bernoulli_sampler(self):
+        sampler = bernoulli_label_sampler(0.25)
+        assert sampler.values == [1, 2]
+        assert sampler.probabilities[0] == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            bernoulli_label_sampler(1.5)
+
+
+class TestPrefixSplitting:
+    def test_entry_count(self):
+        fib = random_prefix_split_fib(500, DiscreteSampler([1, 1], values=[1, 2]), seed=1)
+        assert len(fib) == 500
+
+    def test_prefixes_are_disjoint_cover(self):
+        # Split prefixes partition the space: every address matches
+        # exactly one entry.
+        fib = random_prefix_split_fib(200, DiscreteSampler([1.0], values=[1]), seed=2)
+        rng = make_rng(3)
+        from repro.core.trie import BinaryTrie
+
+        trie = BinaryTrie.from_fib(fib)
+        for _ in range(300):
+            assert trie.lookup(rng.getrandbits(32)) == 1
+
+    def test_deterministic(self):
+        sampler = DiscreteSampler([1, 2], values=[1, 2])
+        a = random_prefix_split_fib(100, sampler, seed=7)
+        b = random_prefix_split_fib(100, DiscreteSampler([1, 2], values=[1, 2]), seed=7)
+        assert a == b
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            random_prefix_split_fib(0, DiscreteSampler([1.0]), seed=1)
+
+    def test_max_length_respected(self):
+        fib = random_prefix_split_fib(
+            300, DiscreteSampler([1.0], values=[1]), seed=4, max_length=10
+        )
+        assert all(route.length <= 10 for route in fib)
+
+    def test_poisson_recipe(self):
+        fib = poisson_label_fib(400, 5, seed=8)
+        assert len(fib) == 400
+        assert fib.delta <= 5
+
+
+class TestInternetLike:
+    def test_entry_count_and_delta(self):
+        sampler = label_sampler_with_entropy(6, 1.2)
+        fib = internet_like_fib(800, sampler, seed=5)
+        assert len(fib) == 800
+        assert fib.delta <= 6
+
+    def test_default_route_flag(self):
+        sampler = DiscreteSampler([1.0], values=[2])
+        with_default = internet_like_fib(50, sampler, seed=6, default_route=True)
+        without = internet_like_fib(50, sampler, seed=6, default_route=False)
+        assert with_default.get(0, 0) is not None
+        assert without.get(0, 0) is None
+
+    def test_length_mix_is_dfz_like(self):
+        sampler = DiscreteSampler([1.0], values=[1])
+        fib = internet_like_fib(3000, sampler, seed=7)
+        lengths = [route.length for route in fib]
+        mean = sum(lengths) / len(lengths)
+        assert 18 <= mean <= 24  # Internet tables sit around 22
+        share_24 = sum(1 for l in lengths if l == 24) / len(lengths)
+        assert share_24 > 0.25
+
+    def test_saturation_error(self):
+        sampler = DiscreteSampler([1.0], values=[1])
+        with pytest.raises(RuntimeError):
+            internet_like_fib(100, sampler, seed=8, length_histogram={2: 1.0})
+
+
+class TestBernoulliWorkloads:
+    def test_bernoulli_fib_labels(self):
+        fib = bernoulli_fib(500, 0.1, seed=9)
+        histogram = fib.label_histogram()
+        assert set(histogram) <= {1, 2}
+        assert histogram.get(2, 0) > histogram.get(1, 0)
+
+    def test_bernoulli_string(self):
+        symbols = bernoulli_string(4096, 0.05, seed=10)
+        assert len(symbols) == 4096
+        fraction = symbols.count(1) / len(symbols)
+        assert 0.02 <= fraction <= 0.09
+
+    def test_bernoulli_string_entropy(self):
+        symbols = bernoulli_string(1 << 14, 0.2, seed=11)
+        histogram = {1: symbols.count(1), 2: symbols.count(2)}
+        expected = -(0.2 * math.log2(0.2) + 0.8 * math.log2(0.8))
+        assert shannon_entropy(histogram) == pytest.approx(expected, abs=0.05)
+
+    def test_relabel_preserves_structure(self, paper_fib):
+        relabeled = relabel_fib(paper_fib, bernoulli_label_sampler(0.5), seed=12)
+        assert len(relabeled) == len(paper_fib)
+        assert {(r.prefix, r.length) for r in relabeled} == {
+            (r.prefix, r.length) for r in paper_fib
+        }

@@ -1,0 +1,30 @@
+"""Unit tests for the tabular baseline adapter."""
+
+import pytest
+
+from repro.baselines.tabular import TabularFib
+from repro.core.trie import BinaryTrie
+
+from tests.conftest import assert_forwarding_equivalent
+
+
+class TestTabularFib:
+    def test_equivalence(self, paper_fib, rng):
+        adapter = TabularFib(paper_fib)
+        trie = BinaryTrie.from_fib(paper_fib)
+        assert_forwarding_equivalent(trie.lookup, adapter.lookup, rng, samples=200)
+
+    def test_is_a_copy(self, paper_fib):
+        adapter = TabularFib(paper_fib)
+        paper_fib.remove(0, 0)
+        assert adapter.lookup(0xF0000000) == 2  # default still there
+
+    def test_size_model(self, paper_fib):
+        adapter = TabularFib(paper_fib)
+        assert adapter.size_in_bits() == (32 + 2) * 6
+        assert adapter.size_in_kbytes() == pytest.approx((32 + 2) * 6 / 8192)
+
+    def test_len_and_repr(self, paper_fib):
+        adapter = TabularFib(paper_fib)
+        assert len(adapter) == 6
+        assert "TabularFib" in repr(adapter)

@@ -1,0 +1,60 @@
+"""Unit tests for lookup-key trace generators (Table 2 workloads)."""
+
+import pytest
+
+from repro.core.fib import Fib
+from repro.datasets.traces import caida_like_trace, trace_locality, uniform_trace
+
+
+class TestUniformTrace:
+    def test_length_and_range(self):
+        trace = uniform_trace(500, seed=1)
+        assert len(trace) == 500
+        assert all(0 <= a < 2**32 for a in trace)
+
+    def test_deterministic(self):
+        assert uniform_trace(100, seed=2) == uniform_trace(100, seed=2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            uniform_trace(-1)
+
+    def test_low_locality(self):
+        trace = uniform_trace(5000, seed=3)
+        assert trace_locality(trace) < 0.05
+
+
+class TestCaidaLikeTrace:
+    def test_addresses_fall_under_routes(self, medium_fib):
+        trace = caida_like_trace(medium_fib, 1000, seed=4)
+        from repro.core.trie import BinaryTrie
+
+        trie = BinaryTrie.from_fib(medium_fib)
+        matched = sum(1 for a in trace if trie.lookup(a) is not None)
+        assert matched == len(trace)  # flows are drawn from routed space
+
+    def test_high_locality(self, medium_fib):
+        trace = caida_like_trace(medium_fib, 5000, seed=5)
+        assert trace_locality(trace) > 0.15
+
+    def test_flow_population_bounds_distinct_destinations(self, medium_fib):
+        trace = caida_like_trace(medium_fib, 2000, seed=6, flows=64)
+        assert len(set(trace)) <= 64
+
+    def test_empty_fib_falls_back_to_uniform(self):
+        trace = caida_like_trace(Fib(), 100, seed=7)
+        assert len(trace) == 100
+
+    def test_rejects_bad_args(self, medium_fib):
+        with pytest.raises(ValueError):
+            caida_like_trace(medium_fib, -1)
+        with pytest.raises(ValueError):
+            caida_like_trace(medium_fib, 10, flows=0)
+
+
+class TestLocalityMetric:
+    def test_empty(self):
+        assert trace_locality([]) == 0.0
+
+    def test_single_destination(self):
+        assert trace_locality([42] * 100) == 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for the update feed generators (Fig 5 workloads)."""
+
+import pytest
+
+from repro.core.prefixdag import PrefixDag
+from repro.datasets.updates import (
+    UpdateOp,
+    apply_updates,
+    bgp_update_sequence,
+    iter_batches,
+    mean_length,
+    random_update_sequence,
+)
+
+
+class TestRandomFeed:
+    def test_count_and_lengths(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 500, seed=1)
+        assert len(ops) == 500
+        assert all(0 <= op.length <= 32 for op in ops)
+
+    def test_mean_length_uniform(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 4000, seed=2)
+        assert mean_length(ops) == pytest.approx(16.0, abs=0.7)
+
+    def test_labels_from_fib(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 300, seed=3)
+        valid = set(medium_fib.labels)
+        assert all(op.label in valid for op in ops if not op.is_withdraw)
+
+    def test_deterministic(self, medium_fib):
+        assert random_update_sequence(medium_fib, 100, seed=4) == random_update_sequence(
+            medium_fib, 100, seed=4
+        )
+
+    def test_withdraw_fraction(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 1000, seed=5, withdraw_fraction=0.3)
+        withdraws = sum(1 for op in ops if op.is_withdraw)
+        assert 200 <= withdraws <= 400
+
+    def test_withdraws_target_existing_routes(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 500, seed=6, withdraw_fraction=0.5)
+        existing = {(r.prefix, r.length) for r in medium_fib}
+        assert all(
+            (op.prefix, op.length) in existing for op in ops if op.is_withdraw
+        )
+
+
+class TestBgpFeed:
+    def test_mean_length_matches_paper(self, medium_fib):
+        # The paper's RouteViews feed has mean prefix length 21.87.
+        ops = bgp_update_sequence(medium_fib, 6000, seed=7)
+        assert mean_length(ops) == pytest.approx(21.87, abs=0.5)
+
+    def test_biased_to_long_prefixes(self, medium_fib):
+        ops = bgp_update_sequence(medium_fib, 3000, seed=8)
+        share_24 = sum(1 for op in ops if op.length == 24) / len(ops)
+        assert share_24 > 0.4
+
+    def test_reannounces_existing_prefixes(self, medium_fib):
+        ops = bgp_update_sequence(medium_fib, 2000, seed=9, reannounce_fraction=1.0)
+        existing = {(r.prefix, r.length) for r in medium_fib}
+        by_length = {}
+        for prefix, length in existing:
+            by_length.setdefault(length, set()).add(prefix)
+        hits = sum(
+            1 for op in ops if op.prefix in by_length.get(op.length, set())
+        )
+        # Lengths present in the FIB must re-announce existing values.
+        assert hits > 0
+
+    def test_empty_mean(self):
+        assert mean_length([]) == 0.0
+
+
+class TestApplication:
+    def test_apply_to_dag(self, medium_fib):
+        dag = PrefixDag(medium_fib, barrier=8)
+        ops = random_update_sequence(medium_fib, 200, seed=10)
+        applied = apply_updates(dag, ops)
+        assert applied == 200
+        dag.check_integrity()
+
+    def test_apply_skips_bogus_withdraws(self, medium_fib):
+        dag = PrefixDag(medium_fib, barrier=8)
+        bogus = [UpdateOp(0b1010101, 7, None)]
+        if medium_fib.get(0b1010101, 7) is None:
+            assert apply_updates(dag, bogus) == 0
+
+    def test_iter_batches(self):
+        ops = [UpdateOp(0, 0, 1)] * 10
+        batches = list(iter_batches(ops, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            list(iter_batches(ops, 0))

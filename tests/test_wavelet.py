@@ -1,0 +1,134 @@
+"""Unit and property tests for the wavelet tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.rrr import RRRBitVector
+from repro.succinct.wavelet import WaveletTree
+
+
+def naive_rank(sequence, symbol, position):
+    return sum(1 for s in sequence[:position] if s == symbol)
+
+
+def naive_select(sequence, symbol, occurrence):
+    seen = 0
+    for index, s in enumerate(sequence):
+        if s == symbol:
+            seen += 1
+            if seen == occurrence:
+                return index
+    raise IndexError
+
+
+class TestConstruction:
+    def test_empty_sequence(self):
+        wt = WaveletTree([])
+        assert len(wt) == 0
+        assert wt.rank(1, 0) == 0
+
+    def test_single_symbol_sequence(self):
+        wt = WaveletTree([7, 7, 7])
+        assert wt.access(1) == 7
+        assert wt.rank(7, 3) == 3
+        assert wt.select(7, 2) == 1
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(ValueError):
+            WaveletTree([1, 2], shape="mystery")
+
+    def test_alphabet(self):
+        wt = WaveletTree([3, 1, 2, 1])
+        assert wt.alphabet == [1, 2, 3]
+
+
+class TestQueries:
+    SEQUENCE = [2, 3, 2, 2, 1, 3, 1, 2, 2]
+
+    @pytest.fixture(params=["huffman", "balanced"])
+    def tree(self, request):
+        return WaveletTree(self.SEQUENCE, shape=request.param)
+
+    def test_access(self, tree):
+        for index, symbol in enumerate(self.SEQUENCE):
+            assert tree.access(index) == symbol
+
+    def test_access_bounds(self, tree):
+        with pytest.raises(IndexError):
+            tree.access(len(self.SEQUENCE))
+
+    def test_rank(self, tree):
+        for symbol in (1, 2, 3):
+            for position in range(len(self.SEQUENCE) + 1):
+                assert tree.rank(symbol, position) == naive_rank(
+                    self.SEQUENCE, symbol, position
+                )
+
+    def test_rank_absent_symbol(self, tree):
+        assert tree.rank(99, 5) == 0
+
+    def test_select(self, tree):
+        for symbol in (1, 2, 3):
+            total = self.SEQUENCE.count(symbol)
+            for occurrence in range(1, total + 1):
+                assert tree.select(symbol, occurrence) == naive_select(
+                    self.SEQUENCE, symbol, occurrence
+                )
+
+    def test_select_bounds(self, tree):
+        with pytest.raises(IndexError):
+            tree.select(1, 3)
+        with pytest.raises(KeyError):
+            tree.select(99, 1)
+
+    def test_to_list(self, tree):
+        assert tree.to_list() == self.SEQUENCE
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=250),
+           st.sampled_from(["huffman", "balanced"]))
+    @settings(max_examples=50)
+    def test_access_roundtrip(self, sequence, shape):
+        wt = WaveletTree(sequence, shape=shape)
+        assert wt.to_list() == sequence
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=150))
+    @settings(max_examples=40)
+    def test_rank_select_consistency(self, sequence):
+        wt = WaveletTree(sequence)
+        for symbol in set(sequence):
+            total = wt.rank(symbol, len(sequence))
+            assert total == sequence.count(symbol)
+            for occurrence in range(1, total + 1):
+                position = wt.select(symbol, occurrence)
+                assert sequence[position] == symbol
+                assert wt.rank(symbol, position + 1) == occurrence
+
+
+class TestShapesAndBacking:
+    def test_huffman_smaller_on_skewed_data(self):
+        rng = random.Random(2)
+        sequence = [rng.choices([1, 2, 3, 4, 5, 6, 7, 8], weights=[128, 8, 4, 2, 1, 1, 1, 1])[0]
+                    for _ in range(4000)]
+        huff = WaveletTree(sequence, shape="huffman")
+        flat = WaveletTree(sequence, shape="balanced")
+        assert huff.size_in_bits() < flat.size_in_bits()
+
+    def test_rrr_backing(self):
+        rng = random.Random(6)
+        sequence = [rng.choice([1, 2, 3]) for _ in range(500)]
+        wt = WaveletTree(sequence, bitvector_factory=RRRBitVector)
+        assert wt.to_list() == sequence
+        for position in range(0, 501, 50):
+            assert wt.rank(2, position) == naive_rank(sequence, 2, position)
+
+    def test_trace_access(self):
+        sequence = [1, 2, 1, 3, 1, 2] * 40
+        wt = WaveletTree(sequence)
+        symbol, addresses = wt.trace_access(13)
+        assert symbol == sequence[13]
+        assert addresses  # internal nodes were visited

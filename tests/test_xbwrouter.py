@@ -1,0 +1,120 @@
+"""Unit tests for the XBW-b update-batching router wrapper."""
+
+import random
+
+import pytest
+
+from repro.core.trie import BinaryTrie
+from repro.core.xbwrouter import XBWbRouter
+
+from tests.conftest import random_fib
+
+
+class TestConstruction:
+    def test_from_fib_and_trie(self, paper_fib):
+        via_fib = XBWbRouter(paper_fib)
+        via_trie = XBWbRouter(BinaryTrie.from_fib(paper_fib))
+        assert via_fib.lookup(0b0111 << 28) == via_trie.lookup(0b0111 << 28) == 1
+
+    def test_rejects_bad_inputs(self, paper_fib):
+        with pytest.raises(TypeError):
+            XBWbRouter(42)
+        with pytest.raises(ValueError):
+            XBWbRouter(paper_fib, rebuild_threshold=-1)
+
+    def test_source_not_aliased(self, paper_fib):
+        trie = BinaryTrie.from_fib(paper_fib)
+        router = XBWbRouter(trie)
+        trie.insert(0b111, 3, 9)
+        assert router.lookup(0b1110 << 28) == 2  # unaffected
+
+
+class TestUpdateBatching:
+    def test_dirty_until_flush(self, paper_fib):
+        router = XBWbRouter(paper_fib, rebuild_threshold=100)
+        router.update(0b111, 3, 9)
+        assert router.is_dirty
+        assert router.pending_updates == 1
+        router.flush()
+        assert not router.is_dirty
+        assert router.counters.rebuilds == 1
+
+    def test_flush_noop_when_clean(self, paper_fib):
+        router = XBWbRouter(paper_fib)
+        router.flush()
+        assert router.counters.rebuilds == 0
+
+    def test_threshold_zero_rebuilds_every_update(self, paper_fib):
+        router = XBWbRouter(paper_fib, rebuild_threshold=0)
+        router.update(0b111, 3, 9)
+        router.update(0b110, 3, 8)
+        assert router.counters.rebuilds == 2
+        assert not router.is_dirty
+
+    def test_threshold_batches(self, paper_fib):
+        router = XBWbRouter(paper_fib, rebuild_threshold=3)
+        router.update(0b100, 3, 1)
+        router.update(0b101, 3, 2)
+        assert router.counters.rebuilds == 0
+        router.update(0b110, 3, 3)
+        assert router.counters.rebuilds == 1
+
+    def test_withdraw_propagates(self, paper_fib):
+        router = XBWbRouter(paper_fib, rebuild_threshold=0)
+        router.update(0b011, 3, None)
+        assert router.lookup(0b0111 << 28) == 2  # falls back to 01/2
+        with pytest.raises(KeyError):
+            router.update(0b011, 3, None)
+
+    def test_rejects_invalid_label(self, paper_fib):
+        router = XBWbRouter(paper_fib)
+        with pytest.raises(ValueError):
+            router.update(0, 1, 0)
+
+
+class TestLookupCorrectness:
+    def test_dirty_lookups_are_correct(self, paper_fib):
+        router = XBWbRouter(paper_fib, rebuild_threshold=1000)
+        router.update(0b111, 3, 9)
+        # Image is stale, but lookups must reflect the update already.
+        assert router.lookup(0b1110 << 28) == 9
+        assert router.counters.slow_lookups == 1
+        router.flush()
+        assert router.lookup(0b1110 << 28) == 9
+        assert router.counters.fast_lookups == 1
+
+    def test_long_random_session(self, rng):
+        fib = random_fib(rng, 50, 4, max_length=10)
+        router = XBWbRouter(fib, rebuild_threshold=7)
+        reference = BinaryTrie.from_fib(fib)
+        for step in range(120):
+            length = rng.randint(0, 10)
+            value = rng.getrandbits(length) if length else 0
+            if rng.random() < 0.25:
+                try:
+                    router.update(value, length, None)
+                    reference.delete(value, length)
+                except KeyError:
+                    pass
+            else:
+                label = rng.randint(1, 4)
+                router.update(value, length, label)
+                reference.insert(value, length, label)
+            if step % 3 == 0:
+                address = rng.getrandbits(32)
+                assert router.lookup(address) == reference.lookup(address)
+        router.flush()
+        for _ in range(150):
+            address = rng.getrandbits(32)
+            assert router.lookup(address) == reference.lookup(address)
+        # Bogus withdrawals raise and do not count as updates.
+        assert router.counters.rebuilds >= router.counters.updates // 7
+
+
+class TestSizing:
+    def test_size_is_image_size(self, paper_fib):
+        router = XBWbRouter(paper_fib)
+        assert router.size_in_bits() == router.image().size_in_bits()
+
+    def test_repr(self, paper_fib):
+        assert "XBWbRouter" in repr(XBWbRouter(paper_fib))
