@@ -1,0 +1,65 @@
+"""Pipeline batch engine — batched vs. per-address lookup throughput.
+
+Every registered representation is driven over the same uniform trace
+twice: once through the per-address scalar loop (the seed codebase's
+only mode) and once through ``lookup_batch`` (the stride-dispatch fast
+path of :mod:`repro.pipeline.batch`). The report records both
+throughputs and the speedup per representation; the acceptance floor —
+the prefix DAG's batch path at least 1.5x its scalar loop — is asserted
+so a regression in the dispatch engine fails the harness.
+
+Results go to ``results/pipeline_batch.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pipeline
+from repro.analysis.report import banner
+from repro.datasets.profiles import PRIMARY_PROFILE
+from repro.datasets.traces import uniform_trace
+
+PACKETS = 20_000
+BENCH_STRIDE = 16  # big dispatch for the throughput runs (2^16 slots)
+#: Representations whose batch path must beat the scalar loop by 1.5x.
+SPEEDUP_FLOOR = {"prefix-dag": 1.5, "binary-trie": 1.5}
+
+
+@pytest.fixture(scope="module")
+def addresses():
+    return uniform_trace(PACKETS, seed=42)
+
+
+@pytest.fixture(scope="module")
+def bench_rows(profile_fib, addresses):
+    fib = profile_fib(PRIMARY_PROFILE)
+    overrides = pipeline.option_overrides("dispatch_stride", BENCH_STRIDE)
+    return pipeline.bench_all(fib, addresses, overrides=overrides)
+
+
+def test_batch_agrees_with_scalar(profile_fib, addresses):
+    fib = profile_fib(PRIMARY_PROFILE)
+    representation = pipeline.build("prefix-dag", fib, dispatch_stride=BENCH_STRIDE)
+    sample = addresses[:2000]
+    assert representation.lookup_batch(sample) == [
+        representation.lookup(address) for address in sample
+    ]
+
+
+def test_batch_speedup(benchmark, bench_rows, profile_fib, addresses, report_writer, scale):
+    fib = profile_fib(PRIMARY_PROFILE)
+    timed = pipeline.build("prefix-dag", fib, dispatch_stride=BENCH_STRIDE)
+    timed.lookup_batch(addresses[:1])  # dispatch built outside the timer
+    benchmark(timed.lookup_batch, addresses)
+
+    text = banner(f"pipeline batch vs scalar on {PRIMARY_PROFILE} (scale {scale})")
+    text += "\n" + pipeline.render_bench_rows(bench_rows)
+    report_writer("pipeline_batch.txt", text)
+
+    by_name = {row.name: row for row in bench_rows}
+    for name, floor in SPEEDUP_FLOOR.items():
+        assert by_name[name].speedup > floor, (
+            f"{name}: batch path only {by_name[name].speedup:.2f}x over the "
+            f"scalar loop (floor {floor}x)"
+        )

@@ -33,6 +33,7 @@ from repro.analysis.table1 import (
     TABLE1_HEADERS,
     Table1Row,
     measure_fib,
+    registry_sizes,
     render_table1,
     sanity_check_row,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "TABLE1_HEADERS",
     "Table1Row",
     "measure_fib",
+    "registry_sizes",
     "render_table1",
     "sanity_check_row",
     "TABLE2_HEADERS",

@@ -10,8 +10,9 @@ compressors. This module computes exactly those columns for any FIB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import pipeline
 from repro.analysis.report import render_table
 from repro.core.entropy import fib_entropy
 from repro.core.fib import Fib
@@ -77,12 +78,17 @@ def measure_fib(
     xbw: Optional[XBWb] = None,
     dag: Optional[PrefixDag] = None,
 ) -> Table1Row:
-    """Compute one Table 1 row (pass prebuilt structures to reuse them)."""
+    """Compute one Table 1 row (pass prebuilt structures to reuse them).
+
+    The two compressed columns are built through the representation
+    registry, so they exercise exactly the backends ``repro-fib
+    compress``/``compare`` serve.
+    """
     report = fib_entropy(fib)
     if xbw is None:
-        xbw = XBWb.from_fib(fib)
+        xbw = pipeline.build("xbw", fib).backend
     if dag is None:
-        dag = PrefixDag(fib, barrier=barrier)
+        dag = pipeline.build("prefix-dag", fib, barrier=barrier).backend
     xbw_bits = xbw.size_in_bits()
     pdag_bits = dag.size_in_bits()
     entries = len(fib)
@@ -105,6 +111,25 @@ def measure_fib(
 def render_table1(rows: Iterable[Table1Row]) -> str:
     """Render measured rows in the paper's column order."""
     return render_table(TABLE1_HEADERS, [row.as_sequence() for row in rows])
+
+
+def registry_sizes(
+    fib: Fib, overrides=None, built=None
+) -> List[Tuple[str, str, float]]:
+    """Size of *every* registered representation on one FIB.
+
+    The "extended Table 1": ``(name, paper_section, size_kb)`` per
+    registry entry, storage for representations the paper tabulates
+    elsewhere (fib_trie, Patricia, ORTC, ...) included. Pass ``built``
+    (a name → representation dict, e.g. from ``pipeline.build_all``) to
+    measure already-constructed backends instead of rebuilding.
+    """
+    if built is None:
+        built = pipeline.build_all(fib, overrides=overrides)
+    return [
+        (name, pipeline.get(name).paper_section, representation.size_kbytes())
+        for name, representation in sorted(built.items())
+    ]
 
 
 def sanity_check_row(row: Table1Row) -> List[str]:

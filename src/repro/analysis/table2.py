@@ -1,10 +1,17 @@
 """Table 2 — the lookup benchmark on the primary FIB instance.
 
-For each representation (XBW-b, prefix DAG, fib_trie, FPGA) over two key
-streams (uniform random, CAIDA-like trace) the paper reports: memory
-size, average/maximum depth, million lookups per second, CPU cycles per
-lookup, and cache misses per packet. This module assembles those rows
-from the simulator engines plus the kbench wall clock.
+For each representation over two key streams (uniform random,
+CAIDA-like trace) the paper reports: memory size, average/maximum
+depth, million lookups per second, CPU cycles per lookup, and cache
+misses per packet. This module assembles those rows from the simulator
+engines plus the kbench wall clock.
+
+Representations are enumerated through the :mod:`repro.pipeline`
+registry: every registered backend that declares ``supports_trace``
+(and a ``trace_step_cycles`` cost) gets a row automatically, in the
+paper's presentation order for the known engines with any future
+backends appended. The FPGA row models the serialized image in
+single-SRAM hardware, as in the paper's §5.4 prototype.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import pipeline
 from repro.analysis.report import render_table
 from repro.baselines.lctrie import LCTrie
 from repro.core.fib import Fib
@@ -19,14 +27,13 @@ from repro.core.prefixdag import PrefixDag
 from repro.core.serialize import SerializedDag
 from repro.core.trie import BinaryTrie
 from repro.core.xbw import XBWb
-from repro.simulator.engine import (
-    LookupEngine,
-    lctrie_engine,
-    serialized_dag_engine,
-    xbw_engine,
-)
+from repro.simulator.engine import LookupEngine, engine_for
 from repro.simulator.kbench import kbench
 from repro.simulator.memory import MemoryHierarchy
+
+#: The paper's presentation order for Table 2's engine rows; registered
+#: trace-capable representations not named here are appended after.
+TABLE2_ENGINE_ORDER = ("xbw", "serialized-dag", "lc-trie")
 
 
 @dataclass
@@ -57,9 +64,23 @@ TABLE2_HEADERS = (
 )
 
 
+def _ordered_trace_specs() -> List[pipeline.RepresentationSpec]:
+    """Trace-capable registry specs in Table 2 presentation order."""
+    by_name = {spec.name: spec for spec in pipeline.trace_capable()}
+    ordered = [by_name.pop(name) for name in TABLE2_ENGINE_ORDER if name in by_name]
+    ordered.extend(by_name[name] for name in sorted(by_name))
+    return ordered
+
+
 @dataclass
 class Table2Inputs:
-    """Prebuilt structures for the benchmark (built once, reused)."""
+    """Prebuilt structures for the benchmark (built once, reused).
+
+    ``adapters`` holds one built pipeline adapter per trace-capable
+    registered representation; the raw-backend fields (``dag``,
+    ``image``, ``lctrie``, ``xbw``) are kept for direct structural
+    probing by tests and benchmarks.
+    """
 
     fib: Fib
     dag: PrefixDag
@@ -67,17 +88,33 @@ class Table2Inputs:
     lctrie: LCTrie
     xbw: XBWb
     reference: BinaryTrie
+    adapters: Dict[str, object]
 
     @classmethod
-    def build(cls, fib: Fib, barrier: int = 11, lctrie: Optional[LCTrie] = None) -> "Table2Inputs":
-        dag = PrefixDag(fib, barrier=barrier)
+    def build(
+        cls, fib: Fib, barrier: int = 11, lctrie: Optional[LCTrie] = None
+    ) -> "Table2Inputs":
+        adapters: Dict[str, object] = {}
+        for spec in _ordered_trace_specs():
+            if spec.name == "lc-trie" and lctrie is not None:
+                # caller-supplied variant replaces the default build
+                from repro.pipeline.adapters import LCTrieAdapter
+
+                adapters[spec.name] = LCTrieAdapter.wrapping(fib, lctrie)
+                continue
+            options = {}
+            if spec.option("barrier") is not None:
+                options["barrier"] = barrier
+            adapters[spec.name] = pipeline.build(spec.name, fib, **options)
+        serialized = adapters["serialized-dag"]
         return cls(
             fib=fib,
-            dag=dag,
-            image=SerializedDag(dag),
-            lctrie=lctrie or LCTrie(fib),
-            xbw=XBWb.from_fib(fib),
+            dag=serialized.source_dag,
+            image=serialized.backend,
+            lctrie=adapters["lc-trie"].backend,
+            xbw=adapters["xbw"].backend,
             reference=BinaryTrie.from_fib(fib),
+            adapters=adapters,
         )
 
 
@@ -115,60 +152,51 @@ def build_table2(
     xbw_sample: int = 2000,
     include_fpga: bool = True,
 ) -> List[Table2Row]:
-    """Measure every engine under every key stream.
+    """Measure every registered trace-capable engine under every stream.
 
-    ``xbw_sample`` caps the XBW-b trace length (its per-lookup primitive
-    replay is two orders of magnitude more work, exactly as the paper
-    found on real hardware).
+    ``xbw_sample`` caps the trace length of ``heavy_trace``
+    representations (XBW-b's per-lookup primitive replay is two orders
+    of magnitude more work, exactly as the paper found on real
+    hardware).
     """
-    # Depth below the stride table — the paper's pDAG depth columns
-    # (their serialized format collapses the first λ levels too).
-    dag_depth, dag_max = inputs.image.depth_profile()
-    lct_stats = inputs.lctrie.stats()
+    # Depth profiles and sizes are stream-independent; compute them once.
+    depths = {
+        name: (
+            adapter.depth_profile()
+            if hasattr(adapter, "depth_profile")
+            else (float("nan"), 0)
+        )
+        for name, adapter in inputs.adapters.items()
+    }
+    sizes = {name: adapter.size_kbytes() for name, adapter in inputs.adapters.items()}
     rows: List[Table2Row] = []
     for stream_name, addresses in streams.items():
-        rows.append(
-            _engine_row(
-                xbw_engine(inputs.xbw),
-                stream_name,
-                addresses[:xbw_sample],
-                inputs.xbw.size_in_kbytes(),
-                float("nan"),
-                0,
-                wallclock_lookup=inputs.xbw.lookup,
+        for name, adapter in inputs.adapters.items():
+            spec = pipeline.get(name)
+            sample = addresses[:xbw_sample] if spec.heavy_trace else addresses
+            average_depth, max_depth = depths[name]
+            rows.append(
+                _engine_row(
+                    engine_for(adapter),
+                    stream_name,
+                    sample,
+                    sizes[name],
+                    average_depth,
+                    max_depth,
+                    wallclock_lookup=adapter.lookup,
+                )
             )
-        )
-        rows.append(
-            _engine_row(
-                serialized_dag_engine(inputs.image),
-                stream_name,
-                addresses,
-                inputs.image.size_in_kbytes() * 1024 / 1024,  # KiB
-                dag_depth,
-                dag_max,
-                wallclock_lookup=inputs.image.lookup,
-            )
-        )
-        rows.append(
-            _engine_row(
-                lctrie_engine(inputs.lctrie),
-                stream_name,
-                addresses,
-                inputs.lctrie.size_in_kbytes(),
-                lct_stats.average_depth,
-                lct_stats.max_depth,
-                wallclock_lookup=inputs.lctrie.lookup,
-            )
-        )
         if include_fpga:
-            fpga = serialized_dag_engine(inputs.image).run_fpga(addresses)
+            serialized = inputs.adapters["serialized-dag"]
+            fpga = engine_for(serialized).run_fpga(addresses)
+            average_depth, max_depth = depths["serialized-dag"]
             rows.append(
                 Table2Row(
                     name="FPGA",
                     stream=stream_name,
-                    size_kb=inputs.image.size_in_kbytes(),
-                    average_depth=dag_depth,
-                    max_depth=dag_max,
+                    size_kb=sizes["serialized-dag"],
+                    average_depth=average_depth,
+                    max_depth=max_depth,
                     million_lookups_per_second=fpga.million_lookups_per_second(),
                     cycles_per_lookup=fpga.cycles_per_lookup,
                     cache_misses_per_packet=0.0,

@@ -5,8 +5,13 @@ Subcommands regenerate the paper's experiments and operate on FIB files:
 * ``table1`` / ``table2`` / ``fig5`` / ``fig6`` / ``fig7`` — print the
   reproduction of the corresponding paper artifact;
 * ``generate`` — write a stand-in dataset to a FIB file;
-* ``compress`` — compress a FIB file and report sizes against bounds;
-* ``lookup`` — longest-prefix-match addresses against a FIB file.
+* ``compress`` — compress a FIB file through every registered
+  representation and report sizes against the entropy bounds;
+* ``lookup`` — longest-prefix-match addresses against a FIB file;
+* ``bench`` — batched vs. per-address lookup throughput per
+  representation;
+* ``compare`` — run every registered representation over the same trace
+  and assert label parity against the tabular oracle.
 
 Example::
 
@@ -14,14 +19,17 @@ Example::
     repro-fib generate taz --scale 0.02 -o taz.fib
     repro-fib compress taz.fib --barrier 11
     repro-fib lookup taz.fib 193.6.20.1 8.8.8.8
+    repro-fib bench --profile taz --scale 0.02 --packets 20000
+    repro-fib compare --scale 0.01
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro import pipeline
 from repro.analysis import (
     Table2Inputs,
     banner,
@@ -29,7 +37,9 @@ from repro.analysis import (
     measure_fib,
     render_fig5,
     render_fig6,
+    registry_sizes,
     render_fig7,
+    render_table,
     render_table1,
     render_table2,
     sweep_barriers,
@@ -37,8 +47,6 @@ from repro.analysis import (
     sweep_fig7,
 )
 from repro.core.entropy import fib_entropy
-from repro.core.prefixdag import PrefixDag
-from repro.core.xbw import XBWb
 from repro.datasets import (
     TABLE1_PROFILES,
     bgp_update_sequence,
@@ -127,22 +135,45 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _barrier_overrides(barrier: Optional[int]) -> Dict[str, Dict[str, int]]:
+    """Carry the CLI ``--barrier`` to every representation accepting one."""
+    if barrier is None:
+        return {}
+    return pipeline.option_overrides("barrier", barrier)
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     fib = load_fib(args.fib)
     report = fib_entropy(fib)
-    dag = PrefixDag(fib, barrier=args.barrier)
-    xbw = XBWb.from_fib(fib)
+    built = pipeline.build_all(fib, overrides=_barrier_overrides(args.barrier))
+    chosen = built["prefix-dag"].barrier
+    origin = "given" if args.barrier is not None else "entropy-chosen, eq. 3"
     print(f"FIB: {len(fib)} routes, {fib.delta} next-hops, H0 = {report.h0:.3f}")
     print(f"information-theoretic limit I = {report.info_bound_kbytes:.1f} KB")
     print(f"FIB entropy E               = {report.entropy_kbytes:.1f} KB")
-    print(f"XBW-b                       = {xbw.size_in_kbytes():.1f} KB")
-    print(f"prefix DAG (lambda={dag.barrier:2d})     = {dag.size_in_kbytes():.1f} KB")
+    print(f"leaf-push barrier lambda    = {chosen} ({origin})")
+    rows = registry_sizes(fib, built=built)
+    print(render_table(("representation", "paper", "size[KB]"), rows))
     return 0
 
 
 def _cmd_lookup(args: argparse.Namespace) -> int:
     fib = load_fib(args.fib)
-    dag = PrefixDag(fib, barrier=args.barrier)
+    options: Dict[str, int] = {}
+    spec = pipeline.get(args.representation)
+    if args.barrier is not None:
+        if spec.option("barrier") is None:
+            print(
+                f"{args.representation} takes no --barrier; ignoring",
+                file=sys.stderr,
+            )
+        else:
+            options["barrier"] = args.barrier
+    representation = pipeline.build(args.representation, fib, **options)
+    chosen = getattr(representation, "barrier", None)
+    if chosen is not None:
+        origin = "given" if args.barrier is not None else "entropy-chosen, eq. 3"
+        print(f"using {args.representation} with lambda={chosen} ({origin})", file=sys.stderr)
     status = 0
     for text in args.addresses:
         value, length = parse_prefix(text)
@@ -150,13 +181,68 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
             print(f"{text}: need a full address, not a prefix", file=sys.stderr)
             status = 2
             continue
-        address = value
-        label = dag.lookup(address)
+        label = representation.lookup(value)
         rendered = format_prefix(value, fib.width, fib.width).rsplit("/", 1)[0]
         if label is None:
             print(f"{rendered} -> no route")
         else:
             print(f"{rendered} -> next-hop {label}")
+    return status
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    prof = profile(args.profile)
+    fib = build_profile_fib(prof, scale=args.scale)
+    addresses = uniform_trace(args.packets, seed=42, width=fib.width)
+    only = args.representations or None
+    rows = pipeline.bench_all(
+        fib,
+        addresses,
+        only=only,
+        overrides=pipeline.option_overrides("dispatch_stride", args.stride),
+        repeat=args.repeat,
+    )
+    print(banner(f"bench on {args.profile} (scale {args.scale}, {args.packets} packets)"))
+    print(pipeline.render_bench_rows(rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = args.profiles or ["access_v", "taz"]
+    only = args.representations or None
+    status = 0
+    for name in names:
+        prof = profile(name)
+        fib = build_profile_fib(prof, scale=args.scale)
+        addresses = uniform_trace(args.packets // 2, seed=42, width=fib.width)
+        addresses += caida_like_trace(fib, args.packets - len(addresses), seed=43)
+        rows = pipeline.compare_representations(fib, addresses, only=only)
+        print(banner(f"compare on {name} (scale {args.scale}, {args.packets} packets)"))
+        body = [
+            (
+                row.name,
+                row.size_kb,
+                row.checked,
+                f"{row.parity * 100:.1f}%",
+                "ok" if row.ok else f"{row.mismatch_count} mismatches",
+            )
+            for row in rows
+        ]
+        print(
+            render_table(
+                ("representation", "size[KB]", "checked", "parity", "verdict"), body
+            )
+        )
+        for row in rows:
+            if not row.ok:
+                status = 1
+                worst = row.mismatches[0]
+                print(
+                    f"{name}/{row.name}: {worst.path}({worst.address:#x}) = "
+                    f"{worst.got!r}, oracle says {worst.expected!r}",
+                    file=sys.stderr,
+                )
+    print("parity OK" if status == 0 else "PARITY BROKEN", file=sys.stderr)
     return status
 
 
@@ -208,8 +294,67 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lookup", help="longest-prefix match addresses")
     p.add_argument("fib")
     p.add_argument("addresses", nargs="+")
-    p.add_argument("--barrier", type=int, default=11)
+    p.add_argument(
+        "--barrier",
+        type=int,
+        default=None,
+        help="leaf-push barrier lambda (default: entropy-chosen, eq. 3)",
+    )
+    p.add_argument(
+        "--representation",
+        default="prefix-dag",
+        choices=pipeline.names(),
+        help="registered representation to look up through",
+    )
     p.set_defaults(func=_cmd_lookup)
+
+    def stride_arg(text: str) -> int:
+        try:
+            return pipeline.check_stride(int(text))
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+        return value
+
+    p = sub.add_parser("bench", help="batched vs per-address lookup throughput")
+    _add_scale(p, default=0.02)
+    p.add_argument("--profile", default="taz")
+    p.add_argument("--packets", type=int, default=20000)
+    p.add_argument(
+        "--stride", type=stride_arg, default=16, help="batch dispatch stride (1..20)"
+    )
+    p.add_argument(
+        "--repeat", type=positive_int, default=3, help="timing runs (best-of)"
+    )
+    p.add_argument(
+        "--representations",
+        nargs="+",
+        choices=pipeline.names(),
+        help="subset of registered representations",
+    )
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "compare", help="assert lookup parity of every representation"
+    )
+    _add_scale(p, default=0.01)
+    p.add_argument(
+        "--profiles",
+        nargs="+",
+        help="profiles to compare on (default: access_v and taz)",
+    )
+    p.add_argument("--packets", type=int, default=2000)
+    p.add_argument(
+        "--representations",
+        nargs="+",
+        choices=pipeline.names(),
+        help="subset of registered representations",
+    )
+    p.set_defaults(func=_cmd_compare)
 
     return parser
 

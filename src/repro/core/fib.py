@@ -7,9 +7,15 @@ each label to next-hop specific data. Labels are small positive integers
 is not allowed on table entries (the paper's standing assumption in §4.1:
 "we assume that T does not contain explicit blackhole routes").
 
-The tabular representation supports longest-prefix match by linear scan —
-the O(N) strawman the paper starts from — and is the interchange format
-every other representation in this library is built from.
+The tabular representation models the O(N)-entry table the paper starts
+from — Fig. 1(a) — and is the interchange format every other
+representation in this library is built from. Because :meth:`Fib.lookup`
+is the *reference oracle* every compressed representation is verified
+against, it is served by a length-bucketed exact-match index (one dict
+per prefix length, probed longest first): semantically identical to the
+linear scan, but O(W) dictionary probes instead of O(N) comparisons.
+The paper's tabular *size model* ``(W + lg δ)·N`` is unaffected — it
+prices the table, not this host-side index.
 """
 
 from __future__ import annotations
@@ -17,13 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
-from repro.utils.bits import (
-    IPV4_WIDTH,
-    format_prefix,
-    lg,
-    prefix_contains,
-    prefix_of,
-)
+from repro.utils.bits import IPV4_WIDTH, format_prefix, lg
 
 INVALID_LABEL = 0
 """The invalid next-hop label ⊥ (blackhole)."""
@@ -81,6 +81,10 @@ class Fib:
         self._width = width
         self._entries: Dict[Tuple[int, int], int] = {}
         self._neighbors: Dict[int, Neighbor] = {}
+        # Length-bucketed exact-match index: length -> {prefix: label},
+        # plus the lengths in use sorted longest-first (rebuilt lazily).
+        self._by_length: Dict[int, Dict[int, int]] = {}
+        self._lengths_desc: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------- properties
 
@@ -128,6 +132,11 @@ class Fib:
                 f"the invalid label 0 cannot appear on FIB entries"
             )
         self._entries[(prefix, length)] = label
+        bucket = self._by_length.get(length)
+        if bucket is None:
+            bucket = self._by_length[length] = {}
+            self._lengths_desc = None
+        bucket[prefix] = label
         if label not in self._neighbors:
             self._neighbors[label] = Neighbor(label, name=f"nh{label}")
 
@@ -135,11 +144,17 @@ class Fib:
         """Delete the entry for ``prefix/length`` and return its label."""
         self._validate_prefix(prefix, length)
         try:
-            return self._entries.pop((prefix, length))
+            label = self._entries.pop((prefix, length))
         except KeyError:
             raise KeyError(
                 f"no entry for {format_prefix(prefix, length, self._width)}"
             ) from None
+        bucket = self._by_length[length]
+        del bucket[prefix]
+        if not bucket:
+            del self._by_length[length]
+            self._lengths_desc = None
+        return label
 
     def get(self, prefix: int, length: int) -> Optional[int]:
         """Label of the exact entry ``prefix/length``, or None."""
@@ -155,37 +170,40 @@ class Fib:
 
     # ------------------------------------------------------------------ query
 
+    def _lengths(self) -> Tuple[int, ...]:
+        """Prefix lengths in use, longest first (cached)."""
+        if self._lengths_desc is None:
+            self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
+        return self._lengths_desc
+
     def lookup(self, address: int) -> Optional[int]:
-        """Longest-prefix-match by linear scan — O(N), the Fig. 1(a) strawman.
+        """Longest-prefix-match via the length-bucketed index — O(W) probes.
 
         Returns the label of the most specific matching entry, or None if
         no entry matches (no default route).
         """
         if address < 0 or address >> self._width:
             raise ValueError(f"address {address:#x} outside {self._width}-bit space")
-        best_length = -1
-        best_label: Optional[int] = None
-        for (prefix, length), label in self._entries.items():
-            if length > best_length and prefix_contains(
-                prefix, length, prefix_of(address, self._width, self._width), self._width
-            ):
-                best_length = length
-                best_label = label
-        return best_label
+        width = self._width
+        by_length = self._by_length
+        for length in self._lengths():
+            label = by_length[length].get(address >> (width - length) if length else 0)
+            if label is not None:
+                return label
+        return None
 
     def covering_label(self, prefix: int, length: int) -> Optional[int]:
         """Label of the longest entry strictly covering ``prefix/length``."""
-        best_length = -1
-        best_label: Optional[int] = None
-        for (other_prefix, other_length), label in self._entries.items():
+        by_length = self._by_length
+        for other_length in self._lengths():
             if other_length >= length:
                 continue
-            if other_length > best_length and prefix_contains(
-                other_prefix, other_length, prefix, length
-            ):
-                best_length = other_length
-                best_label = label
-        return best_label
+            label = by_length[other_length].get(
+                prefix >> (length - other_length) if other_length else 0
+            )
+            if label is not None:
+                return label
+        return None
 
     # ------------------------------------------------------------- statistics
 
@@ -231,6 +249,10 @@ class Fib:
         duplicate = Fib(self._width)
         duplicate._entries = dict(self._entries)
         duplicate._neighbors = dict(self._neighbors)
+        duplicate._by_length = {
+            length: dict(bucket) for length, bucket in self._by_length.items()
+        }
+        duplicate._lengths_desc = self._lengths_desc
         return duplicate
 
     def _validate_prefix(self, prefix: int, length: int) -> None:

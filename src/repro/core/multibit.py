@@ -169,6 +169,10 @@ class MultibitDag:
         return self._stride
 
     @property
+    def root(self) -> MultibitNode:
+        return self._root
+
+    @property
     def width(self) -> int:
         return self._width
 

@@ -1,0 +1,216 @@
+"""The batched-lookup fast path: stride dispatch plus amortized walks.
+
+Per-address Python lookups pay the same fixed costs over and over —
+method dispatch, attribute loads, per-bit ``address_bits`` calls. The
+batch engine removes them two ways:
+
+* a **stride dispatch array** built once per representation: the first
+  ``s`` trie levels (default 8, 16 for the big benchmarks — the same
+  trick §5.3 plays with the serialized image's λ-level collapse) are
+  flattened into a ``2^s``-slot table mapping the top address bits to
+  the best label accumulated above the cut plus the node to resume the
+  walk from (or nothing, when the region below is uniform);
+* **amortized traversal**: `lookup_batch` hoists every attribute into a
+  local once per call and walks the residual bits with plain integer
+  masks, so the per-address inner loop is a handful of bytecodes.
+
+Two dispatch flavors cover every representation:
+
+* :func:`build_node_dispatch` — for structures whose nodes expose
+  binary ``left``/``right``/``label`` (the binary trie and the prefix
+  DAG; folding does not change the walk, Lemma 5);
+* :func:`build_label_dispatch` — representation-agnostic: slots whose
+  region is uniform resolve straight from the array, everything else
+  falls back to the representation's own scalar lookup. Built from the
+  source FIB's control trie, it is correct for any representation that
+  preserves the forwarding function — which is the registry's contract,
+  enforced by the parity suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.trie import BinaryTrie
+
+#: Default dispatch stride (table of 256 slots); benchmarks use 16.
+DEFAULT_STRIDE = 8
+
+#: Largest dispatch stride a caller may request: 2^20 slots is already a
+#: multi-megabyte table, and beyond it the build cost swamps any batch
+#: win (the same guard SerializedDag applies to its λ table).
+MAX_STRIDE = 20
+
+#: Sentinel marking a dispatch slot whose region needs a real traversal.
+DEEP = object()
+
+
+class NodeDispatch:
+    """Flattened top levels of a binary-node structure.
+
+    ``labels[slot]`` is the best label accumulated on the path to depth
+    ``stride`` (None = no route so far); ``nodes[slot]`` is the node to
+    resume the bit walk from, or None when the whole region below the
+    slot forwards to ``labels[slot]``.
+    """
+
+    __slots__ = ("width", "stride", "shift", "labels", "nodes")
+
+    def __init__(self, width: int, stride: int, labels: list, nodes: list):
+        self.width = width
+        self.stride = stride
+        self.shift = width - stride
+        self.labels = labels
+        self.nodes = nodes
+
+
+def check_stride(stride: int) -> int:
+    """Validate a requested dispatch stride (raises ValueError).
+
+    Called by the adapters at build time so a bad stride fails fast,
+    before any lookups run.
+    """
+    if not 1 <= stride <= MAX_STRIDE:
+        raise ValueError(
+            f"dispatch stride must be in [1, {MAX_STRIDE}], got {stride}"
+        )
+    return stride
+
+
+def _clamped(stride: int, width: int) -> int:
+    check_stride(stride)
+    return min(stride, width)  # never walk past the address width
+
+
+def build_node_dispatch(root, width: int, stride: int = DEFAULT_STRIDE) -> NodeDispatch:
+    """Flatten the top ``stride`` levels below ``root`` in one descent.
+
+    ``root`` may be any binary node with ``left`` / ``right`` / ``label``
+    attributes (trie nodes, DAG nodes). The fill is a single recursive
+    descent — O(2^stride) total, not a per-slot walk.
+    """
+    stride = _clamped(stride, width)
+    size = 1 << stride
+    labels: List[Optional[int]] = [None] * size
+    nodes: List[Optional[object]] = [None] * size
+
+    def fill(node, depth: int, base: int, best: Optional[int]) -> None:
+        if node.label is not None:
+            best = node.label
+        if depth == stride:
+            labels[base] = best
+            nodes[base] = node
+            return
+        half = 1 << (stride - depth - 1)
+        left, right = node.left, node.right
+        if left is None:
+            for slot in range(base, base + half):
+                labels[slot] = best
+        else:
+            fill(left, depth + 1, base, best)
+        if right is None:
+            for slot in range(base + half, base + 2 * half):
+                labels[slot] = best
+        else:
+            fill(right, depth + 1, base + half, best)
+
+    fill(root, 0, 0, None)
+    return NodeDispatch(width, stride, labels, nodes)
+
+
+def check_addresses(addresses: Sequence[int], width: int) -> None:
+    """Range-check a whole batch in two C-speed passes (min/max), so the
+    batched paths reject bad addresses exactly like the scalar lookups —
+    instead of Python's negative indexing silently wrapping a dispatch
+    slot into a fabricated route."""
+    if not addresses:
+        return
+    lowest = min(addresses)
+    if lowest < 0:
+        raise ValueError(f"address {lowest:#x} outside {width}-bit space")
+    highest = max(addresses)
+    if highest >> width:
+        raise ValueError(f"address {highest:#x} outside {width}-bit space")
+
+
+def batch_walk(
+    dispatch: NodeDispatch, addresses: Sequence[int]
+) -> List[Optional[int]]:
+    """Batched LPM over a :class:`NodeDispatch`: one table probe plus a
+    mask-driven residual walk per address, all locals hoisted."""
+    check_addresses(addresses, dispatch.width)
+    shift = dispatch.shift
+    labels = dispatch.labels
+    nodes = dispatch.nodes
+    top_mask = (1 << shift) >> 1  # mask of the first residual bit (0 if none)
+    out: List[Optional[int]] = []
+    append = out.append
+    for address in addresses:
+        slot = address >> shift
+        best = labels[slot]
+        node = nodes[slot]
+        if node is not None:
+            mask = top_mask
+            while mask:
+                node = node.right if address & mask else node.left
+                if node is None:
+                    break
+                label = node.label
+                if label is not None:
+                    best = label
+                mask >>= 1
+        append(best)
+    return out
+
+
+class LabelDispatch:
+    """Representation-agnostic dispatch: per-slot label or :data:`DEEP`."""
+
+    __slots__ = ("width", "stride", "shift", "labels")
+
+    def __init__(self, width: int, stride: int, labels: list):
+        self.width = width
+        self.stride = stride
+        self.shift = width - stride
+        self.labels = labels
+
+
+def build_label_dispatch(
+    control: BinaryTrie, stride: int = DEFAULT_STRIDE
+) -> LabelDispatch:
+    """Dispatch for representations without walkable binary nodes.
+
+    Built from the *source* FIB's trie: a slot holds the answer when no
+    routes live below depth ``stride`` inside it (the region forwards
+    uniformly — including when a trie *leaf* sits exactly at the stride,
+    the common /8 or /16 route under a stride-8/16 dispatch), else
+    :data:`DEEP` to route the address to the scalar lookup of the
+    representation itself.
+    """
+    node_dispatch = build_node_dispatch(control.root, control.width, stride)
+    labels = [
+        DEEP
+        if node is not None and (node.left is not None or node.right is not None)
+        else label
+        for label, node in zip(node_dispatch.labels, node_dispatch.nodes)
+    ]
+    return LabelDispatch(control.width, node_dispatch.stride, labels)
+
+
+def batch_resolve(
+    dispatch: LabelDispatch,
+    scalar_lookup: Callable[[int], Optional[int]],
+    addresses: Sequence[int],
+) -> List[Optional[int]]:
+    """Batched LPM over a :class:`LabelDispatch`: uniform regions are one
+    shift + one list probe; only :data:`DEEP` slots pay for a traversal."""
+    check_addresses(addresses, dispatch.width)
+    shift = dispatch.shift
+    labels = dispatch.labels
+    deep = DEEP
+    out: List[Optional[int]] = []
+    append = out.append
+    for address in addresses:
+        label = labels[address >> shift]
+        append(scalar_lookup(address) if label is deep else label)
+    return out

@@ -1,0 +1,111 @@
+"""Batch vs. per-address lookup throughput measurement.
+
+``repro-fib bench`` and ``benchmarks/bench_pipeline_batch.py`` both use
+this module: for each representation, the same trace is pushed through
+the scalar per-address loop (the seed codebase's only mode) and through
+``lookup_batch`` (the pipeline fast path), and the speedup is reported.
+Timings take the best of ``repeat`` runs, the usual defense against
+scheduler noise in wall-clock microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.fib import Fib
+from repro.pipeline import registry
+
+
+@dataclass
+class BenchRow:
+    """Throughput of one representation over one trace."""
+
+    name: str
+    title: str
+    lookups: int
+    scalar_seconds: float
+    batch_seconds: float
+    size_kb: float
+
+    @property
+    def scalar_mlps(self) -> float:
+        """Million lookups per second, per-address loop."""
+        return self.lookups / self.scalar_seconds / 1e6 if self.scalar_seconds else 0.0
+
+    @property
+    def batch_mlps(self) -> float:
+        """Million lookups per second, batched."""
+        return self.lookups / self.batch_seconds / 1e6 if self.batch_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """scalar time / batch time (>1 means the batch path wins)."""
+        return self.scalar_seconds / self.batch_seconds if self.batch_seconds else 0.0
+
+
+def bench_representation(
+    representation, addresses: Sequence[int], repeat: int = 3
+) -> BenchRow:
+    """Time the scalar loop vs. ``lookup_batch`` on one built backend."""
+    if repeat < 1:
+        raise ValueError("need at least one timing run")
+    lookup = representation.lookup
+    representation.lookup_batch(addresses[:1])  # build the dispatch up front
+
+    scalar_best = batch_best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        for address in addresses:
+            lookup(address)
+        scalar_best = min(scalar_best, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        representation.lookup_batch(addresses)
+        batch_best = min(batch_best, time.perf_counter() - started)
+
+    spec = getattr(representation, "spec", None)
+    name = getattr(representation, "name", type(representation).__name__)
+    return BenchRow(
+        name=name,
+        title=spec.title if spec is not None else name,
+        lookups=len(addresses),
+        scalar_seconds=scalar_best,
+        batch_seconds=batch_best,
+        size_kb=representation.size_kbytes(),
+    )
+
+
+def bench_all(
+    fib: Fib,
+    addresses: Sequence[int],
+    only: Optional[List[str]] = None,
+    overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+    repeat: int = 3,
+) -> List[BenchRow]:
+    """Build and bench every registered representation (or a subset).
+
+    Building goes through :func:`~repro.pipeline.registry.build_all`, so
+    the prefix-dag / serialized-dag fold sharing applies here too.
+    """
+    built = registry.build_all(fib, only=only, overrides=overrides)
+    return [
+        bench_representation(representation, addresses, repeat=repeat)
+        for representation in built.values()
+    ]
+
+
+BENCH_HEADERS = ("representation", "size[KB]", "scalar Mlps", "batch Mlps", "speedup")
+
+
+def render_bench_rows(rows: Sequence[BenchRow]) -> str:
+    """The bench report table shared by ``repro-fib bench`` and
+    ``benchmarks/bench_pipeline_batch.py``."""
+    from repro.analysis.report import render_table  # deferred: analysis imports pipeline
+
+    body = [
+        (row.name, row.size_kb, row.scalar_mlps, row.batch_mlps, f"{row.speedup:.2f}x")
+        for row in rows
+    ]
+    return render_table(BENCH_HEADERS, body)

@@ -104,3 +104,23 @@ def lctrie_engine(trie) -> LookupEngine:
 def xbw_engine(xbw) -> LookupEngine:
     """Engine over an :class:`~repro.core.xbw.XBWb`."""
     return LookupEngine(xbw.lookup_trace, XBW_PRIMITIVE_CYCLES, "XBW-b")
+
+
+def engine_for(representation) -> LookupEngine:
+    """Engine over any trace-capable registered representation.
+
+    The step-cycle cost and the display title come from the
+    representation's registry spec, so a new backend gets a simulator
+    engine by declaring ``supports_trace`` + ``trace_step_cycles`` in
+    its ``@register`` decoration — no simulator changes needed.
+    """
+    from repro import pipeline
+
+    spec = getattr(representation, "spec", None)
+    if spec is None:
+        spec = pipeline.get(representation.name)
+    if not spec.supports_trace or spec.trace_step_cycles is None:
+        raise ValueError(
+            f"representation {spec.name!r} declares no lookup_trace cost model"
+        )
+    return LookupEngine(representation.lookup_trace, spec.trace_step_cycles, spec.title)

@@ -42,6 +42,33 @@ class TestFileCommands:
         out = capsys.readouterr().out
         assert "->" in out
 
+    def test_compress_lists_every_representation(self, tmp_path, capsys):
+        from repro import pipeline
+
+        fib_path = str(tmp_path / "test.fib")
+        main(["generate", "access_v", "--scale", "0.05", "-o", fib_path])
+        capsys.readouterr()
+        assert main(["compress", fib_path]) == 0
+        out = capsys.readouterr().out
+        for name in pipeline.names():
+            assert name in out
+        assert "lambda" in out and "entropy-chosen" in out
+
+    def test_lookup_default_barrier_is_entropy_chosen(self, tmp_path, capsys):
+        fib_path = str(tmp_path / "test.fib")
+        main(["generate", "access_v", "--scale", "0.05", "-o", fib_path])
+        capsys.readouterr()
+        assert main(["lookup", fib_path, "10.0.0.1"]) == 0
+        captured = capsys.readouterr()
+        assert "->" in captured.out
+        assert "lambda=" in captured.err and "entropy-chosen" in captured.err
+
+    def test_lookup_other_representation(self, tmp_path, capsys):
+        fib_path = str(tmp_path / "test.fib")
+        main(["generate", "access_v", "--scale", "0.05", "-o", fib_path])
+        assert main(["lookup", fib_path, "10.0.0.1", "--representation", "xbw"]) == 0
+        assert "->" in capsys.readouterr().out
+
     def test_lookup_rejects_prefix(self, tmp_path, capsys):
         fib_path = str(tmp_path / "test.fib")
         main(["generate", "access_v", "--scale", "0.05", "-o", fib_path])
@@ -54,3 +81,31 @@ class TestFileCommands:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPipelineCommands:
+    def test_compare_reports_full_parity(self, capsys):
+        assert main([
+            "compare", "--scale", "0.002", "--packets", "200",
+            "--profiles", "access_v",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "100.0%" in captured.out
+        assert "parity OK" in captured.err
+
+    def test_compare_subset(self, capsys):
+        assert main([
+            "compare", "--scale", "0.002", "--packets", "100",
+            "--profiles", "access_v",
+            "--representations", "prefix-dag", "tabular",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "prefix-dag" in out and "xbw" not in out
+
+    def test_bench_reports_speedup(self, capsys):
+        assert main([
+            "bench", "--scale", "0.002", "--packets", "500", "--repeat", "1",
+            "--representations", "prefix-dag", "serialized-dag",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch Mlps" in out and "prefix-dag" in out and "x" in out

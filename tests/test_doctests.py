@@ -9,13 +9,14 @@ import doctest
 import pytest
 
 import repro
+import repro.pipeline
 import repro.utils.bits
 import repro.utils.lambertw
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.utils.bits, repro.utils.lambertw],
+    [repro, repro.pipeline, repro.utils.bits, repro.utils.lambertw],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
