@@ -1,0 +1,115 @@
+"""Online serving engine — mixed-workload throughput, batched vs scalar.
+
+The serving engine replays one BGP-churn scenario script (lookups
+interleaved with route updates, see :mod:`repro.serve.scenarios`)
+through the prefix DAG twice: once serving lookup events through the
+pipeline's ``lookup_batch`` fast path and once through the per-address
+scalar loop. The acceptance floor — batched serving at least 1.5x the
+scalar loop on the mixed workload — is asserted so a regression in the
+serving path fails the harness. A churn-throughput table across one
+incremental and two rebuild-based planes is recorded alongside.
+
+Results go to ``results/serve_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import serve
+from repro.analysis import assert_serve_parity, render_churn_rows
+from repro.analysis.report import banner
+from repro.datasets.profiles import PRIMARY_PROFILE
+from repro.datasets.traces import uniform_trace
+
+LOOKUPS = 20_000
+UPDATES = 200
+BATCH_SIZE = 512
+BENCH_STRIDE = 16  # big dispatch for the throughput runs (2^16 slots)
+#: Mixed-workload floor: batched serving vs the per-address loop.
+SPEEDUP_FLOOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def events(profile_fib):
+    fib = profile_fib(PRIMARY_PROFILE)
+    return serve.build_events(
+        serve.scenario("bgp-churn"),
+        fib,
+        lookups=LOOKUPS,
+        updates=UPDATES,
+        seed=42,
+        batch_size=BATCH_SIZE,
+    )
+
+
+def _serve_once(fib, events, batched: bool):
+    return serve.serve_scenario(
+        "prefix-dag",
+        fib,
+        events,
+        scenario="bgp-churn",
+        options={"dispatch_stride": BENCH_STRIDE},
+        batched=batched,
+        measure_staleness=False,  # timing run: no oracle audits
+    )
+
+
+def test_batched_serving_beats_scalar(benchmark, profile_fib, events, report_writer, scale):
+    fib = profile_fib(PRIMARY_PROFILE)
+    scalar = _serve_once(fib, events, batched=False)
+
+    batched_reports = []
+
+    def run():
+        batched_reports.append(_serve_once(fib, events, batched=True))
+
+    benchmark(run)
+    batched = batched_reports[-1]
+
+    speedup = (
+        scalar.serve_seconds / batched.serve_seconds
+        if batched.serve_seconds
+        else 0.0
+    )
+    text = banner(
+        f"serve throughput on {PRIMARY_PROFILE} (scale {scale}, "
+        f"{LOOKUPS} lookups / {UPDATES} updates, bgp-churn)"
+    )
+    text += "\n" + render_churn_rows([batched, scalar])
+    text += (
+        f"\nmixed-workload events/sec: batched {batched.events_per_second:,.0f}"
+        f" vs scalar {scalar.events_per_second:,.0f} ({speedup:.2f}x)"
+    )
+    report_writer("serve_throughput.txt", text)
+
+    assert batched.lookups == scalar.lookups == LOOKUPS
+    assert speedup > SPEEDUP_FLOOR, (
+        f"batched serving only {speedup:.2f}x over the per-address loop "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_churn_table_across_planes(profile_fib, events, report_writer, scale):
+    fib = profile_fib(PRIMARY_PROFILE)
+    probes = uniform_trace(2000, seed=7, width=fib.width)
+    reports = [
+        serve.serve_scenario(
+            name,
+            fib,
+            events,
+            scenario="bgp-churn",
+            parity_probes=probes,
+        )
+        for name in ("prefix-dag", "lc-trie", "serialized-dag")
+    ]
+    assert_serve_parity(reports)
+    by_name = {report.name: report for report in reports}
+    assert by_name["prefix-dag"].staleness == 0.0
+    assert by_name["lc-trie"].staleness > 0.0
+    assert by_name["serialized-dag"].staleness > 0.0
+    text = banner(
+        f"churn throughput on {PRIMARY_PROFILE} (scale {scale}, bgp-churn)"
+    )
+    text += "\n" + render_churn_rows(reports)
+    report_writer("serve_churn.txt", text)

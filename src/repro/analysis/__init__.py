@@ -1,6 +1,12 @@
 """Experiment assembly: Table 1/2 builders, Fig 5/6/7 sweeps, theorem
 checkers, and the shared ASCII report renderer."""
 
+from repro.analysis.churn import (
+    CHURN_HEADERS,
+    assert_serve_parity,
+    churn_row,
+    render_churn_rows,
+)
 from repro.analysis.bounds import (
     BoundCheck,
     check_entropy_ordering,
@@ -46,6 +52,10 @@ from repro.analysis.table2 import (
 )
 
 __all__ = [
+    "CHURN_HEADERS",
+    "assert_serve_parity",
+    "churn_row",
+    "render_churn_rows",
     "BoundCheck",
     "check_entropy_ordering",
     "check_theorem1",

@@ -1,0 +1,68 @@
+"""The churn-throughput report: serving metrics across representations.
+
+Renders :class:`~repro.serve.metrics.ServeReport` rows — one per
+representation replaying the same scenario script — into the aligned
+ASCII table ``repro-fib serve`` prints and the serve benchmark persists
+under ``results/``. The columns surface the incremental-vs-rebuild
+trade-off the serving engine exists to measure: lookup and update
+throughput, epoch count, the staleness window, actual label
+mismatches against the control oracle, peak memory across generations,
+and post-quiescence parity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.report import render_table
+
+CHURN_HEADERS = (
+    "representation",
+    "plane",
+    "lookup Mlps",
+    "update kops",
+    "rebuilds",
+    "stale%",
+    "mismatches",
+    "peak[KB]",
+    "parity",
+)
+
+
+def churn_row(report) -> tuple:
+    """One table row from a :class:`~repro.serve.metrics.ServeReport`."""
+    parity = report.final_parity
+    return (
+        report.name,
+        report.plane,
+        report.lookup_mlps,
+        report.update_kops,
+        report.rebuilds,
+        f"{report.staleness * 100:.1f}%",
+        report.label_mismatches,
+        report.peak_size_kbytes,
+        "-" if parity is None else f"{parity * 100:.1f}%",
+    )
+
+
+def render_churn_rows(reports: Iterable) -> str:
+    """The churn-throughput table shared by ``repro-fib serve`` and
+    ``benchmarks/bench_serve_throughput.py``."""
+    return render_table(CHURN_HEADERS, [churn_row(report) for report in reports])
+
+
+def assert_serve_parity(reports: Sequence) -> None:
+    """Raise AssertionError naming every report below 100% parity."""
+    bad = [
+        report
+        for report in reports
+        if report.final_parity is not None and report.final_parity < 1.0
+    ]
+    if not bad:
+        return
+    lines = [
+        f"{report.name}: post-quiescence parity "
+        f"{report.final_parity * 100:.2f}% on scenario {report.scenario!r}"
+        for report in bad
+    ]
+    raise AssertionError("serving parity broken:\n" + "\n".join(lines))

@@ -11,7 +11,9 @@ Subcommands regenerate the paper's experiments and operate on FIB files:
 * ``bench`` — batched vs. per-address lookup throughput per
   representation;
 * ``compare`` — run every registered representation over the same trace
-  and assert label parity against the tabular oracle.
+  and assert label parity against the tabular oracle;
+* ``serve`` — replay a mixed lookup/update scenario through the online
+  serving engine and report churn throughput, staleness and parity.
 
 Example::
 
@@ -21,20 +23,23 @@ Example::
     repro-fib lookup taz.fib 193.6.20.1 8.8.8.8
     repro-fib bench --profile taz --scale 0.02 --packets 20000
     repro-fib compare --scale 0.01
+    repro-fib serve --scenario bgp-churn --updates 500 --lookups 5000
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, Optional, Sequence
 
-from repro import pipeline
+from repro import pipeline, serve
 from repro.analysis import (
     Table2Inputs,
     banner,
     build_table2,
     measure_fib,
+    render_churn_rows,
     render_fig5,
     render_fig6,
     registry_sizes,
@@ -190,6 +195,17 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
     return status
 
 
+def _write_json(path: str, payload: dict) -> None:
+    """Write a JSON report to ``path`` ('-' = stdout)."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote JSON report to {path}", file=sys.stderr)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     prof = profile(args.profile)
     fib = build_profile_fib(prof, scale=args.scale)
@@ -204,7 +220,89 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(banner(f"bench on {args.profile} (scale {args.scale}, {args.packets} packets)"))
     print(pipeline.render_bench_rows(rows))
+    if args.json is not None:
+        _write_json(
+            args.json,
+            {
+                "command": "bench",
+                "profile": args.profile,
+                "scale": args.scale,
+                "packets": args.packets,
+                "stride": args.stride,
+                "rows": [row.to_dict() for row in rows],
+            },
+        )
     return 0
+
+
+#: Default serving line-up: one incremental plane, two rebuild planes.
+SERVE_DEFAULT_REPRESENTATIONS = ["prefix-dag", "lc-trie", "serialized-dag"]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    prof = profile(args.profile)
+    fib = build_profile_fib(prof, scale=args.scale)
+    scenario = serve.scenario(args.scenario)
+    events = serve.build_events(
+        scenario,
+        fib,
+        lookups=args.lookups,
+        updates=args.updates,
+        seed=args.seed,
+        batch_size=args.batch_size,
+    )
+    probes = uniform_trace(1000, seed=args.seed + 1, width=fib.width)
+    probes += caida_like_trace(fib, 1000, seed=args.seed + 2)
+    overrides = _barrier_overrides(args.barrier)
+    names = args.representations or SERVE_DEFAULT_REPRESENTATIONS
+    reports = []
+    for name in names:
+        reports.append(
+            serve.serve_scenario(
+                name,
+                fib,
+                events,
+                scenario=args.scenario,
+                options=overrides.get(name, {}),
+                rebuild_every=args.rebuild_every,
+                parity_probes=probes,
+            )
+        )
+        print(f"served {name} ({reports[-1].plane} plane)", file=sys.stderr)
+    print(
+        banner(
+            f"serve {args.scenario} on {args.profile} (scale {args.scale}, "
+            f"{args.lookups} lookups / {args.updates} updates)"
+        )
+    )
+    print(render_churn_rows(reports))
+    status = 0
+    for report in reports:
+        if report.final_parity is not None and report.final_parity < 1.0:
+            status = 1
+            print(
+                f"{report.name}: post-quiescence parity "
+                f"{report.final_parity * 100:.2f}% < 100%",
+                file=sys.stderr,
+            )
+    if args.json is not None:
+        _write_json(
+            args.json,
+            {
+                "command": "serve",
+                "scenario": args.scenario,
+                "profile": args.profile,
+                "scale": args.scale,
+                "lookups": args.lookups,
+                "updates": args.updates,
+                "rebuild_every": args.rebuild_every,
+                "batch_size": args.batch_size,
+                "seed": args.seed,
+                "rows": [report.to_dict() for report in reports],
+            },
+        )
+    print("serve parity OK" if status == 0 else "SERVE PARITY BROKEN", file=sys.stderr)
+    return status
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -320,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
         return value
 
+    def count_arg(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+        return value
+
     p = sub.add_parser("bench", help="batched vs per-address lookup throughput")
     _add_scale(p, default=0.02)
     p.add_argument("--profile", default="taz")
@@ -336,7 +440,59 @@ def build_parser() -> argparse.ArgumentParser:
         choices=pipeline.names(),
         help="subset of registered representations",
     )
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the rows as JSON to PATH ('-' for stdout)",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="online serving: mixed lookup/update scenario replay"
+    )
+    _add_scale(p, default=0.01)
+    p.add_argument("--profile", default="taz")
+    p.add_argument(
+        "--scenario",
+        default="bgp-churn",
+        choices=serve.scenario_names(),
+        help="workload script (default bgp-churn)",
+    )
+    p.add_argument("--lookups", type=count_arg, default=5000, help="addresses served")
+    p.add_argument("--updates", type=count_arg, default=500, help="churn operations")
+    p.add_argument(
+        "--rebuild-every",
+        type=positive_int,
+        default=serve.DEFAULT_REBUILD_EVERY,
+        help="pending updates per epoch rebuild on static representations",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=positive_int,
+        default=serve.DEFAULT_BATCH_SIZE,
+        help="addresses per scripted lookup event",
+    )
+    p.add_argument("--seed", type=int, default=42, help="scenario script seed")
+    p.add_argument(
+        "--barrier",
+        type=int,
+        default=None,
+        help="leaf-push barrier lambda for barrier-taking representations",
+    )
+    p.add_argument(
+        "--representations",
+        nargs="+",
+        choices=pipeline.names(),
+        help=f"representations to serve (default: {' '.join(SERVE_DEFAULT_REPRESENTATIONS)})",
+    )
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the rows as JSON to PATH ('-' for stdout)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "compare", help="assert lookup parity of every representation"

@@ -160,6 +160,19 @@ class Fib:
         """Label of the exact entry ``prefix/length``, or None."""
         return self._entries.get((prefix, length))
 
+    def update(self, prefix: int, length: int, label: Optional[int]) -> None:
+        """Announce (``label`` int) or withdraw (``label`` None) a route.
+
+        The Fib-side mirror of :meth:`PrefixDag.update`, so update feeds
+        replay directly onto the tabular oracle through
+        :func:`~repro.datasets.updates.apply_updates`. Withdrawing an
+        absent route raises KeyError, exactly like :meth:`remove`.
+        """
+        if label is None:
+            self.remove(prefix, length)
+        else:
+            self.add(prefix, length, label)
+
     def set_neighbor(self, neighbor: Neighbor) -> None:
         """Attach neighbor-table data for a label."""
         self._neighbors[neighbor.label] = neighbor

@@ -142,13 +142,19 @@ def bgp_update_sequence(
 
 def apply_updates(target, ops: Sequence[UpdateOp]) -> int:
     """Apply a feed to anything exposing ``update(prefix, length, label)``
-    (a :class:`~repro.core.prefixdag.PrefixDag`). Withdraws of absent
-    routes are skipped, mirroring a BGP speaker ignoring bogus
-    withdrawals. Returns the number of operations actually applied."""
+    (a :class:`~repro.core.prefixdag.PrefixDag`, a
+    :class:`~repro.core.fib.Fib`) or the pipeline-adapter style
+    ``apply_update(op)``. Withdraws of absent routes are skipped,
+    mirroring a BGP speaker ignoring bogus withdrawals. Returns the
+    number of operations actually applied."""
+    apply_op = getattr(target, "apply_update", None)
     applied = 0
     for op in ops:
         try:
-            target.update(op.prefix, op.length, op.label)
+            if apply_op is not None:
+                apply_op(op)
+            else:
+                target.update(op.prefix, op.length, op.label)
             applied += 1
         except KeyError:
             continue

@@ -35,6 +35,8 @@ from repro.pipeline.batch import (
     build_label_dispatch,
     build_node_dispatch,
     check_stride,
+    patch_label_dispatch,
+    patch_node_dispatch,
 )
 from repro.pipeline.bench import (
     BENCH_HEADERS,
@@ -80,6 +82,8 @@ __all__ = [
     "build_label_dispatch",
     "build_node_dispatch",
     "check_stride",
+    "patch_label_dispatch",
+    "patch_node_dispatch",
     "BENCH_HEADERS",
     "BenchRow",
     "bench_all",

@@ -42,6 +42,8 @@ from repro.pipeline.batch import (
     build_node_dispatch,
     check_addresses,
     check_stride,
+    patch_label_dispatch,
+    patch_node_dispatch,
 )
 from repro.pipeline.registry import OptionSpec, register
 from repro.simulator.costmodel import (
@@ -87,6 +89,22 @@ class RepresentationAdapter:
         return f"{type(self).__name__}(name={self.name!r}, size={self.size_kbytes():.1f} KB)"
 
 
+def _trivial_batch(root, addresses: Sequence[int], width: int) -> Optional[List[Optional[int]]]:
+    """The degenerate batches that skip the dispatch build entirely.
+
+    An empty address list answers ``[]``, and a childless root (an empty
+    or default-route-only FIB) forwards every address to the root label —
+    neither is worth a 2^stride dispatch array. Returns None when the
+    batch needs the real fast path.
+    """
+    if not addresses:
+        return []
+    if root is not None and root.left is None and root.right is None:
+        check_addresses(addresses, width)
+        return [root.label] * len(addresses)
+    return None
+
+
 class _FallbackBatchAdapter(RepresentationAdapter):
     """Batch lookups through a label dispatch over the source trie.
 
@@ -103,10 +121,14 @@ class _FallbackBatchAdapter(RepresentationAdapter):
         self._source_fib = fib.copy()
 
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        if not addresses:
+            return []
         if self._dispatch is None:
-            self._dispatch = build_label_dispatch(
-                BinaryTrie.from_fib(self._source_fib), self._dispatch_stride
-            )
+            control = BinaryTrie.from_fib(self._source_fib)
+            trivial = _trivial_batch(control.root, addresses, self._width)
+            if trivial is not None:
+                return trivial
+            self._dispatch = build_label_dispatch(control, self._dispatch_stride)
         return batch_resolve(self._dispatch, self.lookup, addresses)
 
 
@@ -117,6 +139,7 @@ class _FallbackBatchAdapter(RepresentationAdapter):
     paper_section="§2, Fig 1(a)",
     size_model="(W + lg δ)·N",
     options=(_STRIDE_OPTION,),
+    supports_update=True,
 )
 class TabularAdapter(_FallbackBatchAdapter):
     def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
@@ -125,6 +148,12 @@ class TabularAdapter(_FallbackBatchAdapter):
         self._backend = fib.copy()
         self._source_fib = self._backend
         self.lookup = self._backend.lookup
+
+    def apply_update(self, op) -> None:
+        """In-place table edit; repairs the batch dispatch's span."""
+        self._backend.update(op.prefix, op.length, op.label)
+        if self._dispatch is not None:
+            patch_label_dispatch(self._dispatch, self.lookup, op.prefix, op.length)
 
     def size_bits(self) -> int:
         return tabular_size_bits(
@@ -139,22 +168,38 @@ class TabularAdapter(_FallbackBatchAdapter):
     paper_section="§2, Fig 1(b)",
     size_model="t·(2·ptr + lg δ)",
     options=(_STRIDE_OPTION,),
+    supports_update=True,
 )
 class BinaryTrieAdapter(RepresentationAdapter):
     def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
         super().__init__(fib, dispatch_stride)
         self._backend = BinaryTrie.from_fib(fib)
-        self._delta = fib.delta
+        self._delta: Optional[int] = fib.delta
         self.lookup = self._backend.lookup
 
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if self._dispatch is None:
+            trivial = _trivial_batch(self._backend.root, addresses, self._width)
+            if trivial is not None:
+                return trivial
             self._dispatch = build_node_dispatch(
                 self._backend.root, self._width, self._dispatch_stride
             )
         return batch_walk(self._dispatch, addresses)
 
+    def apply_update(self, op) -> None:
+        """Plain trie edit; repairs the batch dispatch's span."""
+        if op.label is None:
+            self._backend.delete(op.prefix, op.length)
+        else:
+            self._backend.insert(op.prefix, op.length, op.label)
+        if self._dispatch is not None:
+            patch_node_dispatch(self._dispatch, self._backend.root, op.prefix, op.length)
+        self._delta = None  # recomputed lazily by size_bits
+
     def size_bits(self) -> int:
+        if self._delta is None:
+            self._delta = len({label for _, _, label in self._backend.entries()})
         return binary_trie_size_bits(self._backend.node_count(), max(2, self._delta))
 
 
@@ -256,10 +301,13 @@ class OrtcAdapter(RepresentationAdapter):
 
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if self._dispatch is None:
-            self._dispatch = build_node_dispatch(
-                self._trie.root, self._width, self._dispatch_stride
-            )
-        raw = batch_walk(self._dispatch, addresses)
+            raw = _trivial_batch(self._trie.root, addresses, self._width)
+            if raw is None:
+                self._dispatch = build_node_dispatch(
+                    self._trie.root, self._width, self._dispatch_stride
+                )
+        if self._dispatch is not None:
+            raw = batch_walk(self._dispatch, addresses)
         invalid = INVALID_LABEL
         return [None if label == invalid else label for label in raw]
 
@@ -344,15 +392,20 @@ class PrefixDagAdapter(RepresentationAdapter):
 
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if self._dispatch is None:
+            trivial = _trivial_batch(self._backend.root, addresses, self._width)
+            if trivial is not None:
+                return trivial
             self._dispatch = build_node_dispatch(
                 self._backend.root, self._width, self._dispatch_stride
             )
         return batch_walk(self._dispatch, addresses)
 
     def apply_update(self, op) -> None:
-        """Incremental §4.3 update; invalidates the batch dispatch."""
+        """Incremental §4.3 update; repairs the batch dispatch's span
+        (safe on the DAG — updates privatize the nodes they change)."""
         self._backend.update(op.prefix, op.length, op.label)
-        self._dispatch = None
+        if self._dispatch is not None:
+            patch_node_dispatch(self._dispatch, self._backend.root, op.prefix, op.length)
 
     def size_bits(self) -> int:
         return self._backend.size_in_bits()

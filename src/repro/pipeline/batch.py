@@ -29,7 +29,7 @@ Two dispatch flavors cover every representation:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.trie import BinaryTrie
 
@@ -116,6 +116,74 @@ def build_node_dispatch(root, width: int, stride: int = DEFAULT_STRIDE) -> NodeD
 
     fill(root, 0, 0, None)
     return NodeDispatch(width, stride, labels, nodes)
+
+
+def _update_span(stride: int, prefix: int, length: int) -> Tuple[int, int]:
+    """The dispatch slots covered by an updated ``prefix/length``:
+    one slot when the prefix reaches past the stride, else the whole
+    ``2^(stride-length)``-slot aligned block under it."""
+    if length > stride:
+        return prefix >> (length - stride), 1
+    return prefix << (stride - length), 1 << (stride - length)
+
+
+def patch_node_dispatch(dispatch: NodeDispatch, root, prefix: int, length: int) -> None:
+    """Repair a :class:`NodeDispatch` after a route update in place.
+
+    A route edit at ``prefix/length`` can only change the answer of
+    addresses under that prefix, i.e. the slots of :func:`_update_span`
+    — each repaired by one O(stride) re-descent from ``root``, instead
+    of rebuilding all ``2^stride`` slots. This is what keeps the batch
+    fast path profitable for *incremental* representations under churn
+    (the serving engine's update plane applies thousands of edits
+    between batches).
+
+    Safe for the prefix DAG as well as the plain trie: §4.3 updates
+    privatize the nodes they change, so node objects referenced by
+    slots outside the span still encode their (unchanged) regions.
+    """
+    stride = dispatch.stride
+    labels = dispatch.labels
+    nodes = dispatch.nodes
+    base, count = _update_span(stride, prefix, length)
+    for slot in range(base, base + count):
+        node = root
+        best = root.label
+        for depth in range(stride):
+            node = node.right if (slot >> (stride - depth - 1)) & 1 else node.left
+            if node is None:
+                break
+            if node.label is not None:
+                best = node.label
+        labels[slot] = best
+        nodes[slot] = node  # None when the walk fell off the structure
+
+
+def patch_label_dispatch(
+    dispatch: LabelDispatch,
+    scalar_lookup: Callable[[int], Optional[int]],
+    prefix: int,
+    length: int,
+) -> None:
+    """Repair a :class:`LabelDispatch` after a route update in place.
+
+    Updates past the stride force their slot :data:`DEEP` (the region
+    is no longer provably uniform; conservative but always correct —
+    DEEP slots resolve through the representation's live scalar
+    lookup). Updates at or above the stride keep uniform regions
+    uniform, so uniform slots are re-answered with one scalar lookup
+    of the region base.
+    """
+    stride = dispatch.stride
+    labels = dispatch.labels
+    if length > stride:
+        labels[prefix >> (length - stride)] = DEEP
+        return
+    base, count = _update_span(stride, prefix, length)
+    shift = dispatch.shift
+    for slot in range(base, base + count):
+        if labels[slot] is not DEEP:
+            labels[slot] = scalar_lookup(slot << shift)
 
 
 def check_addresses(addresses: Sequence[int], width: int) -> None:

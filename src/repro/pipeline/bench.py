@@ -44,6 +44,21 @@ class BenchRow:
         """scalar time / batch time (>1 means the batch path wins)."""
         return self.scalar_seconds / self.batch_seconds if self.batch_seconds else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready record (``repro-fib bench --json``): raw timings
+        plus the derived throughput figures CI trajectories track."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "lookups": self.lookups,
+            "scalar_seconds": self.scalar_seconds,
+            "batch_seconds": self.batch_seconds,
+            "size_kb": self.size_kb,
+            "scalar_mlps": self.scalar_mlps,
+            "batch_mlps": self.batch_mlps,
+            "speedup": self.speedup,
+        }
+
 
 def bench_representation(
     representation, addresses: Sequence[int], repeat: int = 3

@@ -1,0 +1,45 @@
+"""repro.serve — online FIB serving under live churn.
+
+The serving layer on top of the :mod:`repro.pipeline` registry: a
+:class:`FibServer` answers batched lookups from any registered
+representation while an update plane applies churn — incrementally
+where the representation supports §4.3 updates, via epoch-based
+background rebuild + atomic generation swap otherwise — and a scenario
+scheduler scripts reproducible mixed workloads:
+
+>>> from repro.core.fib import Fib
+>>> from repro import serve
+>>> fib = Fib.from_entries([(0, 0, 1), (0b101, 3, 2)])
+>>> events = serve.build_events(
+...     serve.scenario("uniform"), fib, lookups=64, updates=4, seed=7)
+>>> report = serve.serve_scenario(
+...     "prefix-dag", fib, events, scenario="uniform")
+>>> report.lookups, report.staleness
+(64, 0.0)
+"""
+
+from repro.serve.metrics import ServeReport
+from repro.serve.scenarios import (
+    DEFAULT_BATCH_SIZE,
+    SCENARIOS,
+    Scenario,
+    ServeEvent,
+    build_events,
+    scenario,
+    scenario_names,
+)
+from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer, serve_scenario
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_REBUILD_EVERY",
+    "SCENARIOS",
+    "Scenario",
+    "ServeEvent",
+    "ServeReport",
+    "FibServer",
+    "build_events",
+    "scenario",
+    "scenario_names",
+    "serve_scenario",
+]

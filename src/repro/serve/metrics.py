@@ -1,0 +1,107 @@
+"""Serving metrics: throughput, rebuild accounting, staleness.
+
+A :class:`ServeReport` is the measurable outcome of replaying one
+scenario script through one :class:`~repro.serve.server.FibServer`:
+
+* **throughput** — lookups and updates per second of wall clock, timed
+  around the representation calls only (script bookkeeping excluded);
+* **rebuild accounting** — epoch count, wall seconds, and the simulated
+  cycle charge from :func:`repro.simulator.costmodel.rebuild_cycles`;
+* **memory** — final and peak ``size_bits`` across generations; during
+  an epoch swap the rebuild plane briefly holds the outgoing *and* the
+  fresh generation, and the peak counts both — that overlap is what a
+  deployment must provision for;
+* **staleness** — ``stale_lookups`` counts answers served while updates
+  were pending (the window where the generation lags the control FIB),
+  and ``label_mismatches`` counts the subset that actually differed
+  from the continuously-updated tabular oracle. Incremental planes
+  report zero for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one scenario replay through one representation."""
+
+    name: str
+    title: str
+    scenario: str
+    incremental: bool
+    lookups: int
+    batches: int
+    updates_applied: int
+    updates_skipped: int
+    rebuilds: int
+    generation: int
+    pending_updates: int
+    stale_lookups: int
+    label_mismatches: int
+    lookup_seconds: float
+    update_seconds: float
+    rebuild_seconds: float
+    size_bits: int
+    peak_size_bits: int
+    rebuild_cycles: float
+    final_parity: Optional[float] = None
+
+    @property
+    def plane(self) -> str:
+        """Update-plane mode: incremental or epoch rebuild."""
+        return "incremental" if self.incremental else "rebuild"
+
+    @property
+    def serve_seconds(self) -> float:
+        """Total serving time: lookups + updates + rebuild epochs."""
+        return self.lookup_seconds + self.update_seconds + self.rebuild_seconds
+
+    @property
+    def lookup_mlps(self) -> float:
+        """Million lookups per second through the serving fast path."""
+        if not self.lookup_seconds:
+            return 0.0
+        return self.lookups / self.lookup_seconds / 1e6
+
+    @property
+    def update_kops(self) -> float:
+        """Thousand updates per second (rebuild time charged to updates)."""
+        seconds = self.update_seconds + self.rebuild_seconds
+        if not seconds:
+            return 0.0
+        return self.updates_applied / seconds / 1e3
+
+    @property
+    def events_per_second(self) -> float:
+        """Mixed-workload throughput: every served lookup and update."""
+        if not self.serve_seconds:
+            return 0.0
+        return (self.lookups + self.updates_applied) / self.serve_seconds
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of lookups answered while updates were pending."""
+        if not self.lookups:
+            return 0.0
+        return self.stale_lookups / self.lookups
+
+    @property
+    def peak_size_kbytes(self) -> float:
+        return self.peak_size_bits / 8192.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready record: raw counters plus the derived rates."""
+        record = asdict(self)
+        record.update(
+            plane=self.plane,
+            serve_seconds=self.serve_seconds,
+            lookup_mlps=self.lookup_mlps,
+            update_kops=self.update_kops,
+            events_per_second=self.events_per_second,
+            staleness=self.staleness,
+            peak_size_kbytes=self.peak_size_kbytes,
+        )
+        return record

@@ -1,0 +1,244 @@
+"""Churn/lookup scenario scripts for the online serving engine.
+
+A *scenario* interleaves one of the :mod:`repro.datasets.updates` churn
+feeds with one of the :mod:`repro.datasets.traces` lookup streams into a
+timestamped event script that any :class:`~repro.serve.server.FibServer`
+can replay — the same script drives every representation, so serving
+results are comparable across backends (the ``compare`` parity
+discipline, extended to dynamics).
+
+Four built-in scenarios cover the churn regimes the paper and the
+follow-on prefix-DAG literature care about:
+
+* ``uniform`` — the Fig 5 random feed (uniform prefixes and lengths)
+  against uniform random lookups, updates spread evenly;
+* ``bgp-churn`` — the Fig 5 BGP-inspired feed (mean prefix length
+  ~21.87, mostly re-announcements) against a locality-heavy trace,
+  updates spread evenly — the steady-state production workload;
+* ``flash-renumbering`` — every update re-labels an existing route
+  (a provider-wide next-hop renumbering), delivered as one mid-stream
+  burst: the worst case for label staleness;
+* ``flap-storm`` — a small set of routes withdrawn and re-announced
+  over and over (BGP route flapping), delivered in several bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fib import Fib
+from repro.datasets.traces import caida_like_trace, uniform_trace
+from repro.datasets.updates import (
+    UpdateOp,
+    bgp_update_sequence,
+    random_update_sequence,
+)
+from repro.utils.rng import Seedable, derive_rng, make_rng
+
+#: Default number of addresses grouped into one lookup event.
+DEFAULT_BATCH_SIZE = 256
+
+UpdateFeed = Callable[[Fib, int, Seedable], List[UpdateOp]]
+LookupFeed = Callable[[Fib, int, Seedable], List[int]]
+
+
+@dataclass(frozen=True)
+class ServeEvent:
+    """One scripted event: a lookup batch or a single route update.
+
+    ``time`` is the virtual timestamp in [0, 1) — the scripts are
+    replayed in order, so the timestamp is informational (reports,
+    plotting) rather than a scheduler deadline.
+    """
+
+    time: float
+    kind: str  # "lookup" | "update"
+    addresses: Tuple[int, ...] = ()
+    op: Optional[UpdateOp] = None
+
+    @property
+    def is_lookup(self) -> bool:
+        return self.kind == "lookup"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (update feed × lookup stream × placement) combination."""
+
+    name: str
+    description: str
+    update_feed: UpdateFeed
+    lookup_feed: LookupFeed
+    bursts: int = 0  # 0 = spread updates evenly between lookup batches
+
+
+def _uniform_updates(fib: Fib, count: int, seed: Seedable) -> List[UpdateOp]:
+    return random_update_sequence(fib, count, seed=seed, withdraw_fraction=0.1)
+
+
+def _bgp_updates(fib: Fib, count: int, seed: Seedable) -> List[UpdateOp]:
+    return bgp_update_sequence(fib, count, seed=seed, withdraw_fraction=0.15)
+
+
+def _flash_renumber_updates(fib: Fib, count: int, seed: Seedable) -> List[UpdateOp]:
+    """Re-announce existing routes under rotated labels (renumbering)."""
+    rng = make_rng(seed)
+    routes = list(fib)
+    labels = fib.labels
+    if not routes or not labels:
+        return _uniform_updates(fib, count, seed)
+    ops: List[UpdateOp] = []
+    for _ in range(count):
+        route = routes[rng.randrange(len(routes))]
+        if len(labels) > 1:
+            fresh = labels[(labels.index(route.label) + rng.randrange(1, len(labels))) % len(labels)]
+        else:
+            fresh = route.label
+        ops.append(UpdateOp(route.prefix, route.length, fresh))
+    return ops
+
+
+def _flap_storm_updates(fib: Fib, count: int, seed: Seedable) -> List[UpdateOp]:
+    """Withdraw/re-announce a small victim set, over and over."""
+    rng = make_rng(seed)
+    routes = list(fib)
+    if not routes:
+        return _uniform_updates(fib, count, seed)
+    victims = max(1, min(len(routes), count // 10 or 1))
+    flapping = [routes[rng.randrange(len(routes))] for _ in range(victims)]
+    ops: List[UpdateOp] = []
+    withdrawn: Dict[Tuple[int, int], int] = {}
+    while len(ops) < count:
+        route = flapping[rng.randrange(len(flapping))]
+        key = (route.prefix, route.length)
+        if key in withdrawn:
+            ops.append(UpdateOp(route.prefix, route.length, withdrawn.pop(key)))
+        else:
+            withdrawn[key] = route.label
+            ops.append(UpdateOp(route.prefix, route.length, None))
+    return ops
+
+
+def _uniform_lookups(fib: Fib, count: int, seed: Seedable) -> List[int]:
+    return uniform_trace(count, seed=seed, width=fib.width)
+
+
+def _locality_lookups(fib: Fib, count: int, seed: Seedable) -> List[int]:
+    return caida_like_trace(fib, count, seed=seed)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="uniform",
+            description="uniform churn (Fig 5 random feed) under uniform lookups",
+            update_feed=_uniform_updates,
+            lookup_feed=_uniform_lookups,
+        ),
+        Scenario(
+            name="bgp-churn",
+            description="BGP-shaped churn (mean length ~21.87) under a locality trace",
+            update_feed=_bgp_updates,
+            lookup_feed=_locality_lookups,
+        ),
+        Scenario(
+            name="flash-renumbering",
+            description="one burst re-labeling existing routes mid-stream",
+            update_feed=_flash_renumber_updates,
+            lookup_feed=_locality_lookups,
+            bursts=1,
+        ),
+        Scenario(
+            name="flap-storm",
+            description="a small route set flapping in repeated bursts",
+            update_feed=_flap_storm_updates,
+            lookup_feed=_locality_lookups,
+            bursts=5,
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """All built-in scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def scenario(name: str) -> Scenario:
+    """Scenario for ``name``; raises KeyError listing what exists."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+
+
+def _interleave(
+    batches: Sequence[Tuple[int, ...]], ops: Sequence[UpdateOp], bursts: int
+) -> List[ServeEvent]:
+    """Merge lookup batches and updates into one timestamped script.
+
+    ``bursts == 0`` spreads updates as evenly as possible between the
+    lookup batches; ``bursts == k`` drops the feed in k contiguous
+    groups at evenly spaced points of the lookup stream.
+    """
+    slots: List[List[UpdateOp]] = [[] for _ in range(len(batches) + 1)]
+    if ops:
+        if bursts <= 0:
+            for index, op in enumerate(ops):
+                # Even spread: update i lands after batch floor(i*B/U).
+                slots[(index * len(batches)) // len(ops) if batches else 0].append(op)
+        else:
+            groups = min(bursts, len(ops))
+            per_group = -(-len(ops) // groups)  # ceil division
+            for group in range(groups):
+                chunk = ops[group * per_group : (group + 1) * per_group]
+                position = ((group + 1) * len(batches)) // (groups + 1)
+                slots[position].extend(chunk)
+    script: List[ServeEvent] = []
+    for index, batch in enumerate(batches):
+        script.extend(
+            ServeEvent(0.0, "update", op=op) for op in slots[index]
+        )
+        script.append(ServeEvent(0.0, "lookup", addresses=batch))
+    script.extend(ServeEvent(0.0, "update", op=op) for op in slots[len(batches)])
+    total = len(script)
+    if not total:
+        return []
+    return [
+        ServeEvent(index / total, event.kind, event.addresses, event.op)
+        for index, event in enumerate(script)
+    ]
+
+
+def build_events(
+    scenario: Scenario,
+    fib: Fib,
+    lookups: int,
+    updates: int,
+    seed: Seedable = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> List[ServeEvent]:
+    """Script one scenario against one FIB: deterministic per seed.
+
+    The same (scenario, fib, lookups, updates, seed, batch_size) tuple
+    always produces the identical event list, so one script can be
+    replayed against every representation.
+    """
+    if lookups < 0 or updates < 0:
+        raise ValueError("lookup and update counts must be non-negative")
+    if batch_size < 1:
+        raise ValueError("batch size must be positive")
+    rng = make_rng(seed)
+    update_seed = derive_rng(rng, "updates")
+    lookup_seed = derive_rng(rng, "lookups")
+    ops = scenario.update_feed(fib, updates, update_seed)
+    addresses = scenario.lookup_feed(fib, lookups, lookup_seed)
+    batches = [
+        tuple(addresses[start : start + batch_size])
+        for start in range(0, len(addresses), batch_size)
+    ]
+    return _interleave(batches, ops, scenario.bursts)

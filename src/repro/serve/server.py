@@ -1,0 +1,316 @@
+"""The online FIB serving engine: lookups under live churn.
+
+A :class:`FibServer` hosts one registered representation behind the
+pipeline's batched lookup fast path while an *update plane* applies
+route churn. Two planes exist, chosen automatically from the registry's
+``supports_update`` capability:
+
+* **incremental** — the representation implements ``apply_update``
+  (prefix DAG §4.3; tabular and binary trie since the serve subsystem),
+  so every accepted operation lands in the serving structure
+  immediately and lookups are never stale;
+* **epoch rebuild** — static representations (XBW-b, LC-trie, the
+  serialized image, …) accumulate updates against the control FIB and
+  are rebuilt in the background every ``rebuild_every`` accepted
+  operations, after which the fresh generation is swapped in atomically
+  (one reference assignment — the CPython analogue of an RCU pointer
+  flip). Until the swap, lookups are answered by the previous
+  generation and counted as *stale*.
+
+The server always keeps a **control FIB** — the continuously-updated
+tabular oracle — which is what rebuilds snapshot from, what the
+staleness comparison reads, and what :meth:`parity_fraction` checks
+against after quiescence (the ``compare`` discipline under churn).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.fib import Fib
+from repro.datasets.updates import UpdateOp
+from repro.pipeline import registry
+from repro.pipeline.base import supports_updates
+from repro.serve.metrics import ServeReport
+from repro.serve.scenarios import ServeEvent
+from repro.simulator.costmodel import rebuild_cycles
+
+#: Default pending-update threshold that triggers an epoch rebuild.
+DEFAULT_REBUILD_EVERY = 64
+
+
+class FibServer:
+    """Serve lookups from one representation while applying churn.
+
+    Parameters
+    ----------
+    name:
+        Registry key of the representation to serve.
+    fib:
+        Initial routing state; copied into the server's control FIB.
+    options:
+        Build options forwarded to the registry (validated there).
+    rebuild_every:
+        Accepted updates per epoch on the rebuild plane. Ignored for
+        incremental representations.
+    batched:
+        Serve lookup batches through ``lookup_batch`` (the fast path)
+        or through the per-address scalar loop (the baseline the serve
+        benchmark measures against).
+    measure_staleness:
+        Compare every batch served during a stale window against the
+        control oracle, counting real label mismatches. Costs one
+        oracle lookup per stale address; benchmarks switch it off.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fib: Fib,
+        *,
+        options: Optional[Dict[str, Any]] = None,
+        rebuild_every: int = DEFAULT_REBUILD_EVERY,
+        batched: bool = True,
+        measure_staleness: bool = True,
+    ):
+        if rebuild_every < 1:
+            raise ValueError(f"rebuild_every must be positive, got {rebuild_every}")
+        self._spec = registry.get(name)
+        self._options = dict(options or {})
+        self._control = fib.copy()
+        self._representation = registry.build(name, self._control, **self._options)
+        self._incremental = supports_updates(self._representation)
+        self._rebuild_every = rebuild_every
+        self._batched = batched
+        self._measure_staleness = measure_staleness
+
+        self.generation = 0
+        self.pending: List[UpdateOp] = []
+        self._lookups = 0
+        self._batches = 0
+        self._updates_applied = 0
+        self._updates_skipped = 0
+        self._rebuilds = 0
+        self._stale_lookups = 0
+        self._label_mismatches = 0
+        self._lookup_seconds = 0.0
+        self._update_seconds = 0.0
+        self._rebuild_seconds = 0.0
+        self._rebuild_cycles = 0.0
+        self._peak_size_bits = self._representation.size_bits()
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def representation(self):
+        """The currently-serving generation."""
+        return self._representation
+
+    @property
+    def control(self) -> Fib:
+        """The continuously-updated tabular oracle (do not mutate)."""
+        return self._control
+
+    @property
+    def incremental(self) -> bool:
+        """True when updates land in the serving structure immediately."""
+        return self._incremental
+
+    @property
+    def is_stale(self) -> bool:
+        """True while accepted updates await the next epoch rebuild."""
+        return bool(self.pending)
+
+    @property
+    def rebuilds(self) -> int:
+        return self._rebuilds
+
+    def __repr__(self) -> str:
+        return (
+            f"FibServer(name={self.name!r}, plane="
+            f"{'incremental' if self._incremental else 'rebuild'}, "
+            f"generation={self.generation}, pending={len(self.pending)})"
+        )
+
+    # ---------------------------------------------------------------- lookups
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Serve one address (counted, staleness-checked)."""
+        return self.lookup_batch([address])[0]
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Serve a batch through the current generation.
+
+        Timing covers only the representation call; the staleness
+        audit (when enabled and the generation lags) is bookkeeping.
+        """
+        started = time.perf_counter()
+        if self._batched:
+            labels = self._representation.lookup_batch(addresses)
+        else:
+            scalar = self._representation.lookup
+            labels = [scalar(address) for address in addresses]
+        self._lookup_seconds += time.perf_counter() - started
+        self._lookups += len(addresses)
+        self._batches += 1
+        if self.pending:
+            self._stale_lookups += len(addresses)
+            if self._measure_staleness:
+                oracle = self._control.lookup
+                self._label_mismatches += sum(
+                    1
+                    for address, label in zip(addresses, labels)
+                    if label != oracle(address)
+                )
+        return labels
+
+    # ---------------------------------------------------------------- updates
+
+    def apply_update(self, op: UpdateOp) -> bool:
+        """Apply one operation to the control FIB and the update plane.
+
+        Withdrawals of absent routes are skipped (and counted), like a
+        BGP speaker ignoring bogus withdrawals. On the rebuild plane an
+        accepted operation may trigger an epoch rebuild; on the
+        incremental plane it lands in the serving structure directly.
+        """
+        started = time.perf_counter()
+        try:
+            self._control.update(op.prefix, op.length, op.label)
+        except KeyError:
+            self._updates_skipped += 1
+            self._update_seconds += time.perf_counter() - started
+            return False
+        if self._incremental:
+            self._representation.apply_update(op)
+            self._updates_applied += 1
+            self._update_seconds += time.perf_counter() - started
+            if self._updates_applied % self._rebuild_every == 0:
+                self._sample_size()
+            return True
+        self.pending.append(op)
+        self._updates_applied += 1
+        self._update_seconds += time.perf_counter() - started
+        if len(self.pending) >= self._rebuild_every:
+            self.rebuild()
+        return True
+
+    def rebuild(self) -> None:
+        """Rebuild from the control FIB and swap generations atomically.
+
+        While the fresh generation is being built the outgoing one is
+        still serving, so the memory high-water mark counts *both*
+        (sampled outside the rebuild timer — it is measurement, not
+        serving work).
+        """
+        outgoing_bits = self._representation.size_bits()
+        started = time.perf_counter()
+        fresh = registry.build(self.name, self._control, **self._options)
+        self._representation = fresh  # the atomic generation swap
+        self._rebuild_seconds += time.perf_counter() - started
+        self._rebuild_cycles += rebuild_cycles(len(self._control))
+        self._rebuilds += 1
+        self.generation += 1
+        self.pending.clear()
+        self._peak_size_bits = max(
+            self._peak_size_bits, outgoing_bits + fresh.size_bits()
+        )
+
+    def quiesce(self) -> None:
+        """Drain the update plane: after this, lookups cannot be stale."""
+        if self.pending:
+            self.rebuild()
+
+    # ----------------------------------------------------------------- replay
+
+    def replay(self, events: Sequence[ServeEvent]) -> None:
+        """Run one scenario script (see :mod:`repro.serve.scenarios`)."""
+        for event in events:
+            if event.is_lookup:
+                self.lookup_batch(event.addresses)
+            else:
+                self.apply_update(event.op)
+
+    def parity_fraction(self, addresses: Sequence[int]) -> float:
+        """Fraction of probe addresses agreeing with the control oracle.
+
+        Call after :meth:`quiesce` for the post-quiescence parity check
+        (1.0 required of every representation).
+        """
+        if not addresses:
+            return 1.0
+        served = self._representation.lookup_batch(addresses)
+        oracle = self._control.lookup
+        agreed = sum(
+            1 for address, label in zip(addresses, served) if label == oracle(address)
+        )
+        return agreed / len(addresses)
+
+    # ---------------------------------------------------------------- metrics
+
+    def _sample_size(self) -> None:
+        self._peak_size_bits = max(
+            self._peak_size_bits, self._representation.size_bits()
+        )
+
+    def report(self, scenario: str = "", final_parity: Optional[float] = None) -> ServeReport:
+        """Snapshot the counters into a :class:`ServeReport`."""
+        self._sample_size()
+        return ServeReport(
+            name=self.name,
+            title=self._spec.title,
+            scenario=scenario,
+            incremental=self._incremental,
+            lookups=self._lookups,
+            batches=self._batches,
+            updates_applied=self._updates_applied,
+            updates_skipped=self._updates_skipped,
+            rebuilds=self._rebuilds,
+            generation=self.generation,
+            pending_updates=len(self.pending),
+            stale_lookups=self._stale_lookups,
+            label_mismatches=self._label_mismatches,
+            lookup_seconds=self._lookup_seconds,
+            update_seconds=self._update_seconds,
+            rebuild_seconds=self._rebuild_seconds,
+            size_bits=self._representation.size_bits(),
+            peak_size_bits=self._peak_size_bits,
+            rebuild_cycles=self._rebuild_cycles,
+            final_parity=final_parity,
+        )
+
+
+def serve_scenario(
+    name: str,
+    fib: Fib,
+    events: Sequence[ServeEvent],
+    *,
+    scenario: str = "",
+    options: Optional[Dict[str, Any]] = None,
+    rebuild_every: int = DEFAULT_REBUILD_EVERY,
+    batched: bool = True,
+    measure_staleness: bool = True,
+    parity_probes: Sequence[int] = (),
+) -> ServeReport:
+    """Replay one script through one representation, end to end.
+
+    Convenience wrapper for the CLI/benchmarks: build the server, replay
+    the script, quiesce, run the post-quiescence parity probes, report.
+    """
+    server = FibServer(
+        name,
+        fib,
+        options=options,
+        rebuild_every=rebuild_every,
+        batched=batched,
+        measure_staleness=measure_staleness,
+    )
+    server.replay(events)
+    server.quiesce()
+    parity = server.parity_fraction(parity_probes) if parity_probes else None
+    return server.report(scenario=scenario, final_parity=parity)

@@ -32,6 +32,21 @@ SERIALIZED_DAG_STEP_CYCLES = 3.0   # array index + bit extract
 LCTRIE_STEP_CYCLES = 5.0           # stride extract + alias checks
 XBW_PRIMITIVE_CYCLES = 55.0        # rank/select on compressed blocks
 
+# Background-rebuild charges for the serving engine's epoch swaps
+# (repro.serve): a rebuild re-inserts every control-FIB route into a
+# fresh structure, then swaps generations atomically. Charged per route
+# plus a fixed epoch overhead; calibrated against the §4.3 observation
+# that a full static rebuild is the O(N) cost incremental updates avoid.
+REBUILD_ENTRY_CYCLES = 150.0
+REBUILD_EPOCH_CYCLES = 5e4
+
+
+def rebuild_cycles(entries: int) -> float:
+    """Simulated cost of one background rebuild + generation swap."""
+    if entries < 0:
+        raise ValueError(f"negative FIB size {entries}")
+    return REBUILD_EPOCH_CYCLES + REBUILD_ENTRY_CYCLES * entries
+
 
 @dataclass
 class LookupCostReport:

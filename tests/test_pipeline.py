@@ -308,6 +308,98 @@ class TestParity:
             del registry_module._REGISTRY["zz-short"]
 
 
+class TestDispatchPatching:
+    """In-place dispatch repair must match a from-scratch rebuild."""
+
+    def test_patched_node_dispatch_matches_rebuild(self, rng):
+        from repro.pipeline.batch import patch_node_dispatch
+
+        fib = random_fib(rng, 150, 4, max_length=14)
+        trie = BinaryTrie.from_fib(fib)
+        dispatch = build_node_dispatch(trie.root, trie.width, 8)
+        mirror = fib.copy()
+        for op in random_update_sequence(mirror, 40, seed=31, withdraw_fraction=0.3):
+            try:
+                mirror.update(op.prefix, op.length, op.label)
+            except KeyError:
+                continue
+            if op.label is None:
+                trie.delete(op.prefix, op.length)
+            else:
+                trie.insert(op.prefix, op.length, op.label)
+            patch_node_dispatch(dispatch, trie.root, op.prefix, op.length)
+        fresh = build_node_dispatch(trie.root, trie.width, 8)
+        assert dispatch.labels == fresh.labels
+        assert dispatch.nodes == fresh.nodes  # same objects, slot for slot
+
+    def test_patched_label_dispatch_stays_correct(self, rng):
+        from repro.pipeline.batch import batch_resolve, patch_label_dispatch
+
+        fib = random_fib(rng, 120, 4, max_length=14)
+        dispatch = build_label_dispatch(BinaryTrie.from_fib(fib), 8)
+        for op in random_update_sequence(fib.copy(), 40, seed=37, withdraw_fraction=0.3):
+            try:
+                fib.update(op.prefix, op.length, op.label)
+            except KeyError:
+                continue
+            patch_label_dispatch(dispatch, fib.lookup, op.prefix, op.length)
+        probes = [rng.getrandbits(32) for _ in range(500)]
+        assert batch_resolve(dispatch, fib.lookup, probes) == [
+            fib.lookup(address) for address in probes
+        ]
+
+    def test_deep_update_marks_single_slot(self, paper_fib):
+        from repro.pipeline.batch import DEEP as deep, patch_label_dispatch
+
+        fib = Fib(32)
+        fib.add(0x0A, 8, 3)  # 10.0.0.0/8: slot 0x0A uniform under stride 8
+        dispatch = build_label_dispatch(BinaryTrie.from_fib(fib), 8)
+        assert dispatch.labels[0x0A] == 3
+        fib.add(0x0A0000, 24, 4)  # deep route inside the slot
+        patch_label_dispatch(dispatch, fib.lookup, 0x0A0000, 24)
+        assert dispatch.labels[0x0A] is deep
+        assert dispatch.labels[0x0B] is None  # neighbouring slot untouched
+
+
+class TestBatchEdgeCases:
+    """Degenerate batches must skip the stride-dispatch build."""
+
+    DISPATCH_ADAPTERS = [
+        "binary-trie", "lc-trie", "ortc", "patricia",
+        "prefix-dag", "shape-graph", "tabular", "xbw",
+    ]
+
+    def test_empty_batch_builds_no_dispatch(self, paper_fib):
+        for name in self.DISPATCH_ADAPTERS:
+            representation = pipeline.build(name, paper_fib)
+            assert representation.lookup_batch([]) == []
+            assert representation._dispatch is None, name
+
+    def test_default_route_only_fib_stays_dispatch_free(self):
+        fib = Fib(32)
+        fib.add(0, 0, 7)  # a lone default route
+        probes = [0, 1, (1 << 32) - 1, 0xDEADBEEF]
+        for name in self.DISPATCH_ADAPTERS:
+            representation = pipeline.build(name, fib)
+            assert representation.lookup_batch(probes) == [7] * len(probes), name
+            assert representation._dispatch is None, name
+
+    def test_empty_fib_batch(self):
+        fib = Fib(32)
+        for name in ("tabular", "binary-trie", "prefix-dag"):
+            representation = pipeline.build(name, fib)
+            assert representation.lookup_batch([0, 123]) == [None, None], name
+            assert representation._dispatch is None, name
+
+    def test_trivial_path_still_range_checks(self):
+        fib = Fib(32)
+        fib.add(0, 0, 7)
+        for name in ("tabular", "binary-trie", "prefix-dag", "ortc"):
+            representation = pipeline.build(name, fib)
+            with pytest.raises(ValueError, match="outside"):
+                representation.lookup_batch([0, -1])
+
+
 class TestUpdates:
     def test_prefix_dag_apply_update_refreshes_batch(self, rng):
         fib = random_fib(rng, 150, 4, max_length=14)
@@ -331,6 +423,50 @@ class TestUpdates:
         dag.apply_update(UpdateOp(prefix=0b011, length=3, label=None))
         address = 0b011 << 29
         assert dag.lookup(address) == dag.lookup_batch([address])[0]
+
+    UPDATABLE = ["tabular", "binary-trie", "prefix-dag"]
+
+    def test_updatable_representations_declared(self):
+        updatable = [spec.name for spec in pipeline.specs() if spec.supports_update]
+        assert updatable == ["binary-trie", "prefix-dag", "tabular"]
+
+    @pytest.mark.parametrize("name", UPDATABLE)
+    def test_apply_update_tracks_oracle(self, rng, name):
+        fib = random_fib(rng, 150, 4, max_length=14)
+        representation = pipeline.build(name, fib)
+        mirror = fib.copy()
+        probes = [rng.getrandbits(32) for _ in range(300)]
+        representation.lookup_batch(probes)  # force the dispatch to exist
+        for op in random_update_sequence(mirror, 40, seed=23, withdraw_fraction=0.2):
+            try:
+                mirror.update(op.prefix, op.length, op.label)
+            except KeyError:
+                continue  # bogus withdrawal: don't apply anywhere
+            representation.apply_update(op)
+        want = [mirror.lookup(a) for a in probes]
+        assert representation.lookup_batch(probes) == want, name
+        assert [representation.lookup(a) for a in probes] == want, name
+
+    @pytest.mark.parametrize("name", UPDATABLE)
+    def test_withdraw_absent_route_raises(self, paper_fib, name):
+        representation = pipeline.build(name, paper_fib)
+        with pytest.raises(KeyError):
+            representation.apply_update(UpdateOp(0x55, 7, None))
+
+    def test_binary_trie_size_tracks_delta_after_updates(self, paper_fib):
+        trie = pipeline.build("binary-trie", paper_fib)
+        before = trie.size_bits()
+        # Announce a new deep route: node count (and size) must grow.
+        trie.apply_update(UpdateOp(0xABCDEF, 24, 1))
+        assert trie.size_bits() > before
+
+    def test_tabular_size_tracks_updates(self, paper_fib):
+        tab = pipeline.build("tabular", paper_fib)
+        before = tab.size_bits()
+        tab.apply_update(UpdateOp(0xABCD, 16, 2))
+        assert tab.size_bits() > before
+        tab.apply_update(UpdateOp(0xABCD, 16, None))
+        assert tab.size_bits() == before
 
 
 class TestBench:

@@ -93,3 +93,40 @@ class TestApplication:
         assert [len(b) for b in batches] == [4, 4, 2]
         with pytest.raises(ValueError):
             list(iter_batches(ops, 0))
+
+
+class TestDeterminism:
+    """Same seed ⇒ identical UpdateOp sequence, for every feed."""
+
+    def test_random_feed_reproducible(self, medium_fib):
+        ops = random_update_sequence(medium_fib, 250, seed=77, withdraw_fraction=0.2)
+        again = random_update_sequence(medium_fib, 250, seed=77, withdraw_fraction=0.2)
+        assert ops == again
+        assert ops != random_update_sequence(
+            medium_fib, 250, seed=78, withdraw_fraction=0.2
+        )
+
+    def test_bgp_feed_reproducible(self, medium_fib):
+        ops = bgp_update_sequence(medium_fib, 250, seed=77, withdraw_fraction=0.2)
+        again = bgp_update_sequence(medium_fib, 250, seed=77, withdraw_fraction=0.2)
+        assert ops == again
+        assert ops != bgp_update_sequence(
+            medium_fib, 250, seed=78, withdraw_fraction=0.2
+        )
+
+    def test_fib_replay_matches_dag_adapter(self, medium_fib):
+        # apply_updates drives both the tabular oracle (Fib.update) and
+        # the pipeline adapter (apply_update); the two replays of one
+        # feed must converge to the same forwarding function.
+        from repro import pipeline
+
+        ops = bgp_update_sequence(medium_fib, 300, seed=13, withdraw_fraction=0.25)
+        oracle = medium_fib.copy()
+        applied_fib = apply_updates(oracle, ops)
+        dag = pipeline.build("prefix-dag", medium_fib, barrier=8)
+        applied_dag = apply_updates(dag, ops)
+        assert applied_fib == applied_dag
+        probes = [(op.prefix << (32 - op.length)) if op.length else 0 for op in ops]
+        probes += [0, (1 << 32) - 1]
+        assert dag.lookup_batch(probes) == [oracle.lookup(a) for a in probes]
+        dag.backend.check_integrity()
