@@ -207,19 +207,51 @@ def _write_json(path: str, payload: dict) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.floor is not None and args.no_compiled:
+        print("--floor guards the compiled plane; drop --no-compiled", file=sys.stderr)
+        return 2
     prof = profile(args.profile)
     fib = build_profile_fib(prof, scale=args.scale)
     addresses = uniform_trace(args.packets, seed=42, width=fib.width)
     only = args.representations or None
+    overrides = pipeline.option_overrides("dispatch_stride", args.stride)
+    if args.no_compiled:
+        for name, options in pipeline.option_overrides("compiled", False).items():
+            overrides.setdefault(name, {}).update(options)
     rows = pipeline.bench_all(
         fib,
         addresses,
         only=only,
-        overrides=pipeline.option_overrides("dispatch_stride", args.stride),
+        overrides=overrides,
         repeat=args.repeat,
     )
     print(banner(f"bench on {args.profile} (scale {args.scale}, {args.packets} packets)"))
     print(pipeline.render_bench_rows(rows))
+    status = 0
+    if args.floor is not None:
+        # The CI trajectory guard: every benched representation must
+        # actually compile AND its compiled batch must beat its own
+        # scalar loop by the floor — a representation silently dropping
+        # to the dispatch engine is itself a regression, not a pass.
+        for row in rows:
+            if not row.compiled:
+                status = 1
+                print(
+                    f"{row.name}: compiled plane missing (fell back to the "
+                    f"dispatch engine)",
+                    file=sys.stderr,
+                )
+            elif row.speedup < args.floor:
+                status = 1
+                print(
+                    f"{row.name}: compiled batch only {row.speedup:.2f}x over "
+                    f"the scalar loop (floor {args.floor}x)",
+                    file=sys.stderr,
+                )
+        print(
+            "bench floor OK" if status == 0 else "BENCH FLOOR BROKEN",
+            file=sys.stderr,
+        )
     if args.json is not None:
         _write_json(
             args.json,
@@ -229,10 +261,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "scale": args.scale,
                 "packets": args.packets,
                 "stride": args.stride,
+                "floor": args.floor,
+                "vectorized": pipeline.have_numpy(),
                 "rows": [row.to_dict() for row in rows],
             },
         )
-    return 0
+    return status
 
 
 #: Default serving line-up: one incremental plane, two rebuild planes.
@@ -439,6 +473,18 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=pipeline.names(),
         help="subset of registered representations",
+    )
+    p.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="serve lookup_batch through the PR 1 dispatch engine only",
+    )
+    p.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail (exit 1) if any compiled plane is < X times its scalar loop",
     )
     p.add_argument(
         "--json",

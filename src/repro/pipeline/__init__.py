@@ -22,6 +22,8 @@ from repro.pipeline.base import (
     CompressedFib,
     TraceableFib,
     UpdatableFib,
+    flat_program,
+    supports_flat,
     supports_trace,
     supports_updates,
 )
@@ -37,6 +39,15 @@ from repro.pipeline.batch import (
     check_stride,
     patch_label_dispatch,
     patch_node_dispatch,
+)
+from repro.pipeline.flat import (
+    DEFAULT_MAX_CELLS,
+    DEFAULT_SUB_STRIDE,
+    FlatCompileError,
+    FlatProgram,
+    compile_binary,
+    compile_multibit,
+    have_numpy,
 )
 from repro.pipeline.bench import (
     BENCH_HEADERS,
@@ -56,6 +67,7 @@ from repro.pipeline.registry import (
     RepresentationSpec,
     build,
     build_all,
+    flat_capable,
     get,
     names,
     option_overrides,
@@ -71,8 +83,18 @@ __all__ = [
     "CompressedFib",
     "TraceableFib",
     "UpdatableFib",
+    "flat_program",
+    "supports_flat",
     "supports_trace",
     "supports_updates",
+    "DEFAULT_MAX_CELLS",
+    "DEFAULT_SUB_STRIDE",
+    "FlatCompileError",
+    "FlatProgram",
+    "compile_binary",
+    "compile_multibit",
+    "have_numpy",
+    "flat_capable",
     "DEFAULT_STRIDE",
     "MAX_STRIDE",
     "LabelDispatch",

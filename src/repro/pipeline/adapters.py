@@ -1,18 +1,32 @@
 """Adapters giving every representation the :class:`CompressedFib` API.
 
 Each adapter wraps one existing structure (``backend``), normalizes its
-construction to ``factory(fib, **options)``, and supplies the batched
-lookup fast path appropriate to its shape:
+construction to ``factory(fib, **options)``, and serves batched lookups
+through two planes:
 
-* binary-node structures (binary trie, prefix DAG) flatten their top
-  levels into a :class:`~repro.pipeline.batch.NodeDispatch` and walk the
-  residual bits with integer masks;
-* the multibit DAG and the serialized image get hand-inlined batch
-  loops over their own arrays;
-* everything else (tabular, Patricia, LC-trie, ORTC, shape graph,
-  XBW-b) routes through a :class:`~repro.pipeline.batch.LabelDispatch`
-  built from the source trie — uniform address regions answer from the
-  array, the rest falls back to the representation's scalar lookup.
+* the **compiled flat plane** (:mod:`repro.pipeline.flat`, default):
+  the representation is lowered once into a pointerless
+  :class:`~repro.pipeline.flat.FlatProgram` — binary-node structures
+  (binary trie, prefix DAG, ORTC, the serialized image's source DAG)
+  compile from their own nodes, the multibit DAG transcribes its fanout
+  blocks, and everything else compiles from a control trie over the
+  snapshotted source FIB (correct for any representation that preserves
+  the forwarding function — the registry's contract, enforced by the
+  parity suite);
+* the **dispatch engine** (:mod:`repro.pipeline.batch`, the PR 1 fast
+  path, kept as ``lookup_batch_dispatch``): stride-dispatch arrays over
+  Python nodes or the representation's scalar lookup. It serves when
+  compilation is disabled (``compiled=False``) or refused
+  (:class:`~repro.pipeline.flat.FlatCompileError` — e.g. an expansion
+  past the cell ceiling), and is what ``repro-fib bench`` measures the
+  compiled plane against.
+
+Updatable representations (tabular, binary trie, prefix DAG) keep their
+compiled program live under churn with a **patch log**: ``apply_update``
+records the edited span and the next batch replays the log through
+:meth:`~repro.pipeline.flat.FlatProgram.patch` (recompiling only the
+covered root slots); once patch garbage would exceed the original image
+the program is recompiled from scratch.
 
 The registry metadata (paper section, size model, option schema) lives
 on the ``@register`` decorations below, which is the table README.md
@@ -45,6 +59,12 @@ from repro.pipeline.batch import (
     patch_label_dispatch,
     patch_node_dispatch,
 )
+from repro.pipeline.flat import (
+    FlatCompileError,
+    FlatProgram,
+    compile_binary,
+    compile_multibit,
+)
 from repro.pipeline.registry import OptionSpec, register
 from repro.simulator.costmodel import (
     LCTRIE_STEP_CYCLES,
@@ -59,16 +79,37 @@ _STRIDE_OPTION = OptionSpec(
     "stride of the batched-lookup root dispatch array (2^s slots, s in [1, 20])",
 )
 
+_COMPILED_OPTION = OptionSpec(
+    "compiled",
+    bool,
+    True,
+    "serve lookup_batch from the compiled flat plane (False = PR 1 dispatch engine)",
+)
+
+#: Options shared by every adapter below.
+_COMMON_OPTIONS = (_STRIDE_OPTION, _COMPILED_OPTION)
+
 
 class RepresentationAdapter:
-    """Shared adapter plumbing: backend storage and size conversions."""
+    """Shared adapter plumbing: backend storage, size conversions, and
+    the compiled-plane lifecycle (lazy compile, patch-log replay,
+    bloat-triggered recompile, dispatch fallback)."""
 
     name = "?"  # overwritten by @register
 
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
         self._width = fib.width
         self._dispatch_stride = check_stride(dispatch_stride)
         self._dispatch = None
+        self._compiled_enabled = bool(compiled)
+        self._flat: Optional[FlatProgram] = None
+        self._flat_failed = False
+        self._flat_log: List[Tuple[int, int]] = []
 
     @property
     def backend(self):
@@ -88,6 +129,79 @@ class RepresentationAdapter:
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, size={self.size_kbytes():.1f} KB)"
 
+    # -------------------------------------------------------- compiled plane
+
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        """Build this representation's flat program (None = no compiler)."""
+        return None
+
+    def _flat_source_root(self):
+        """Binary root the patch log replays from (updatable adapters)."""
+        raise NotImplementedError(f"{self.name} has no patchable flat source")
+
+    def flat_plane(self) -> Optional[FlatProgram]:
+        """The compiled lookup program, or None when the adapter serves
+        through the dispatch engine (compilation disabled or refused).
+
+        Compiles lazily on first use; drains the patch log first, so the
+        program a caller receives always reflects every applied update.
+        """
+        if not self._compiled_enabled or self._flat_failed:
+            return None
+        if self._flat is not None and self._flat_log:
+            program = self._flat
+            root = self._flat_source_root()
+            try:
+                for prefix, length in self._flat_log:
+                    program.patch(prefix, length, root)
+            except FlatCompileError:
+                self._flat = None  # patch hit the ceiling: recompile below
+            self._flat_log.clear()
+            if self._flat is not None and program.bloated:
+                self._flat = None  # recompile below, from the live state
+        if self._flat is None:
+            try:
+                self._flat = self._compile_flat()
+            except FlatCompileError:
+                self._flat = None
+            self._flat_log.clear()
+            if self._flat is None:
+                self._flat_failed = True
+                return None
+        return self._flat
+
+    def _log_flat_patch(self, prefix: int, length: int) -> None:
+        """Record an applied update for lazy patch-log replay."""
+        if self._flat is not None:
+            self._flat_log.append((prefix, length))
+
+    # ---------------------------------------------------------------- batches
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Batched LPM: the compiled flat plane when available, else the
+        PR 1 dispatch engine."""
+        if not len(addresses):
+            return []
+        program = self.flat_plane()
+        if program is not None:
+            return program.lookup_batch(addresses)
+        return self.lookup_batch_dispatch(addresses)
+
+    def lookup_batch_shared(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Batched LPM through the shared-fate walk (each distinct
+        duplicate/terminal-slot cohort resolves once — see
+        :meth:`FlatProgram.lookup_batch_shared` for when that pays);
+        serves through the dispatch engine when uncompiled."""
+        if not len(addresses):
+            return []
+        program = self.flat_plane()
+        if program is not None:
+            return program.lookup_batch_shared(addresses)
+        return self.lookup_batch_dispatch(addresses)
+
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        raise NotImplementedError
+
 
 def _trivial_batch(root, addresses: Sequence[int], width: int) -> Optional[List[Optional[int]]]:
     """The degenerate batches that skip the dispatch build entirely.
@@ -106,25 +220,44 @@ def _trivial_batch(root, addresses: Sequence[int], width: int) -> Optional[List[
 
 
 class _FallbackBatchAdapter(RepresentationAdapter):
-    """Batch lookups through a label dispatch over the source trie.
+    """Serve representations without walkable binary nodes.
 
-    The dispatch (and the control trie it is derived from) is built
-    lazily on the first ``lookup_batch`` call, so size-only consumers
-    like ``repro-fib compress`` pay nothing for it. The FIB is
-    *snapshotted* (copied) at build time: mutating the caller's FIB
-    afterwards cannot desynchronize the dispatch from the frozen
-    backend.
+    The compiled plane (and the dispatch fallback, and the control trie
+    both are derived from) is built lazily on the first ``lookup_batch``
+    call, so size-only consumers like ``repro-fib compress`` pay nothing
+    for it. The FIB is *snapshotted* (copied) at build time: mutating
+    the caller's FIB afterwards cannot desynchronize the lookup planes
+    from the frozen backend.
     """
 
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
-        super().__init__(fib, dispatch_stride)
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
+        super().__init__(fib, dispatch_stride, compiled)
         self._source_fib = fib.copy()
+        self._control: Optional[BinaryTrie] = None
 
-    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+    def _control_trie(self) -> BinaryTrie:
+        """The control trie both lookup planes derive from, built once:
+        bench/compare exercise the compiled and the dispatch plane on
+        the same adapter, so the O(N·W) trie build must not repeat."""
+        if self._control is None:
+            self._control = BinaryTrie.from_fib(self._source_fib)
+        return self._control
+
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        return compile_binary(
+            self._control_trie().root, self._width, self._dispatch_stride
+        )
+
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if not addresses:
             return []
         if self._dispatch is None:
-            control = BinaryTrie.from_fib(self._source_fib)
+            control = self._control_trie()
             trivial = _trivial_batch(control.root, addresses, self._width)
             if trivial is not None:
                 return trivial
@@ -138,20 +271,38 @@ class _FallbackBatchAdapter(RepresentationAdapter):
     description="linear next-hop table served by a length-bucketed index",
     paper_section="§2, Fig 1(a)",
     size_model="(W + lg δ)·N",
-    options=(_STRIDE_OPTION,),
+    options=_COMMON_OPTIONS,
     supports_update=True,
+    supports_flat=True,
 )
 class TabularAdapter(_FallbackBatchAdapter):
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
         # The backend copy doubles as the dispatch snapshot.
-        RepresentationAdapter.__init__(self, fib, dispatch_stride)
+        RepresentationAdapter.__init__(self, fib, dispatch_stride, compiled)
         self._backend = fib.copy()
         self._source_fib = self._backend
+        self._control = None
         self.lookup = self._backend.lookup
 
+    def _flat_source_root(self):
+        # The cached control trie mirrors every applied update, so the
+        # patch log can recompile spans without re-walking the table.
+        return self._control_trie().root
+
     def apply_update(self, op) -> None:
-        """In-place table edit; repairs the batch dispatch's span."""
+        """In-place table edit; repairs both lookup planes' spans."""
         self._backend.update(op.prefix, op.length, op.label)
+        if self._control is not None:
+            if op.label is None:
+                self._control.delete(op.prefix, op.length)
+            else:
+                self._control.insert(op.prefix, op.length, op.label)
+        self._log_flat_patch(op.prefix, op.length)
         if self._dispatch is not None:
             patch_label_dispatch(self._dispatch, self.lookup, op.prefix, op.length)
 
@@ -167,17 +318,29 @@ class TabularAdapter(_FallbackBatchAdapter):
     description="unibit prefix tree, the reference lookup structure",
     paper_section="§2, Fig 1(b)",
     size_model="t·(2·ptr + lg δ)",
-    options=(_STRIDE_OPTION,),
+    options=_COMMON_OPTIONS,
     supports_update=True,
+    supports_flat=True,
 )
 class BinaryTrieAdapter(RepresentationAdapter):
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
-        super().__init__(fib, dispatch_stride)
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = BinaryTrie.from_fib(fib)
         self._delta: Optional[int] = fib.delta
         self.lookup = self._backend.lookup
 
-    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        return compile_binary(self._backend.root, self._width, self._dispatch_stride)
+
+    def _flat_source_root(self):
+        return self._backend.root
+
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if self._dispatch is None:
             trivial = _trivial_batch(self._backend.root, addresses, self._width)
             if trivial is not None:
@@ -188,11 +351,12 @@ class BinaryTrieAdapter(RepresentationAdapter):
         return batch_walk(self._dispatch, addresses)
 
     def apply_update(self, op) -> None:
-        """Plain trie edit; repairs the batch dispatch's span."""
+        """Plain trie edit; repairs both lookup planes' spans."""
         if op.label is None:
             self._backend.delete(op.prefix, op.length)
         else:
             self._backend.insert(op.prefix, op.length, op.label)
+        self._log_flat_patch(op.prefix, op.length)
         if self._dispatch is not None:
             patch_node_dispatch(self._dispatch, self._backend.root, op.prefix, op.length)
         self._delta = None  # recomputed lazily by size_bits
@@ -209,11 +373,17 @@ class BinaryTrieAdapter(RepresentationAdapter):
     description="BSD radix tree, 24 bytes a node (Sklower [46])",
     paper_section="§6",
     size_model="24·8·nodes",
-    options=(_STRIDE_OPTION,),
+    options=_COMMON_OPTIONS,
+    supports_flat=True,
 )
 class PatriciaAdapter(_FallbackBatchAdapter):
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
-        super().__init__(fib, dispatch_stride)
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = PatriciaTrie(fib)
         self.lookup = self._backend.lookup
 
@@ -227,13 +397,13 @@ class PatriciaAdapter(_FallbackBatchAdapter):
     description="level/path-compressed trie, the Linux fib_trie model",
     paper_section="§6 [41]",
     size_model="kernel structs: tnodes + child arrays + leaves + aliases",
-    options=(
-        _STRIDE_OPTION,
+    options=_COMMON_OPTIONS + (
         OptionSpec("fill_factor", float, 0.5, "minimum slot occupancy for level compression"),
         OptionSpec("max_bits", int, 17, "stride cap of one level-compressed node"),
         OptionSpec("root_bits", int, 0, "minimum root stride (0 disables the floor)"),
     ),
     supports_trace=True,
+    supports_flat=True,
     trace_step_cycles=LCTRIE_STEP_CYCLES,
 )
 class LCTrieAdapter(_FallbackBatchAdapter):
@@ -241,11 +411,12 @@ class LCTrieAdapter(_FallbackBatchAdapter):
         self,
         fib: Fib,
         dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
         fill_factor: float = 0.5,
         max_bits: int = 17,
         root_bits: int = 0,
     ):
-        super().__init__(fib, dispatch_stride)
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = LCTrie(
             fib, fill_factor=fill_factor, max_bits=max_bits, root_bits=root_bits
         )
@@ -261,17 +432,22 @@ class LCTrieAdapter(_FallbackBatchAdapter):
 
     @classmethod
     def wrapping(
-        cls, fib: Fib, backend: LCTrie, dispatch_stride: int = DEFAULT_STRIDE
+        cls,
+        fib: Fib,
+        backend: LCTrie,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
     ) -> "LCTrieAdapter":
         """Adapt an already-built LC-trie *variant* of ``fib``.
 
         ``backend`` must encode the same forwarding function as ``fib``
         (e.g. the same routes under a different fill factor): the batch
-        dispatch is derived from ``fib``, exactly as in ``__init__``.
+        planes are derived from ``fib``, exactly as in ``__init__``.
         """
         adapter = cls.__new__(cls)
-        RepresentationAdapter.__init__(adapter, fib, dispatch_stride)
+        RepresentationAdapter.__init__(adapter, fib, dispatch_stride, compiled)
         adapter._source_fib = fib.copy()
+        adapter._control = None
         adapter._backend = backend
         adapter.lookup = backend.lookup
         adapter.lookup_trace = backend.lookup_trace
@@ -284,11 +460,17 @@ class LCTrieAdapter(_FallbackBatchAdapter):
     description="optimal FIB aggregation (Draves et al. [12])",
     paper_section="§6, Fig 1(c)",
     size_model="(W + lg δ)·N_aggregated",
-    options=(_STRIDE_OPTION,),
+    options=_COMMON_OPTIONS,
+    supports_flat=True,
 )
 class OrtcAdapter(RepresentationAdapter):
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
-        super().__init__(fib, dispatch_stride)
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = ortc_compress(fib)
         # One trie over the aggregated entries, null routes kept as ⊥ so
         # they erase any shorter covering label during the walk.
@@ -299,7 +481,13 @@ class OrtcAdapter(RepresentationAdapter):
         label = self._trie.lookup(address)
         return None if label is None or label == INVALID_LABEL else label
 
-    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        # The blackhole label ⊥ = 0 erases covering labels during the
+        # leaf-push fill and lands in cells as the program's no-route
+        # encoding — exactly ORTC's semantics, no post-processing.
+        return compile_binary(self._trie.root, self._width, self._dispatch_stride)
+
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if self._dispatch is None:
             raw = _trivial_batch(self._trie.root, addresses, self._width)
             if raw is None:
@@ -321,11 +509,17 @@ class OrtcAdapter(RepresentationAdapter):
     description="label-blind sub-tree merging with a next-hop hash (Song et al. [47])",
     paper_section="§6 [47]",
     size_model="2·ptr·shapes + (W + lg W + lg δ)·leaves",
-    options=(_STRIDE_OPTION,),
+    options=_COMMON_OPTIONS,
+    supports_flat=True,
 )
 class ShapeGraphAdapter(_FallbackBatchAdapter):
-    def __init__(self, fib: Fib, dispatch_stride: int = DEFAULT_STRIDE):
-        super().__init__(fib, dispatch_stride)
+    def __init__(
+        self,
+        fib: Fib,
+        dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
+    ):
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = ShapeGraph(fib)
         self.lookup = self._backend.lookup
 
@@ -339,11 +533,11 @@ class ShapeGraphAdapter(_FallbackBatchAdapter):
     description="succinct BWT-style transform: RRR(S_I) + wavelet(S_α)",
     paper_section="§3",
     size_model="2t + n·H0 + o(t)",
-    options=(
-        _STRIDE_OPTION,
+    options=_COMMON_OPTIONS + (
         OptionSpec("wavelet_shape", str, "huffman", "'huffman' or 'balanced' S_α tree"),
     ),
     supports_trace=True,
+    supports_flat=True,
     trace_step_cycles=XBW_PRIMITIVE_CYCLES,
     heavy_trace=True,
 )
@@ -352,9 +546,10 @@ class XBWAdapter(_FallbackBatchAdapter):
         self,
         fib: Fib,
         dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
         wavelet_shape: str = "huffman",
     ):
-        super().__init__(fib, dispatch_stride)
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = XBWb.from_fib(fib, wavelet_shape=wavelet_shape)
         self.lookup = self._backend.lookup
         self.lookup_trace = self._backend.lookup_trace
@@ -369,20 +564,21 @@ class XBWAdapter(_FallbackBatchAdapter):
     description="trie-folding with a leaf-push barrier λ",
     paper_section="§4",
     size_model="above·(ptr + lg δ) + interior·2·ptr + δ·lg δ",
-    options=(
-        _STRIDE_OPTION,
+    options=_COMMON_OPTIONS + (
         OptionSpec("barrier", int, None, "leaf-push barrier λ; None = entropy-chosen (eq. 3)"),
     ),
     supports_update=True,
+    supports_flat=True,
 )
 class PrefixDagAdapter(RepresentationAdapter):
     def __init__(
         self,
         fib: Fib,
         dispatch_stride: int = DEFAULT_STRIDE,
+        compiled: bool = True,
         barrier: Optional[int] = None,
     ):
-        super().__init__(fib, dispatch_stride)
+        super().__init__(fib, dispatch_stride, compiled)
         self._backend = PrefixDag(fib, barrier=barrier)
         self.lookup = self._backend.lookup
 
@@ -390,7 +586,15 @@ class PrefixDagAdapter(RepresentationAdapter):
     def barrier(self) -> int:
         return self._backend.barrier
 
-    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        # Folded sub-tries intern to shared blocks (the compile memo),
+        # so the program inherits the DAG's economy.
+        return compile_binary(self._backend.root, self._width, self._dispatch_stride)
+
+    def _flat_source_root(self):
+        return self._backend.root
+
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         if self._dispatch is None:
             trivial = _trivial_batch(self._backend.root, addresses, self._width)
             if trivial is not None:
@@ -401,9 +605,10 @@ class PrefixDagAdapter(RepresentationAdapter):
         return batch_walk(self._dispatch, addresses)
 
     def apply_update(self, op) -> None:
-        """Incremental §4.3 update; repairs the batch dispatch's span
+        """Incremental §4.3 update; repairs both lookup planes' spans
         (safe on the DAG — updates privatize the nodes they change)."""
         self._backend.update(op.prefix, op.length, op.label)
+        self._log_flat_patch(op.prefix, op.length)
         if self._dispatch is not None:
             patch_node_dispatch(self._dispatch, self._backend.root, op.prefix, op.length)
 
@@ -418,16 +623,21 @@ class PrefixDagAdapter(RepresentationAdapter):
     paper_section="§7",
     size_model="2^s·ptr·interior + lg δ·leaves",
     options=(
+        _COMPILED_OPTION,
         OptionSpec("stride", int, 4, "address bits consumed per node (divides W)"),
     ),
+    supports_flat=True,
 )
 class MultibitDagAdapter(RepresentationAdapter):
-    def __init__(self, fib: Fib, stride: int = 4):
-        super().__init__(fib)
+    def __init__(self, fib: Fib, compiled: bool = True, stride: int = 4):
+        super().__init__(fib, compiled=compiled)
         self._backend = MultibitDag(fib, stride=stride)
         self.lookup = self._backend.lookup
 
-    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        return compile_multibit(self._backend)
+
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         """Inline walk over the fanout arrays, locals hoisted."""
         check_addresses(addresses, self._width)
         backend = self._backend
@@ -459,14 +669,16 @@ class MultibitDagAdapter(RepresentationAdapter):
     paper_section="§5.3",
     size_model="2^λ stride table + packed node/leaf arrays",
     options=(
+        _COMPILED_OPTION,
         OptionSpec("barrier", int, None, "leaf-push barrier λ; None = entropy-chosen (eq. 3)"),
     ),
     supports_trace=True,
+    supports_flat=True,
     trace_step_cycles=SERIALIZED_DAG_STEP_CYCLES,
 )
 class SerializedDagAdapter(RepresentationAdapter):
-    def __init__(self, fib: Fib, barrier: Optional[int] = None):
-        super().__init__(fib)
+    def __init__(self, fib: Fib, compiled: bool = True, barrier: Optional[int] = None):
+        super().__init__(fib, compiled=compiled)
         self._dag = PrefixDag(fib, barrier=barrier)
         self._backend = SerializedDag(self._dag)
         self.lookup = self._backend.lookup
@@ -481,20 +693,27 @@ class SerializedDagAdapter(RepresentationAdapter):
         """The prefix DAG the image was serialized from."""
         return self._dag
 
+    def _compile_flat(self) -> Optional[FlatProgram]:
+        # The image copies the DAG into flat arrays, so compiling from
+        # the source DAG's nodes encodes the same forwarding function.
+        return compile_binary(self._dag.root, self._width, DEFAULT_STRIDE)
+
     @classmethod
-    def from_dag(cls, fib: Fib, dag: PrefixDag) -> "SerializedDagAdapter":
+    def from_dag(
+        cls, fib: Fib, dag: PrefixDag, compiled: bool = True
+    ) -> "SerializedDagAdapter":
         """Serialize an already-folded DAG of ``fib``, skipping the
         second trie-folding pass (the image copies everything into flat
         arrays, so sharing the fold is safe)."""
         adapter = cls.__new__(cls)
-        RepresentationAdapter.__init__(adapter, fib)
+        RepresentationAdapter.__init__(adapter, fib, compiled=compiled)
         adapter._dag = dag
         adapter._backend = SerializedDag(dag)
         adapter.lookup = adapter._backend.lookup
         adapter.lookup_trace = adapter._backend.lookup_trace
         return adapter
 
-    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+    def lookup_batch_dispatch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         """Batched walk straight over the image arrays: the λ stride
         table already is the root dispatch, so the batch path only has
         to hoist the arrays into locals and run the tagged-reference

@@ -70,3 +70,17 @@ def supports_updates(representation) -> bool:
 def supports_trace(representation) -> bool:
     """True when the representation implements ``lookup_trace``."""
     return callable(getattr(representation, "lookup_trace", None))
+
+
+def supports_flat(representation) -> bool:
+    """True when the representation exposes the compiled flat plane
+    (``flat_plane``; the call may still return None when compilation is
+    disabled or was refused for this instance)."""
+    return callable(getattr(representation, "flat_plane", None))
+
+
+def flat_program(representation):
+    """The representation's compiled program, or None (no capability,
+    compilation disabled, or the compiler refused the input)."""
+    plane = getattr(representation, "flat_plane", None)
+    return plane() if callable(plane) else None

@@ -21,10 +21,16 @@ Two dispatch flavors cover every representation:
   DAG; folding does not change the walk, Lemma 5);
 * :func:`build_label_dispatch` — representation-agnostic: slots whose
   region is uniform resolve straight from the array, everything else
-  falls back to the representation's own scalar lookup. Built from the
-  source FIB's control trie, it is correct for any representation that
-  preserves the forwarding function — which is the registry's contract,
-  enforced by the parity suite.
+  falls back to the representation's own scalar lookup (memoized per
+  batch, so duplicate addresses under a hot DEEP slot pay once). Built
+  from the source FIB's control trie, it is correct for any
+  representation that preserves the forwarding function — which is the
+  registry's contract, enforced by the parity suite.
+
+Since the compiled flat plane (:mod:`repro.pipeline.flat`) became the
+default serving path, this module is the portable fallback — what
+``lookup_batch_dispatch`` runs when compilation is disabled or refused —
+and the donor of the in-place patching machinery the serve engine uses.
 """
 
 from __future__ import annotations
@@ -271,14 +277,30 @@ def batch_resolve(
     addresses: Sequence[int],
 ) -> List[Optional[int]]:
     """Batched LPM over a :class:`LabelDispatch`: uniform regions are one
-    shift + one list probe; only :data:`DEEP` slots pay for a traversal."""
+    shift + one list probe; only :data:`DEEP` slots pay for a traversal.
+
+    DEEP answers are memoized per batch, keyed by the address (i.e. the
+    slot plus its residual bits): a hot slot probed by many duplicate
+    addresses — the common shape of locality-heavy traces — runs the
+    representation's full scalar lookup once per distinct address, not
+    once per packet. The memo dies with the call, so a route update
+    between batches can never serve a stale label.
+    """
     check_addresses(addresses, dispatch.width)
     shift = dispatch.shift
     labels = dispatch.labels
     deep = DEEP
+    memo: dict = {}
+    missing = DEEP  # reuse the sentinel: never a valid memoized label
+    memo_get = memo.get
     out: List[Optional[int]] = []
     append = out.append
     for address in addresses:
         label = labels[address >> shift]
-        append(scalar_lookup(address) if label is deep else label)
+        if label is deep:
+            label = memo_get(address, missing)
+            if label is missing:
+                label = scalar_lookup(address)
+                memo[address] = label
+        append(label)
     return out

@@ -1,0 +1,667 @@
+"""repro.pipeline.flat — the compiled, pointerless lookup plane.
+
+The batch engine of :mod:`repro.pipeline.batch` still resolves every
+non-uniform dispatch slot by chasing Python node objects (attribute
+loads, ``None`` checks) or by falling back to the representation's
+scalar lookup. This module removes the last object dereference from the
+hot path the way the paper's fastest structures do (§5.3's serialized,
+λ-level-collapsed image; the pointerless encodings of Tapolcai et al.,
+*Memory size bounds of prefix DAGs*): any registered representation is
+**compiled** once into a :class:`FlatProgram` — parallel ``array('q')``
+arrays holding a root stride table plus LC-trie-style variable-stride
+child blocks — after which longest-prefix match is pure integer
+indexing:
+
+* ``root_ptr[slot]`` / ``root_val[slot]`` — per top-bits slot, either a
+  terminal label or an encoded child block reference;
+* ``cell_ptr[i]`` / ``cell_val[i]`` — the flattened blocks; a block
+  reference packs ``(base << 6) | stride`` so the walk needs no side
+  lookups to know how many address bits the next block consumes;
+* labels are leaf-pushed into the cells during compilation, so the walk
+  never tracks a "best so far" — the cell it lands on *is* the answer
+  (``0`` = no route; table labels are ``1..δ``, and the ORTC trie's
+  explicit blackhole label ``0`` erases covering routes for free).
+
+``lookup_batch`` runs the program three ways, fastest available first:
+
+* **vectorized** — when NumPy is importable (and the address width fits
+  int64), the whole batch is resolved with gather operations: one fancy
+  index per level over the still-live addresses, then an object-table
+  gather decodes labels to Python ints/None in C;
+* **pointer-free Python loop** — the portable fallback: a handful of
+  bytecodes per level, no attribute loads, no object dereferences;
+* **shared-fate walk** (:meth:`FlatProgram.lookup_batch_shared`) —
+  resolves each distinct fate once: duplicates and terminal-root-slot
+  cohorts share one probe (a sorted ``np.unique`` dedup on the vector
+  path, per-batch memos on the portable path). An opt-in primitive for
+  callers whose per-distinct-address cost dominates; the plain paths
+  above usually win on raw lookup throughput.
+
+Programs support **in-place patching** (:meth:`FlatProgram.patch`):
+after a route update, only the root slots under the updated prefix are
+recompiled from the live source structure; replaced blocks are
+abandoned in the cell arrays and the program reports itself
+:attr:`~FlatProgram.bloated` once the garbage would exceed the original
+image, at which point the owning adapter recompiles from scratch. This
+is what keeps incremental representations on the compiled plane under
+churn (the serve engine's patch-log replay).
+
+The compiler refuses pathological inputs (:class:`FlatCompileError`,
+e.g. an expansion larger than :data:`DEFAULT_MAX_CELLS`); adapters
+catch it and fall back to the PR 1 dispatch engine, so compilation is
+strictly an acceleration, never a correctness risk.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional, Sequence, Tuple
+
+try:  # NumPy is optional: the pure-Python program is always available.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via vectorize=False
+    _np = None
+
+from repro.pipeline.batch import check_addresses
+
+#: Address bits consumed per child block below the root table.
+DEFAULT_SUB_STRIDE = 8
+
+#: Bits reserved for the stride field inside an encoded block reference.
+STRIDE_BITS = 6
+STRIDE_MASK = (1 << STRIDE_BITS) - 1
+
+#: ``ptr`` value of a terminal cell (the paired ``val`` is the answer).
+TERMINAL = -1
+
+#: ``val`` encoding of "no route" (table labels are 1..δ).
+NO_ROUTE = 0
+
+#: Compilation ceiling: programs larger than this many cells refuse to
+#: build (the adapter then serves through the dispatch engine instead).
+DEFAULT_MAX_CELLS = 1 << 22
+
+#: Largest address width the int64 vector path can shift safely.
+_NUMPY_MAX_WIDTH = 62
+
+#: Largest root table a compiler may materialize (2^20 slots, matching
+#: :data:`repro.pipeline.batch.MAX_STRIDE`).
+MAX_ROOT_STRIDE = 20
+
+
+class FlatCompileError(ValueError):
+    """A representation cannot be compiled into a flat program."""
+
+
+def have_numpy() -> bool:
+    """True when the vectorized batch path is importable."""
+    return _np is not None
+
+
+class FlatProgram:
+    """A compiled, pointerless LPM program over parallel int64 arrays."""
+
+    __slots__ = (
+        "width",
+        "root_stride",
+        "root_shift",
+        "sub_stride",
+        "max_cells",
+        "root_ptr",
+        "root_val",
+        "cell_ptr",
+        "cell_val",
+        "vectorize",
+        "max_label",
+        "_initial_cells",
+        "_views",
+    )
+
+    def __init__(
+        self,
+        width: int,
+        root_stride: int,
+        sub_stride: int = DEFAULT_SUB_STRIDE,
+        max_cells: int = DEFAULT_MAX_CELLS,
+    ):
+        if not 1 <= root_stride <= min(width, MAX_ROOT_STRIDE):
+            raise FlatCompileError(
+                f"flat root stride {root_stride} outside "
+                f"[1, {min(width, MAX_ROOT_STRIDE)}] for width {width}"
+            )
+        if not 1 <= sub_stride <= STRIDE_MASK:
+            raise FlatCompileError(
+                f"flat sub stride {sub_stride} outside [1, {STRIDE_MASK}]"
+            )
+        self.width = width
+        self.root_stride = root_stride
+        self.root_shift = width - root_stride
+        self.sub_stride = sub_stride
+        self.max_cells = max_cells
+        size = 1 << root_stride
+        self.root_ptr = array("q", [TERMINAL]) * size
+        self.root_val = array("q", [NO_ROUTE]) * size
+        self.cell_ptr = array("q")
+        self.cell_val = array("q")
+        self.vectorize = True
+        #: Largest label ever written (tracked incrementally: the decode
+        #: table must never be rebuilt by scanning the cell arrays).
+        self.max_label = 0
+        self._initial_cells = 0
+        self._views = None
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def seal(self) -> "FlatProgram":
+        """Mark the current cell count as the compiled baseline (the
+        reference point for :attr:`bloated`)."""
+        self._initial_cells = len(self.cell_ptr)
+        self._views = None
+        return self
+
+    @property
+    def appended_cells(self) -> int:
+        """Cells appended by patches since the program was compiled."""
+        return len(self.cell_ptr) - self._initial_cells
+
+    @property
+    def bloated(self) -> bool:
+        """True once patch garbage warrants a from-scratch recompile:
+        patches abandon replaced blocks in place, so after enough churn
+        the dead cells would exceed the original image."""
+        return self.appended_cells > max(4096, self._initial_cells)
+
+    @property
+    def vectorized(self) -> bool:
+        """True when batches will run through the NumPy gather path."""
+        return self.vectorize and _np is not None and self.width <= _NUMPY_MAX_WIDTH
+
+    def size_in_bits(self) -> int:
+        """Program image size (both tables, ptr+val at 64 bits each)."""
+        return (len(self.root_ptr) + len(self.cell_ptr)) * 2 * 64
+
+    def size_in_kbytes(self) -> float:
+        return self.size_in_bits() / 8192.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatProgram(width={self.width}, root=2^{self.root_stride}, "
+            f"cells={len(self.cell_ptr)}, "
+            f"{'vector' if self.vectorized else 'python'}, "
+            f"size={self.size_in_kbytes():.1f} KB)"
+        )
+
+    # ----------------------------------------------------------- compilation
+
+    def emit_block(self, node, best: int, remaining: int, memo: dict, depths: dict) -> int:
+        """Expand binary ``node`` (non-leaf) into a fresh child block;
+        returns the encoded ``(base << 6) | stride`` reference.
+
+        ``best`` is the label accumulated above the block (leaf-pushed
+        into every cell the sub-trie leaves uncovered); ``remaining`` is
+        the address bits left below the block's top. ``memo`` interns
+        blocks by ``(id(node), best, remaining)`` so DAG-shaped inputs
+        (folded sub-tries) compile each shared region once.
+        """
+        if remaining <= 0:
+            raise FlatCompileError("interior node below the address width")
+        key = (id(node), best, remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        stride = min(self.sub_stride, remaining, max(1, _depth_below(node, depths)))
+        fan = 1 << stride
+        base = len(self.cell_ptr)
+        if base + fan > self.max_cells:
+            raise FlatCompileError(
+                f"flat program exceeds {self.max_cells} cells; "
+                "serve this representation through the dispatch engine"
+            )
+        self.cell_ptr.extend([TERMINAL] * fan)
+        self.cell_val.extend([NO_ROUTE] * fan)
+        self._fill(self.cell_ptr, self.cell_val, base, node, 0, stride,
+                   0, best, remaining - stride, memo, depths)
+        encoded = (base << STRIDE_BITS) | stride
+        memo[key] = encoded
+        return encoded
+
+    def _fill(self, ptrs, vals, offset, node, depth, stride, slot, best,
+              remaining, memo, depths) -> None:
+        """Recursive descent filling one block's ``2^stride`` cells.
+
+        ``remaining`` counts the address bits below the block being
+        filled; a node still interior at the block floor becomes a
+        nested block reference.
+        """
+        label = node.label
+        if label is not None:
+            best = label
+            if label > self.max_label:
+                self.max_label = label
+        if depth == stride:
+            index = offset + slot
+            if node.left is None and node.right is None:
+                vals[index] = best
+            else:
+                vals[index] = best
+                ptrs[index] = self.emit_block(node, best, remaining, memo, depths)
+            return
+        half = 1 << (stride - depth - 1)
+        left, right = node.left, node.right
+        if left is None:
+            start = offset + slot
+            for index in range(start, start + half):
+                vals[index] = best
+        else:
+            self._fill(ptrs, vals, offset, left, depth + 1, stride,
+                       slot, best, remaining, memo, depths)
+        if right is None:
+            start = offset + slot + half
+            for index in range(start, start + half):
+                vals[index] = best
+        else:
+            self._fill(ptrs, vals, offset, right, depth + 1, stride,
+                       slot + half, best, remaining, memo, depths)
+
+    # -------------------------------------------------------------- patching
+
+    def patch(self, prefix: int, length: int, root) -> None:
+        """Recompile the root slots covered by an updated ``prefix/length``
+        from the live binary structure under ``root``, in place.
+
+        A route edit can only change answers under its prefix: one slot
+        when the prefix reaches past the root stride, else the aligned
+        ``2^(stride-length)`` block. Replaced child blocks are abandoned
+        (see :attr:`bloated`); cells of untouched slots are never
+        mutated, so compile-time block sharing stays safe.
+        """
+        self._views = None  # releases buffer exports so the arrays may grow
+        stride = self.root_stride
+        if length > stride:
+            base, count = prefix >> (length - stride), 1
+        else:
+            base, count = prefix << (stride - length), 1 << (stride - length)
+        root_ptr = self.root_ptr
+        root_val = self.root_val
+        memo: dict = {}
+        depths: dict = {}
+        remaining = self.width - stride
+        for slot in range(base, base + count):
+            node = root
+            best = root.label if root.label is not None else NO_ROUTE
+            for depth in range(stride):
+                node = node.right if (slot >> (stride - depth - 1)) & 1 else node.left
+                if node is None:
+                    break
+                if node.label is not None:
+                    best = node.label
+            if best > self.max_label:
+                self.max_label = best
+            if node is None or (node.left is None and node.right is None):
+                root_ptr[slot] = TERMINAL
+                root_val[slot] = best
+            else:
+                root_ptr[slot] = self.emit_block(node, best, remaining, memo, depths)
+                root_val[slot] = best
+
+    # --------------------------------------------------------------- lookups
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Scalar LPM over the program arrays (mirrors the batch walk)."""
+        if address < 0 or address >> self.width:
+            raise ValueError(f"address {address:#x} outside {self.width}-bit space")
+        slot = address >> self.root_shift
+        encoded = self.root_ptr[slot]
+        if encoded < 0:
+            label = self.root_val[slot]
+            return label if label else None
+        shift = self.root_shift
+        cell_ptr = self.cell_ptr
+        cell_val = self.cell_val
+        while True:
+            stride = encoded & STRIDE_MASK
+            shift -= stride
+            index = (encoded >> STRIDE_BITS) + ((address >> shift) & ((1 << stride) - 1))
+            encoded = cell_ptr[index]
+            if encoded < 0:
+                label = cell_val[index]
+                return label if label else None
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Batched LPM: vectorized gathers when NumPy is available, the
+        pointer-free Python loop otherwise."""
+        if not len(addresses):
+            return []
+        if self.vectorized:
+            return self._batch_vector(addresses)
+        check_addresses(addresses, self.width)
+        return self._batch_python(addresses)
+
+    def lookup_batch_shared(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Batched LPM resolving shared-fate addresses together.
+
+        Duplicate addresses resolve once, and addresses landing in the
+        same terminal root slot share one probe: on the vector path via
+        a sorted dedup (``np.unique`` + inverse gather), on the portable
+        path via per-batch slot/address memos. Measured against plain
+        :meth:`lookup_batch` this only pays off when a distinct
+        resolution costs far more than the sharing bookkeeping — very
+        deep programs, extreme duplicate ratios on the Python path, or
+        callers whose downstream work is per-distinct-address. The
+        vectorized plain path is usually faster because its gathers are
+        duplicate-insensitive; benchmark before preferring this walk.
+        """
+        if not len(addresses):
+            return []
+        if self.vectorized:
+            np = _np
+            root_ptr, root_val, cell_ptr, cell_val, decode = self._ensure_views()
+            batch = self._to_vector(np, addresses)
+            unique, inverse = np.unique(batch, return_inverse=True)
+            labels = self._resolve_vector(np, unique, root_ptr, root_val,
+                                          cell_ptr, cell_val)
+            return decode[labels[inverse]].tolist()
+        check_addresses(addresses, self.width)
+        return self._batch_python_shared(addresses)
+
+    # ------------------------------------------------------ vectorized plane
+
+    def _to_vector(self, np, addresses: Sequence[int]):
+        """Convert and range-check a batch in C (the vector-path twin of
+        :func:`~repro.pipeline.batch.check_addresses`)."""
+        try:
+            batch = np.fromiter(addresses, dtype=np.int64, count=len(addresses))
+        except OverflowError:
+            # Too wide for int64 means out of range for width <= 62.
+            raise ValueError(
+                f"address outside {self.width}-bit space"
+            ) from None
+        lowest = batch.min()
+        if lowest < 0:
+            raise ValueError(
+                f"address {int(lowest):#x} outside {self.width}-bit space"
+            )
+        highest = batch.max()
+        if int(highest) >> self.width:
+            raise ValueError(
+                f"address {int(highest):#x} outside {self.width}-bit space"
+            )
+        return batch
+
+    def _ensure_views(self):
+        """Zero-copy NumPy views over the ``array('q')`` storage plus the
+        label-decode object table (rebuilt after any patch)."""
+        views = self._views
+        if views is None:
+            np = _np
+            root_ptr = np.frombuffer(self.root_ptr, dtype=np.int64)
+            root_val = np.frombuffer(self.root_val, dtype=np.int64)
+            if len(self.cell_ptr):
+                cell_ptr = np.frombuffer(self.cell_ptr, dtype=np.int64)
+                cell_val = np.frombuffer(self.cell_val, dtype=np.int64)
+            else:
+                cell_ptr = np.empty(0, dtype=np.int64)
+                cell_val = np.empty(0, dtype=np.int64)
+            decode = np.empty(self.max_label + 1, dtype=object)
+            decode[0] = None
+            for label in range(1, self.max_label + 1):
+                decode[label] = label
+            views = (root_ptr, root_val, cell_ptr, cell_val, decode)
+            self._views = views
+        return views
+
+    def _resolve_vector(self, np, batch, root_ptr, root_val, cell_ptr, cell_val):
+        """Resolve an int64 address vector to an int64 label vector."""
+        slot = batch >> self.root_shift
+        encoded = root_ptr[slot]
+        out = root_val[slot]
+        live = np.nonzero(encoded >= 0)[0]
+        if live.size:
+            enc_live = encoded[live]
+            addr = batch[live]
+            shift = np.full(live.size, self.root_shift, dtype=np.int64)
+            one = np.int64(1)
+            while True:
+                stride = enc_live & STRIDE_MASK
+                shift -= stride
+                cell = (enc_live >> STRIDE_BITS) + ((addr >> shift) & ((one << stride) - one))
+                enc_live = cell_ptr[cell]
+                done = enc_live < 0
+                if done.all():
+                    out[live] = cell_val[cell]
+                    break
+                out[live[done]] = cell_val[cell[done]]
+                alive = ~done
+                live = live[alive]
+                enc_live = enc_live[alive]
+                addr = addr[alive]
+                shift = shift[alive]
+        return out
+
+    def _batch_vector(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        np = _np
+        root_ptr, root_val, cell_ptr, cell_val, decode = self._ensure_views()
+        batch = self._to_vector(np, addresses)
+        labels = self._resolve_vector(np, batch, root_ptr, root_val,
+                                      cell_ptr, cell_val)
+        return decode[labels].tolist()
+
+    # ----------------------------------------------------- pure-Python plane
+
+    def _batch_python(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Portable batch walk: integer indexing only, locals hoisted."""
+        root_shift = self.root_shift
+        root_ptr = self.root_ptr
+        root_val = self.root_val
+        cell_ptr = self.cell_ptr
+        cell_val = self.cell_val
+        stride_mask = STRIDE_MASK
+        stride_bits = STRIDE_BITS
+        out: List[Optional[int]] = []
+        append = out.append
+        for address in addresses:
+            slot = address >> root_shift
+            encoded = root_ptr[slot]
+            if encoded < 0:
+                label = root_val[slot]
+                append(label if label else None)
+                continue
+            shift = root_shift
+            while True:
+                stride = encoded & stride_mask
+                shift -= stride
+                index = (encoded >> stride_bits) + ((address >> shift) & ((1 << stride) - 1))
+                encoded = cell_ptr[index]
+                if encoded < 0:
+                    label = cell_val[index]
+                    append(label if label else None)
+                    break
+        return out
+
+    def _batch_python_shared(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Shared-fate walk without a sort: per-batch memos keyed by
+        terminal root slot (every address under it forwards alike) and
+        by full address (for deep regions), so each distinct fate walks
+        once. A Python sort of the batch costs more than the walk it
+        would save — measured — hence dictionaries, not ordering."""
+        root_shift = self.root_shift
+        root_ptr = self.root_ptr
+        root_val = self.root_val
+        cell_ptr = self.cell_ptr
+        cell_val = self.cell_val
+        stride_mask = STRIDE_MASK
+        stride_bits = STRIDE_BITS
+        slot_memo: dict = {}
+        addr_memo: dict = {}
+        slot_get = slot_memo.get
+        addr_get = addr_memo.get
+        missing = TERMINAL  # never a valid label object
+        out: List[Optional[int]] = []
+        append = out.append
+        for address in addresses:
+            slot = address >> root_shift
+            label = slot_get(slot, missing)
+            if label is not missing:
+                append(label)
+                continue
+            encoded = root_ptr[slot]
+            if encoded < 0:
+                value = root_val[slot]
+                label = value if value else None
+                slot_memo[slot] = label
+                append(label)
+                continue
+            label = addr_get(address, missing)
+            if label is missing:
+                shift = root_shift
+                while True:
+                    stride = encoded & stride_mask
+                    shift -= stride
+                    index = (encoded >> stride_bits) + (
+                        (address >> shift) & ((1 << stride) - 1)
+                    )
+                    encoded = cell_ptr[index]
+                    if encoded < 0:
+                        value = cell_val[index]
+                        label = value if value else None
+                        break
+                addr_memo[address] = label
+            append(label)
+        return out
+
+    # ------------------------------------------------------------ simulation
+
+    @property
+    def cells_base(self) -> int:
+        """Byte offset of the cell arrays in the modeled image layout
+        (root entries first, 16 bytes per ptr+val pair)."""
+        return len(self.root_ptr) * 16
+
+    def lookup_trace(self, address: int) -> Tuple[Optional[int], List[int]]:
+        """LPM plus the byte addresses touched, for the cache simulator:
+        one 16-byte entry (ptr+val pair) per level visited."""
+        if address < 0 or address >> self.width:
+            raise ValueError(f"address {address:#x} outside {self.width}-bit space")
+        slot = address >> self.root_shift
+        trace = [slot * 16]
+        encoded = self.root_ptr[slot]
+        if encoded < 0:
+            label = self.root_val[slot]
+            return (label if label else None), trace
+        shift = self.root_shift
+        cells_base = self.cells_base
+        while True:
+            stride = encoded & STRIDE_MASK
+            shift -= stride
+            index = (encoded >> STRIDE_BITS) + ((address >> shift) & ((1 << stride) - 1))
+            trace.append(cells_base + index * 16)
+            encoded = self.cell_ptr[index]
+            if encoded < 0:
+                label = self.cell_val[index]
+                return (label if label else None), trace
+
+
+def _depth_below(node, memo: dict) -> int:
+    """Height of the sub-structure under a binary ``node`` (levels to the
+    deepest descendant), memoized by id so folded DAG regions cost one
+    visit per shared sub-trie."""
+    cached = memo.get(id(node))
+    if cached is None:
+        left, right = node.left, node.right
+        cached = 0
+        if left is not None:
+            cached = 1 + _depth_below(left, memo)
+        if right is not None:
+            cached = max(cached, 1 + _depth_below(right, memo))
+        memo[id(node)] = cached
+    return cached
+
+
+def compile_binary(
+    root,
+    width: int,
+    root_stride: int,
+    sub_stride: int = DEFAULT_SUB_STRIDE,
+    max_cells: int = DEFAULT_MAX_CELLS,
+) -> FlatProgram:
+    """Compile any binary-node structure (``left``/``right``/``label``)
+    into a :class:`FlatProgram`.
+
+    Works for trie nodes, prefix-DAG nodes (folding preserves the walk,
+    Lemma 5) and the ORTC output trie (whose blackhole label ``0``
+    coincides with the program's no-route encoding). The requested root
+    stride is clamped to the structure's height, so shallow or
+    degenerate FIBs get proportionally small tables.
+    """
+    depths: dict = {}
+    height = _depth_below(root, depths)
+    effective = max(1, min(root_stride, width, max(height, 1)))
+    program = FlatProgram(width, effective, sub_stride, max_cells)
+    memo: dict = {}
+    program._fill(program.root_ptr, program.root_val, 0, root, 0, effective,
+                  0, NO_ROUTE, width - effective, memo, depths)
+    return program.seal()
+
+
+def compile_multibit(dag, max_cells: int = DEFAULT_MAX_CELLS) -> FlatProgram:
+    """Compile a :class:`~repro.core.multibit.MultibitDag` by direct
+    block transcription: every interior node already is a ``2^s``-fanout
+    table with fully expanded labels, so each folded node becomes one
+    block (shared nodes intern to shared blocks, preserving the DAG's
+    economy in the compiled image)."""
+    width = dag.width
+    stride = dag.stride
+    root = dag.root
+    if root.is_leaf:
+        program = FlatProgram(width, 1, min(stride, STRIDE_MASK), max_cells)
+        label = root.label if root.label is not None else NO_ROUTE
+        program.root_val[0] = label
+        program.root_val[1] = label
+        program.max_label = label
+        return program.seal()
+    if stride > MAX_ROOT_STRIDE:
+        raise FlatCompileError(
+            f"multibit stride {stride} exceeds the 2^{MAX_ROOT_STRIDE} root table cap"
+        )
+    program = FlatProgram(width, stride, min(stride, STRIDE_MASK), max_cells)
+    cell_ptr = program.cell_ptr
+    cell_val = program.cell_val
+    memo: dict = {}
+
+    def emit(node, remaining: int) -> int:
+        key = (id(node), remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        node_stride = min(stride, remaining)
+        fan = 1 << node_stride
+        base = len(cell_ptr)
+        if base + fan > max_cells:
+            raise FlatCompileError(
+                f"flat program exceeds {max_cells} cells; "
+                "serve this representation through the dispatch engine"
+            )
+        cell_ptr.extend([TERMINAL] * fan)
+        cell_val.extend([NO_ROUTE] * fan)
+        for combo, child in enumerate(node.children):
+            if child.is_leaf:
+                if child.label is not None:
+                    cell_val[base + combo] = child.label
+                    if child.label > program.max_label:
+                        program.max_label = child.label
+            else:
+                cell_ptr[base + combo] = emit(child, remaining - node_stride)
+        encoded = (base << STRIDE_BITS) | node_stride
+        memo[key] = encoded
+        return encoded
+
+    remaining = width - stride
+    for combo, child in enumerate(root.children):
+        if child.is_leaf:
+            if child.label is not None:
+                program.root_val[combo] = child.label
+                if child.label > program.max_label:
+                    program.max_label = child.label
+        else:
+            program.root_ptr[combo] = emit(child, remaining)
+    return program.seal()

@@ -78,6 +78,7 @@ class RepresentationSpec:
     options: Tuple[OptionSpec, ...] = ()
     supports_update: bool = False
     supports_trace: bool = False
+    supports_flat: bool = False    # compiles to a pointerless flat program
     trace_step_cycles: Optional[float] = None  # cost-model cycles per step
     heavy_trace: bool = False      # per-lookup primitive replay is costly
 
@@ -116,6 +117,7 @@ def register(
     options: Tuple[OptionSpec, ...] = (),
     supports_update: bool = False,
     supports_trace: bool = False,
+    supports_flat: bool = False,
     trace_step_cycles: Optional[float] = None,
     heavy_trace: bool = False,
 ):
@@ -143,6 +145,7 @@ def register(
             options=options,
             supports_update=supports_update,
             supports_trace=supports_trace,
+            supports_flat=supports_flat,
             trace_step_cycles=trace_step_cycles,
             heavy_trace=heavy_trace,
         )
@@ -177,6 +180,11 @@ def specs() -> List[RepresentationSpec]:
 def trace_capable() -> List[RepresentationSpec]:
     """Specs whose representations feed the cache simulator."""
     return [spec for spec in specs() if spec.supports_trace]
+
+
+def flat_capable() -> List[RepresentationSpec]:
+    """Specs whose representations compile to the flat lookup plane."""
+    return [spec for spec in specs() if spec.supports_flat]
 
 
 def option_overrides(option: str, value: Any) -> Dict[str, Dict[str, Any]]:
@@ -235,7 +243,12 @@ def build_all(
         elif name == "serialized-dag" and prefix_dag is not None:
             from repro.pipeline.adapters import SerializedDagAdapter
 
-            built[name] = SerializedDagAdapter.from_dag(fib, prefix_dag.backend)
+            # Sharing the fold must not drop the caller's non-barrier
+            # options (e.g. compiled=False for a dispatch-only bench).
+            resolved = get(name).resolve_options(overrides.get(name, {}))
+            built[name] = SerializedDagAdapter.from_dag(
+                fib, prefix_dag.backend, compiled=resolved["compiled"]
+            )
         else:
             built[name] = build(name, fib, **overrides.get(name, {}))
     return built

@@ -17,6 +17,14 @@ route churn. Two planes exist, chosen automatically from the registry's
   flip). Until the swap, lookups are answered by the previous
   generation and counted as *stale*.
 
+The server always serves from **compiled generations**: the flat lookup
+program (:mod:`repro.pipeline.flat`) is compiled when a generation is
+built — off the lookup path, inside the rebuild timer at every epoch
+swap — and kept live on the incremental plane by draining the adapter's
+patch log *before* the lookup timer starts (the replay is churn-induced
+work, charged to the update plane). When a representation refuses to
+compile, the server transparently degrades to the PR 1 dispatch engine.
+
 The server always keeps a **control FIB** — the continuously-updated
 tabular oracle — which is what rebuilds snapshot from, what the
 staleness comparison reads, and what :meth:`parity_fraction` checks
@@ -31,7 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.fib import Fib
 from repro.datasets.updates import UpdateOp
 from repro.pipeline import registry
-from repro.pipeline.base import supports_updates
+from repro.pipeline.base import flat_program, supports_updates
 from repro.serve.metrics import ServeReport
 from repro.serve.scenarios import ServeEvent
 from repro.simulator.costmodel import rebuild_cycles
@@ -80,6 +88,8 @@ class FibServer:
         self._options = dict(options or {})
         self._control = fib.copy()
         self._representation = registry.build(name, self._control, **self._options)
+        if batched:
+            flat_program(self._representation)  # compile before serving starts
         self._incremental = supports_updates(self._representation)
         self._rebuild_every = rebuild_every
         self._batched = batched
@@ -147,8 +157,14 @@ class FibServer:
         """Serve a batch through the current generation.
 
         Timing covers only the representation call; the staleness
-        audit (when enabled and the generation lags) is bookkeeping.
+        audit (when enabled and the generation lags) is bookkeeping,
+        and the compiled plane's patch-log replay (churn-induced work)
+        is drained first, on the update plane's clock.
         """
+        if self._batched:
+            started = time.perf_counter()
+            flat_program(self._representation)  # replay pending patches
+            self._update_seconds += time.perf_counter() - started
         started = time.perf_counter()
         if self._batched:
             labels = self._representation.lookup_batch(addresses)
@@ -211,6 +227,8 @@ class FibServer:
         outgoing_bits = self._representation.size_bits()
         started = time.perf_counter()
         fresh = registry.build(self.name, self._control, **self._options)
+        if self._batched:
+            flat_program(fresh)  # recompile the flat plane off the lookup path
         self._representation = fresh  # the atomic generation swap
         self._rebuild_seconds += time.perf_counter() - started
         self._rebuild_cycles += rebuild_cycles(len(self._control))

@@ -8,6 +8,7 @@ from repro.simulator.costmodel import (
 )
 from repro.simulator.engine import (
     LookupEngine,
+    flat_engine,
     lctrie_engine,
     serialized_dag_engine,
     xbw_engine,
@@ -26,6 +27,7 @@ __all__ = [
     "FpgaCostReport",
     "LookupCostReport",
     "LookupEngine",
+    "flat_engine",
     "lctrie_engine",
     "serialized_dag_engine",
     "xbw_engine",

@@ -31,6 +31,7 @@ FPGA_PIPELINE_OVERHEAD_CYCLES = 1.5
 SERIALIZED_DAG_STEP_CYCLES = 3.0   # array index + bit extract
 LCTRIE_STEP_CYCLES = 5.0           # stride extract + alias checks
 XBW_PRIMITIVE_CYCLES = 55.0        # rank/select on compressed blocks
+FLAT_STEP_CYCLES = 2.0             # compiled plane: shift + mask + gather
 
 # Background-rebuild charges for the serving engine's epoch swaps
 # (repro.serve): a rebuild re-inserts every control-FIB route into a

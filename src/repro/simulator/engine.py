@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.simulator.costmodel import (
+    FLAT_STEP_CYCLES,
     LCTRIE_STEP_CYCLES,
     SERIALIZED_DAG_STEP_CYCLES,
     XBW_PRIMITIVE_CYCLES,
@@ -106,6 +107,33 @@ def xbw_engine(xbw) -> LookupEngine:
     return LookupEngine(xbw.lookup_trace, XBW_PRIMITIVE_CYCLES, "XBW-b")
 
 
+def flat_engine(representation) -> Optional[LookupEngine]:
+    """Engine over a representation's compiled flat plane, or None.
+
+    The compiled program models its image as 16-byte ptr+val entries
+    (root table first, then the cell arrays), so any flat-capable
+    representation can feed the cache simulator even when the native
+    structure has no ``lookup_trace``.
+    """
+    from repro.pipeline.base import flat_program
+
+    if flat_program(representation) is None:
+        return None
+    name = getattr(representation, "name", type(representation).__name__)
+
+    def trace(address):
+        # Re-resolve the program per lookup: the adapter may swap in a
+        # fresh compile after churn (patch-log drain, bloat recompile),
+        # and the engine must follow the live generation, not a stale
+        # bound method.
+        program = flat_program(representation)
+        if program is None:
+            raise ValueError(f"representation {name!r} lost its compiled plane")
+        return program.lookup_trace(address)
+
+    return LookupEngine(trace, FLAT_STEP_CYCLES, f"{name}+flat")
+
+
 def engine_for(representation) -> LookupEngine:
     """Engine over any trace-capable registered representation.
 
@@ -113,6 +141,9 @@ def engine_for(representation) -> LookupEngine:
     representation's registry spec, so a new backend gets a simulator
     engine by declaring ``supports_trace`` + ``trace_step_cycles`` in
     its ``@register`` decoration — no simulator changes needed.
+    Representations without a native ``lookup_trace`` fall back to
+    their compiled flat plane (:func:`flat_engine`) when they have one,
+    so every flat-capable registry entry can be simulated.
     """
     from repro import pipeline
 
@@ -120,6 +151,9 @@ def engine_for(representation) -> LookupEngine:
     if spec is None:
         spec = pipeline.get(representation.name)
     if not spec.supports_trace or spec.trace_step_cycles is None:
+        fallback = flat_engine(representation)
+        if fallback is not None:
+            return fallback
         raise ValueError(
             f"representation {spec.name!r} declares no lookup_trace cost model"
         )

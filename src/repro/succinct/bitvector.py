@@ -5,7 +5,13 @@ is kept verbatim (1 bit per input bit) and a directory of superblock and
 block counters is added so that
 
 * ``rank1(i)`` — ones in positions ``[0, i)`` — is O(1),
-* ``select1(k)`` / ``select0(k)`` are O(log n) by binary search on rank.
+* ``select1(k)`` / ``select0(k)`` are near-constant: a **sampled select
+  directory** (the position of every ``k``-th set/clear bit, built
+  lazily on first use) brackets the answer between two adjacent
+  samples, and a rank binary search finishes inside the bracket — in
+  place of the original O(log n) search over the whole vector. Wavelet
+  tree and XBW lookups, which lean on select when walking back up,
+  inherit the win.
 
 It is both a useful structure on its own (wavelet tree internals default
 to it) and the uncompressed baseline against which :mod:`repro.succinct.rrr`
@@ -25,6 +31,7 @@ from repro.succinct.bitbuffer import BitBuffer
 
 _BLOCK_BITS = 64          # one backing word per block
 _SUPERBLOCK_BLOCKS = 8    # 512 bits per superblock
+_SELECT_SAMPLE = 64       # one sampled position per 64 target bits
 
 
 class BitVector:
@@ -55,6 +62,10 @@ class BitVector:
             self._block_ranks.append(running - self._superblock_ranks[-1])
             running += word.bit_count()
         self._total_ones = running
+        # Sampled select directories, built lazily on the first select:
+        # rank-only users (the common case) never pay for them.
+        self._select1_samples: list[int] | None = None
+        self._select0_samples: list[int] | None = None
 
     def __len__(self) -> int:
         return self._length
@@ -123,8 +134,48 @@ class BitVector:
             raise IndexError(f"select0({occurrence}) outside [1, {total_zeros}]")
         return self._select(occurrence, want_one=False)
 
+    def _build_select_samples(self, want_one: bool) -> list[int]:
+        """Positions of the 1st, (k+1)-th, (2k+1)-th, ... target bit
+        (k = :data:`_SELECT_SAMPLE`), collected in one word scan."""
+        samples: list[int] = []
+        seen = 0
+        next_sample = 1  # 1-based occurrence the next sample records
+        for word_index, word in enumerate(self._buffer.words()):
+            if not want_one:
+                # Mask to the payload: the final word's slack bits are
+                # neither ones nor zeros of the vector.
+                valid = min(64, self._length - (word_index << 6))
+                word = ~word & ((1 << valid) - 1)
+            count = word.bit_count()
+            while seen + count >= next_sample:
+                # Position of the (next_sample - seen)-th set bit in word.
+                needed = next_sample - seen
+                probe = word
+                for _ in range(needed - 1):
+                    probe &= probe - 1  # clear lowest set bits
+                samples.append((word_index << 6) + (probe & -probe).bit_length() - 1)
+                next_sample += _SELECT_SAMPLE
+            seen += count
+        return samples
+
     def _select(self, occurrence: int, want_one: bool) -> int:
-        low, high = 0, self._length
+        """Bracket the answer between two adjacent directory samples,
+        then binary-search rank inside the bracket (near-constant: the
+        bracket spans one sampling interval, not the whole vector)."""
+        if want_one:
+            samples = self._select1_samples
+            if samples is None:
+                samples = self._select1_samples = self._build_select_samples(True)
+        else:
+            samples = self._select0_samples
+            if samples is None:
+                samples = self._select0_samples = self._build_select_samples(False)
+        bucket = (occurrence - 1) // _SELECT_SAMPLE
+        offset = (occurrence - 1) % _SELECT_SAMPLE
+        low = samples[bucket]
+        if offset == 0:
+            return low
+        high = samples[bucket + 1] if bucket + 1 < len(samples) else self._length
         while low < high:
             middle = (low + high) // 2
             count = self.rank1(middle + 1) if want_one else self.rank0(middle + 1)
@@ -133,6 +184,16 @@ class BitVector:
             else:
                 high = middle
         return low
+
+    def select_directory_bits(self) -> int:
+        """Size of the (lazily built) select acceleration directory.
+
+        Reported separately from :meth:`size_in_bits`: the samples are a
+        host-side acceleration cache, not part of the paper's succinct
+        size model (exactly like the batch dispatch arrays of
+        :mod:`repro.pipeline.batch`)."""
+        built = (self._select1_samples or []), (self._select0_samples or [])
+        return 64 * sum(len(samples) for samples in built)
 
     def size_in_bits(self) -> int:
         """Payload + directory size in bits (what tables report)."""

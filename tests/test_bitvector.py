@@ -110,3 +110,54 @@ class TestProperties:
             position = bv.select1(occurrence)
             assert bv.rank1(position + 1) == occurrence
             assert bv.access(position) == 1
+
+
+class TestSelectDirectory:
+    """The sampled select directory (every k-th set/clear position)."""
+
+    def test_directory_is_lazy(self):
+        bv = BitVector([1, 0, 1] * 100)
+        assert bv.select_directory_bits() == 0  # rank-only users pay nothing
+        bv.select1(1)
+        assert bv.select_directory_bits() > 0
+        bv.select0(1)
+        assert bv.select_directory_bits() == 64 * (
+            len(bv._select1_samples) + len(bv._select0_samples)
+        )
+
+    def test_sampled_positions_exact_on_boundaries(self):
+        from repro.succinct.bitvector import _SELECT_SAMPLE
+
+        # All-ones vector: the j-th one sits at position j-1, including
+        # every occurrence that lands exactly on a directory sample.
+        bv = BitVector([1] * (3 * _SELECT_SAMPLE + 5))
+        for occurrence in (1, _SELECT_SAMPLE, _SELECT_SAMPLE + 1,
+                           2 * _SELECT_SAMPLE, 3 * _SELECT_SAMPLE + 5):
+            assert bv.select1(occurrence) == occurrence - 1
+
+    def test_sparse_tail_zero_not_phantom(self):
+        # A non-word-aligned vector must not invent zeros in the slack
+        # bits of its final backing word.
+        bits = [1] * 130 + [0]
+        bv = BitVector(bits)
+        assert bv.select0(1) == 130
+        with pytest.raises(IndexError):
+            bv.select0(2)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=700))
+    def test_directory_select_matches_naive(self, bits):
+        bv = BitVector(bits)
+        for occurrence in range(1, bv.ones + 1):
+            assert bv.select1(occurrence) == naive_select(bits, occurrence, 1)
+        for occurrence in range(1, bv.zeros + 1):
+            assert bv.select0(occurrence) == naive_select(bits, occurrence, 0)
+
+    def test_size_model_unchanged_by_directory(self):
+        # The samples are an acceleration cache, not part of the paper's
+        # succinct size model (like the batch dispatch arrays).
+        bits = [1, 0] * 600
+        cold = BitVector(bits).size_in_bits()
+        warm = BitVector(bits)
+        warm.select1(5)
+        warm.select0(5)
+        assert warm.size_in_bits() == cold

@@ -98,6 +98,10 @@ class TestRegistry:
             representation = pipeline.build(spec.name, paper_fib)
             assert pipeline.supports_updates(representation) == spec.supports_update
             assert pipeline.supports_trace(representation) == spec.supports_trace
+            assert pipeline.supports_flat(representation) == spec.supports_flat
+
+    def test_flat_capable_covers_every_builtin(self):
+        assert [spec.name for spec in pipeline.flat_capable()] == ALL_NAMES
 
 
 class TestBatchDispatch:
@@ -369,13 +373,14 @@ class TestBatchEdgeCases:
         "prefix-dag", "shape-graph", "tabular", "xbw",
     ]
 
-    def test_empty_batch_builds_no_dispatch(self, paper_fib):
+    def test_empty_batch_builds_no_lookup_plane(self, paper_fib):
         for name in self.DISPATCH_ADAPTERS:
             representation = pipeline.build(name, paper_fib)
             assert representation.lookup_batch([]) == []
             assert representation._dispatch is None, name
+            assert representation._flat is None, name  # not even compiled
 
-    def test_default_route_only_fib_stays_dispatch_free(self):
+    def test_default_route_only_fib_compiles_tiny(self):
         fib = Fib(32)
         fib.add(0, 0, 7)  # a lone default route
         probes = [0, 1, (1 << 32) - 1, 0xDEADBEEF]
@@ -383,6 +388,9 @@ class TestBatchEdgeCases:
             representation = pipeline.build(name, fib)
             assert representation.lookup_batch(probes) == [7] * len(probes), name
             assert representation._dispatch is None, name
+            # The compiled plane clamps its root table to the structure:
+            # a degenerate FIB costs 2 slots, not 2^stride.
+            assert len(representation._flat.root_ptr) == 2, name
 
     def test_empty_fib_batch(self):
         fib = Fib(32)
@@ -483,6 +491,28 @@ class TestBench:
             assert row.scalar_seconds > 0 and row.batch_seconds > 0
             assert row.scalar_mlps > 0 and row.batch_mlps > 0
             assert row.speedup > 0
+            # All three planes timed, the compiled one serving.
+            assert row.compiled
+            assert row.dispatch_seconds > 0 and row.dispatch_mlps > 0
+            assert row.compiled_speedup > 0
+            assert row.program_kb > 0
+            payload = row.to_dict()
+            for key in ("dispatch_seconds", "compiled", "program_kb",
+                        "dispatch_mlps", "compiled_speedup"):
+                assert key in payload
+
+    def test_bench_rows_degrade_without_compilation(self, paper_fib):
+        (row,) = pipeline.bench_all(
+            paper_fib,
+            uniform_trace(100, seed=5),
+            only=["prefix-dag"],
+            overrides={"prefix-dag": {"compiled": False}},
+            repeat=1,
+        )
+        assert not row.compiled
+        assert row.compiled_speedup == 0.0
+        assert row.program_kb == 0.0
+        assert row.batch_seconds > 0  # the dispatch plane served
 
     def test_bench_requires_a_run(self, paper_fib):
         representation = pipeline.build("tabular", paper_fib)
