@@ -8,6 +8,13 @@ trade-off the serving engine exists to measure: lookup and update
 throughput, epoch count, the staleness window, actual label
 mismatches against the control oracle, peak memory across generations,
 and post-quiescence parity.
+
+:func:`render_cluster_rows` extends the table for sharded runs
+(:class:`~repro.serve.metrics.ClusterReport`): shard count, replicated
+routes (the boundary-spanning prefixes every covering shard holds),
+mean update fan-out, staggered coordinator swaps, and the
+parallel-efficiency of the lookup fan-out under the critical-path
+clock.
 """
 
 from __future__ import annotations
@@ -49,6 +56,32 @@ def render_churn_rows(reports: Iterable) -> str:
     """The churn-throughput table shared by ``repro-fib serve`` and
     ``benchmarks/bench_serve_throughput.py``."""
     return render_table(CHURN_HEADERS, [churn_row(report) for report in reports])
+
+
+CLUSTER_HEADERS = CHURN_HEADERS + (
+    "shards",
+    "repl routes",
+    "fanout",
+    "swaps",
+    "efficiency",
+)
+
+
+def cluster_row(report) -> tuple:
+    """One table row from a :class:`~repro.serve.metrics.ClusterReport`."""
+    return churn_row(report) + (
+        report.shards,
+        report.replicated_routes,
+        f"{report.update_fanout:.2f}",
+        report.coordinator_swaps,
+        f"{report.parallel_efficiency * 100:.0f}%",
+    )
+
+
+def render_cluster_rows(reports: Iterable) -> str:
+    """The sharded-serving table of ``repro-fib serve --shards N`` and
+    ``benchmarks/bench_cluster.py``."""
+    return render_table(CLUSTER_HEADERS, [cluster_row(report) for report in reports])
 
 
 def assert_serve_parity(reports: Sequence) -> None:

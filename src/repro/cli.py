@@ -13,7 +13,9 @@ Subcommands regenerate the paper's experiments and operate on FIB files:
 * ``compare`` — run every registered representation over the same trace
   and assert label parity against the tabular oracle;
 * ``serve`` — replay a mixed lookup/update scenario through the online
-  serving engine and report churn throughput, staleness and parity.
+  serving engine and report churn throughput, staleness and parity;
+  with ``--shards N`` the scenario runs through a partitioned cluster
+  of N workers (``--partition prefix|hash``) instead of one server.
 
 Example::
 
@@ -24,6 +26,7 @@ Example::
     repro-fib bench --profile taz --scale 0.02 --packets 20000
     repro-fib compare --scale 0.01
     repro-fib serve --scenario bgp-churn --updates 500 --lookups 5000
+    repro-fib serve --shards 4 --partition prefix --scenario flap-storm
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.analysis import (
     build_table2,
     measure_fib,
     render_churn_rows,
+    render_cluster_rows,
     render_fig5,
     render_fig6,
     registry_sizes,
@@ -285,31 +289,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
     )
-    probes = uniform_trace(1000, seed=args.seed + 1, width=fib.width)
-    probes += caida_like_trace(fib, 1000, seed=args.seed + 2)
+    probes = serve.parity_probes(fib, 1000, seed=args.seed)
     overrides = _barrier_overrides(args.barrier)
     names = args.representations or SERVE_DEFAULT_REPRESENTATIONS
+    sharded = args.shards > 1
     reports = []
     for name in names:
-        reports.append(
-            serve.serve_scenario(
-                name,
-                fib,
-                events,
-                scenario=args.scenario,
-                options=overrides.get(name, {}),
-                rebuild_every=args.rebuild_every,
-                parity_probes=probes,
+        if sharded:
+            reports.append(
+                serve.serve_cluster_scenario(
+                    name,
+                    fib,
+                    events,
+                    scenario=args.scenario,
+                    shards=args.shards,
+                    partition=args.partition,
+                    options=overrides.get(name, {}),
+                    rebuild_every=args.rebuild_every,
+                    parity_probes=probes,
+                )
             )
-        )
+        else:
+            reports.append(
+                serve.serve_scenario(
+                    name,
+                    fib,
+                    events,
+                    scenario=args.scenario,
+                    options=overrides.get(name, {}),
+                    rebuild_every=args.rebuild_every,
+                    parity_probes=probes,
+                )
+            )
         print(f"served {name} ({reports[-1].plane} plane)", file=sys.stderr)
+    cluster_banner = (
+        f", {args.shards} {args.partition}-partitioned shards" if sharded else ""
+    )
     print(
         banner(
             f"serve {args.scenario} on {args.profile} (scale {args.scale}, "
-            f"{args.lookups} lookups / {args.updates} updates)"
+            f"{args.lookups} lookups / {args.updates} updates{cluster_banner})"
         )
     )
-    print(render_churn_rows(reports))
+    print(render_cluster_rows(reports) if sharded else render_churn_rows(reports))
     status = 0
     for report in reports:
         if report.final_parity is not None and report.final_parity < 1.0:
@@ -332,6 +354,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "rebuild_every": args.rebuild_every,
                 "batch_size": args.batch_size,
                 "seed": args.seed,
+                "shards": args.shards,
+                "partition": args.partition if sharded else None,
                 "rows": [report.to_dict() for report in reports],
             },
         )
@@ -520,6 +544,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="addresses per scripted lookup event",
     )
     p.add_argument("--seed", type=int, default=42, help="scenario script seed")
+    p.add_argument(
+        "--shards",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help="serve through a partitioned cluster of N workers (default 1)",
+    )
+    p.add_argument(
+        "--partition",
+        choices=serve.PARTITION_MODES,
+        default="prefix",
+        help="cluster partition: prefix ranges balanced by trie leaf "
+        "counts, or splitmix64 flow hashing (default prefix)",
+    )
     p.add_argument(
         "--barrier",
         type=int,

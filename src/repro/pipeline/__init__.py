@@ -62,6 +62,12 @@ from repro.pipeline.compare import (
     assert_parity,
     compare_representations,
 )
+from repro.pipeline.shard import (
+    boundary_routes,
+    prefix_span,
+    restrict_fib,
+    shard_fibs,
+)
 from repro.pipeline.registry import (
     OptionSpec,
     RepresentationSpec,
@@ -115,6 +121,10 @@ __all__ = [
     "Mismatch",
     "assert_parity",
     "compare_representations",
+    "boundary_routes",
+    "prefix_span",
+    "restrict_fib",
+    "shard_fibs",
     "OptionSpec",
     "RepresentationSpec",
     "build",

@@ -22,6 +22,38 @@ indexing:
   (``0`` = no route; table labels are ``1..δ``, and the ORTC trie's
   explicit blackhole label ``0`` erases covering routes for free).
 
+**The image layout**, concretely — four parallel ``array('q')`` rows,
+``ptr < 0`` (TERMINAL) meaning "the paired ``val`` is the answer"::
+
+    slot = address >> (width - root_stride)       ptr >= 0 encodes the
+    root_ptr: [ -1 | -1 | 830000…6 | -1 | … ]     next block as
+    root_val: [  0 |  3 |        2 |  1 | … ]     (base << 6) | stride
+                         |
+                         v  base = 830000…6 >> 6, stride = …6 & 63
+    cell_ptr: … [ -1 | -1 | (base'<<6)|s' | -1 ] …   <- one 2^stride block
+    cell_val: … [  2 |  5 |            2 |  0 ] …      at cells [base, base+2^s)
+
+    walk: shift -= stride; index = base + ((address >> shift) & (2^stride - 1))
+
+Blocks are interned by source node during compilation, so a folded DAG's
+shared sub-tries become shared cell blocks and the compiled image keeps
+the DAG's economy.
+
+**The patch-log lifecycle** (how updatable representations stay on this
+plane under churn): (1) the adapter's ``apply_update`` edits its live
+structure and appends the edited ``prefix/length`` span to a patch log
+— the program is *not* touched on the update path; (2) the next
+``flat_plane()`` call — the serve engine issues one at the top of every
+batched lookup, on the update clock — replays the log through
+:meth:`FlatProgram.patch`, recompiling only the root slots the spans
+cover; (3) replaced child blocks are abandoned in place, and once that
+garbage would exceed the original image (:attr:`FlatProgram.bloated`)
+the owning adapter recompiles from scratch; (4) on an epoch swap the
+serve engine rebuilds the representation and compiles a fresh program
+off the lookup path, resetting the log. Compilation is therefore an
+acceleration with no correctness window: lookups always run against a
+program equivalent to the live structure.
+
 ``lookup_batch`` runs the program three ways, fastest available first:
 
 * **vectorized** — when NumPy is importable (and the address width fits
@@ -83,6 +115,14 @@ DEFAULT_MAX_CELLS = 1 << 22
 
 #: Largest address width the int64 vector path can shift safely.
 _NUMPY_MAX_WIDTH = 62
+
+#: Live-set size under which the vector walk hands the remaining
+#: addresses to the pure-Python loop: each further level costs ~15
+#: NumPy calls regardless of how few addresses are still live, so the
+#: deep tail of a batch is cheaper to finish scalar than to drag the
+#: gather machinery through (this caps the per-batch fixed cost, which
+#: is what a sharded deployment's split batches are most sensitive to).
+_VECTOR_TAIL_CUTOFF = 128
 
 #: Largest root table a compiler may materialize (2^20 slots, matching
 #: :data:`repro.pipeline.batch.MAX_STRIDE`).
@@ -411,7 +451,11 @@ class FlatProgram:
         return views
 
     def _resolve_vector(self, np, batch, root_ptr, root_val, cell_ptr, cell_val):
-        """Resolve an int64 address vector to an int64 label vector."""
+        """Resolve an int64 address vector to an int64 label vector.
+
+        Gathers level by level over the still-live addresses; once the
+        live set shrinks under :data:`_VECTOR_TAIL_CUTOFF` the deep tail
+        is finished by the scalar walk (see the cutoff's rationale)."""
         slot = batch >> self.root_shift
         encoded = root_ptr[slot]
         out = root_val[slot]
@@ -422,6 +466,9 @@ class FlatProgram:
             shift = np.full(live.size, self.root_shift, dtype=np.int64)
             one = np.int64(1)
             while True:
+                if live.size <= _VECTOR_TAIL_CUTOFF:
+                    self._finish_python(out, live, enc_live, addr, shift)
+                    break
                 stride = enc_live & STRIDE_MASK
                 shift -= stride
                 cell = (enc_live >> STRIDE_BITS) + ((addr >> shift) & ((one << stride) - one))
@@ -437,6 +484,27 @@ class FlatProgram:
                 addr = addr[alive]
                 shift = shift[alive]
         return out
+
+    def _finish_python(self, out, live, enc_live, addr, shift) -> None:
+        """Resolve the vector walk's remaining live addresses with the
+        pointer-free scalar loop, writing labels straight into ``out``."""
+        cell_ptr = self.cell_ptr
+        cell_val = self.cell_val
+        stride_mask = STRIDE_MASK
+        stride_bits = STRIDE_BITS
+        for position, encoded, address, depth_shift in zip(
+            live.tolist(), enc_live.tolist(), addr.tolist(), shift.tolist()
+        ):
+            while True:
+                stride = encoded & stride_mask
+                depth_shift -= stride
+                index = (encoded >> stride_bits) + (
+                    (address >> depth_shift) & ((1 << stride) - 1)
+                )
+                encoded = cell_ptr[index]
+                if encoded < 0:
+                    out[position] = cell_val[index]
+                    break
 
     def _batch_vector(self, addresses: Sequence[int]) -> List[Optional[int]]:
         np = _np

@@ -1,0 +1,108 @@
+"""Shard-restricted FIBs: compiling a subrange of the address space.
+
+A sharded deployment (:mod:`repro.serve.cluster`) partitions the
+``width``-bit address space into contiguous half-open ranges
+``[lo, hi)`` and gives each worker only the routes it needs. The
+restriction rule is interval intersection: a prefix ``p/l`` covers the
+address interval ``[p << (W-l), (p+1) << (W-l))``, and a shard serving
+``[lo, hi)`` must hold every route whose interval intersects its range
+— for any address the shard owns, the set of matching prefixes is then
+exactly the set the full FIB would match, so longest-prefix-match
+answers are *identical* to the unsharded table (the per-shard analogue
+of the paper's Lemma 5 forwarding equivalence).
+
+Prefixes whose interval crosses a shard boundary — short prefixes, and
+in the limit the default route, which spans the whole space — intersect
+more than one range and therefore **replicate** into every covering
+shard. This is the state-duplication price of range partitioning;
+:func:`boundary_routes` measures it, and because boundaries are always
+cut on coarse slot alignments the replicated set is small (only routes
+*shorter* than the cut granularity can cross a cut).
+
+The composition ``registry.build(name, restrict_fib(fib, lo, hi))`` is
+the shard-restricted compile: the restricted FIB flows through the
+ordinary registry build and then the flat-plane compiler
+(:mod:`repro.pipeline.flat`), which clamps its root table to the
+restricted structure's height — a shard covering 1/N of the space
+materializes roughly 1/N of the program cells.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+from repro.core.fib import Fib, Route
+
+
+def prefix_span(prefix: int, length: int, width: int) -> Tuple[int, int]:
+    """Half-open address interval ``[lo, hi)`` covered by ``prefix/length``."""
+    if length < 0 or length > width:
+        raise ValueError(f"prefix length {length} outside [0, {width}]")
+    lo = prefix << (width - length)
+    return lo, lo + (1 << (width - length))
+
+
+def restrict_fib(fib: Fib, lo: int, hi: int) -> Fib:
+    """The sub-FIB answering exactly like ``fib`` on addresses in ``[lo, hi)``.
+
+    Keeps every route whose address interval intersects the range (so
+    boundary-spanning prefixes are kept by every range they touch) and
+    carries the neighbor-table rows of the surviving labels.
+    """
+    width = fib.width
+    if not 0 <= lo < hi <= (1 << width):
+        raise ValueError(
+            f"shard range [{lo:#x}, {hi:#x}) outside the {width}-bit space"
+        )
+    restricted = Fib(width)
+    for route in fib:
+        span_lo, span_hi = prefix_span(route.prefix, route.length, width)
+        if span_lo < hi and lo < span_hi:
+            restricted.add(route.prefix, route.length, route.label)
+    for label in restricted.labels:
+        neighbor = fib.neighbor(label)
+        if neighbor is not None:
+            restricted.set_neighbor(neighbor)
+    return restricted
+
+
+def shard_fibs(fib: Fib, bounds: Sequence[int]) -> List[Fib]:
+    """One restricted FIB per contiguous range of an ascending cut list.
+
+    ``bounds`` has one more entry than there are shards, starts at 0 and
+    ends at ``2^width``; shard ``i`` serves ``[bounds[i], bounds[i+1])``.
+    """
+    _check_bounds(fib.width, bounds)
+    return [
+        restrict_fib(fib, bounds[index], bounds[index + 1])
+        for index in range(len(bounds) - 1)
+    ]
+
+
+def boundary_routes(fib: Fib, bounds: Sequence[int]) -> List[Route]:
+    """Routes whose interval crosses an interior cut of ``bounds``.
+
+    These are exactly the routes :func:`shard_fibs` replicates into more
+    than one shard — the state-duplication cost of the partition.
+    """
+    _check_bounds(fib.width, bounds)
+    interior = list(bounds[1:-1])
+    crossing: List[Route] = []
+    for route in fib:
+        span_lo, span_hi = prefix_span(route.prefix, route.length, fib.width)
+        # The first cut strictly above the interval's start: the route
+        # crosses a boundary iff that cut falls inside the interval.
+        position = bisect_right(interior, span_lo)
+        if position < len(interior) and interior[position] < span_hi:
+            crossing.append(route)
+    return crossing
+
+
+def _check_bounds(width: int, bounds: Sequence[int]) -> None:
+    if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != (1 << width):
+        raise ValueError(
+            f"shard bounds must run from 0 to 2^{width}, got {list(bounds)!r}"
+        )
+    if any(bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)):
+        raise ValueError(f"shard bounds must be strictly ascending: {list(bounds)!r}")

@@ -4,8 +4,10 @@ The serving layer on top of the :mod:`repro.pipeline` registry: a
 :class:`FibServer` answers batched lookups from any registered
 representation while an update plane applies churn — incrementally
 where the representation supports §4.3 updates, via epoch-based
-background rebuild + atomic generation swap otherwise — and a scenario
-scheduler scripts reproducible mixed workloads:
+background rebuild + atomic generation swap otherwise — a scenario
+scheduler scripts reproducible mixed workloads, and a
+:class:`FibCluster` shards the whole engine across N workers with a
+coordinator staggering epoch swaps (:mod:`repro.serve.cluster`):
 
 >>> from repro.core.fib import Fib
 >>> from repro import serve
@@ -18,28 +20,47 @@ scheduler scripts reproducible mixed workloads:
 (64, 0.0)
 """
 
-from repro.serve.metrics import ServeReport
+from repro.serve.metrics import ClusterReport, ServeReport
 from repro.serve.scenarios import (
     DEFAULT_BATCH_SIZE,
     SCENARIOS,
     Scenario,
     ServeEvent,
     build_events,
+    parity_probes,
     scenario,
     scenario_names,
 )
 from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer, serve_scenario
+from repro.serve.cluster import (
+    DEFAULT_GRANULARITY_BITS,
+    PARTITION_MODES,
+    EpochCoordinator,
+    FibCluster,
+    ShardPlan,
+    plan_cluster,
+    serve_cluster_scenario,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_GRANULARITY_BITS",
     "DEFAULT_REBUILD_EVERY",
+    "PARTITION_MODES",
     "SCENARIOS",
     "Scenario",
     "ServeEvent",
     "ServeReport",
+    "ClusterReport",
+    "EpochCoordinator",
+    "FibCluster",
     "FibServer",
+    "ShardPlan",
     "build_events",
+    "parity_probes",
+    "plan_cluster",
     "scenario",
     "scenario_names",
+    "serve_cluster_scenario",
     "serve_scenario",
 ]

@@ -1,0 +1,710 @@
+"""repro.serve.cluster — sharded serving across N FibServer workers.
+
+One :class:`~repro.serve.server.FibServer` tops out at whatever a
+single process can push through its compiled lookup plane. This module
+is the scale-out step the ROADMAP's north star asks for: a
+:class:`FibCluster` partitions the address space across N workers,
+fans every lookup batch out to the owning shards, merges the answers
+back in input order, and routes each route update to exactly the
+shard(s) whose range its prefix covers.
+
+**Partitioning.** Two :class:`ShardPlan` modes:
+
+* ``prefix`` — contiguous address ranges, cut on coarse slot
+  boundaries and balanced by binary-trie **leaf counts** (state, not
+  traffic: every shard compiles a similar share of the structure).
+  Each shard serves the sub-FIB of routes whose address interval
+  intersects its range (:func:`repro.pipeline.shard.restrict_fib`), so
+  per-shard LPM answers equal the unsharded table's exactly; prefixes
+  spanning a cut — short prefixes, ultimately the default route —
+  **replicate** into every covering shard, which is what keeps
+  boundary addresses correct.
+* ``hash`` — flows spread by a splitmix64 hash of the address, the
+  ECMP-style load balancer. Lookup load is near-perfectly even, but
+  hash classes are not prefix-aligned, so every shard must hold the
+  full table and every update fans out to all N workers: replication
+  of *all* state is the price of perfect balance.
+
+**The epoch coordinator.** Shard servers are built with
+``auto_rebuild=False``: a pending-updates threshold never triggers a
+rebuild inside a worker. Instead the :class:`EpochCoordinator` is
+ticked once per event and swaps **at most one due shard per tick**,
+round-robin, reusing the server's epoch machinery (fresh generation
+compiled off the lookup path, one-reference swap). Generations
+therefore roll through the cluster shard-by-shard — there is never a
+tick where every worker rebuilds at once — and the aggregate memory
+high-water mark stays near ``total + one shard`` instead of the
+``2 x total`` a global pause would need. The cluster's
+:class:`~repro.serve.metrics.ClusterReport` records per-shard
+staleness, the staggered swap count and that aggregate peak.
+
+**Clocks.** Shards are independent workers, so the cluster charges
+each batch the *slowest participating shard's* serving time (the
+critical path — what a deployment with one worker per shard would
+observe) while also accumulating the summed busy time; the ratio is
+the report's ``parallel_efficiency``.
+
+>>> from repro.core.fib import Fib
+>>> from repro import serve
+>>> fib = Fib.from_entries([(0, 0, 1), (0b0, 1, 2), (0b1, 1, 3)])
+>>> cluster = serve.FibCluster("binary-trie", fib, shards=2)
+>>> cluster.lookup_batch([0, 1 << 31])      # one address per shard
+[2, 3]
+>>> cluster.report().replicated_routes      # the default route spans the cut
+1
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fib import Fib
+from repro.core.trie import BinaryTrie, TrieNode
+from repro.datasets.updates import UpdateOp
+from repro.pipeline import registry
+from repro.pipeline.shard import boundary_routes, prefix_span, restrict_fib
+from repro.serve.metrics import ClusterReport
+from repro.serve.scenarios import ServeEvent
+from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
+
+#: Partition modes a plan understands.
+PARTITION_MODES = ("prefix", "hash")
+
+#: Default slot granularity (address bits) prefix-range cuts align to.
+#: /12 slots track real prefix tables' mass (concentrated inside a few
+#: /8s) far better than /8 cuts while still keeping the replicated
+#: boundary set tiny — only routes shorter than /12 can cross a cut.
+DEFAULT_GRANULARITY_BITS = 12
+
+#: Ceiling on the planning granularity: weights for 2^G slots are
+#: materialized, so G is kept small.
+MAX_GRANULARITY_BITS = 16
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer: a deterministic, well-spread 64-bit
+    mix (no dependence on Python's randomized ``hash``)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of the ``width``-bit address space into ``shards``.
+
+    ``prefix`` mode stores the ascending cut list ``bounds`` (length
+    ``shards + 1``, from 0 to ``2^width``); ``hash`` mode owns by a
+    splitmix64 hash and every shard's range is the whole space.
+    """
+
+    mode: str
+    width: int
+    shards: int
+    bounds: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.mode!r}; "
+                f"choose one of {', '.join(PARTITION_MODES)}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shard count must be positive, got {self.shards}")
+        if self.mode == "prefix":
+            if len(self.bounds) != self.shards + 1:
+                raise ValueError(
+                    f"prefix plan needs {self.shards + 1} bounds, "
+                    f"got {len(self.bounds)}"
+                )
+            if self.bounds[0] != 0 or self.bounds[-1] != (1 << self.width):
+                raise ValueError("prefix plan bounds must span the address space")
+            if any(
+                self.bounds[i] >= self.bounds[i + 1]
+                for i in range(len(self.bounds) - 1)
+            ):
+                raise ValueError("prefix plan bounds must be strictly ascending")
+
+    def owner(self, address: int) -> int:
+        """The shard serving ``address``."""
+        if self.mode == "hash":
+            return _mix64(address) % self.shards
+        return bisect_right(self.bounds, address) - 1
+
+    def shard_range(self, index: int) -> Tuple[int, int]:
+        """Half-open address range shard ``index`` is responsible for."""
+        if self.mode == "hash":
+            return 0, 1 << self.width
+        return self.bounds[index], self.bounds[index + 1]
+
+    def owners(self, prefix: int, length: int) -> Tuple[int, ...]:
+        """Every shard whose range intersects the prefix's interval —
+        the shards a route for ``prefix/length`` must live on (more
+        than one exactly when the prefix spans a cut)."""
+        if self.mode == "hash":
+            return tuple(range(self.shards))
+        lo, hi = prefix_span(prefix, length, self.width)
+        first = bisect_right(self.bounds, lo) - 1
+        last = bisect_left(self.bounds, hi) - 1
+        return tuple(range(first, last + 1))
+
+    def group(
+        self, addresses: Sequence[int]
+    ) -> Dict[int, Tuple[List[int], List[int]]]:
+        """Split a batch by owning shard, remembering input positions
+        so merged answers come back in input order."""
+        groups: Dict[int, Tuple[List[int], List[int]]] = {}
+        if self.mode == "hash":
+            shards = self.shards
+            for position, address in enumerate(addresses):
+                slot = _mix64(address) % shards
+                entry = groups.get(slot)
+                if entry is None:
+                    entry = groups[slot] = ([], [])
+                entry[0].append(position)
+                entry[1].append(address)
+            return groups
+        bounds = self.bounds
+        for position, address in enumerate(addresses):
+            slot = bisect_right(bounds, address) - 1
+            entry = groups.get(slot)
+            if entry is None:
+                entry = groups[slot] = ([], [])
+            entry[0].append(position)
+            entry[1].append(address)
+        return groups
+
+
+def _leaf_count(node: TrieNode) -> int:
+    """Leaves in the sub-trie below ``node`` (the node itself if leaf)."""
+    if node.is_leaf:
+        return 1
+    count = 0
+    if node.left is not None:
+        count += _leaf_count(node.left)
+    if node.right is not None:
+        count += _leaf_count(node.right)
+    return count
+
+
+def _slot_weights(trie: BinaryTrie, bits: int) -> List[float]:
+    """Trie-leaf weight of each depth-``bits`` address slot.
+
+    A leaf at depth >= ``bits`` counts 1 toward its covering slot; a
+    leaf above the slot depth covers several slots and spreads its unit
+    weight evenly across them, so shallow FIB regions do not look
+    heavier than they are.
+    """
+    weights = [0.0] * (1 << bits)
+
+    def walk(node: TrieNode, depth: int, slot: int) -> None:
+        if depth == bits:
+            weights[slot] += _leaf_count(node)
+            return
+        if node.is_leaf:
+            spread = 1 << (bits - depth)
+            share = 1.0 / spread
+            base = slot << (bits - depth)
+            for covered in range(base, base + spread):
+                weights[covered] += share
+            return
+        if node.left is not None:
+            walk(node.left, depth + 1, slot << 1)
+        if node.right is not None:
+            walk(node.right, depth + 1, (slot << 1) | 1)
+
+    walk(trie.root, 0, 0)
+    return weights
+
+
+def _balanced_cuts(weights: Sequence[float], parts: int) -> List[int]:
+    """Greedy contiguous split of ``weights`` into ``parts`` non-empty
+    runs of near-equal total weight (cut after the slot where the
+    cumulative weight first reaches the proportional target)."""
+    slots = len(weights)
+    if parts > slots:
+        raise ValueError(f"cannot cut {slots} slots into {parts} parts")
+    total = sum(weights) or 1.0
+    cuts = [0]
+    cumulative = 0.0
+    slot = 0
+    for part in range(1, parts):
+        target = total * part / parts
+        limit = slots - (parts - part)  # leave one slot per later part
+        floor = cuts[-1] + 1            # at least one slot per part
+        while slot < floor or (slot < limit and cumulative < target):
+            cumulative += weights[slot]
+            slot += 1
+        cuts.append(slot)
+    cuts.append(slots)
+    return cuts
+
+
+def plan_cluster(
+    fib: Fib,
+    shards: int,
+    mode: str = "prefix",
+    granularity: Optional[int] = None,
+) -> ShardPlan:
+    """Partition ``fib``'s address space into ``shards`` workers.
+
+    ``prefix`` mode cuts the space on ``2^(width-granularity)``-aligned
+    boundaries, balancing binary-trie leaf counts between the ranges;
+    ``granularity`` defaults to /12 slots
+    (:data:`DEFAULT_GRANULARITY_BITS`, raised automatically when the
+    shard count needs finer cuts). ``hash`` mode needs no planning data
+    beyond the shard count.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    if mode not in PARTITION_MODES:
+        raise ValueError(
+            f"unknown partition mode {mode!r}; choose one of "
+            f"{', '.join(PARTITION_MODES)}"
+        )
+    width = fib.width
+    if shards > (1 << min(width, MAX_GRANULARITY_BITS)):
+        raise ValueError(
+            f"{shards} shards exceed the {width}-bit planning granularity"
+        )
+    if mode == "hash":
+        return ShardPlan(mode="hash", width=width, shards=shards)
+    needed = max(1, (shards - 1).bit_length())
+    bits = granularity if granularity is not None else DEFAULT_GRANULARITY_BITS
+    bits = max(bits, needed)
+    if not needed <= bits <= MAX_GRANULARITY_BITS:
+        raise ValueError(
+            f"granularity {bits} outside [{needed}, {MAX_GRANULARITY_BITS}] "
+            f"for {shards} shards"
+        )
+    bits = min(bits, width)
+    weights = _slot_weights(BinaryTrie.from_fib(fib), bits)
+    cuts = _balanced_cuts(weights, shards)
+    shift = width - bits
+    return ShardPlan(
+        mode="prefix",
+        width=width,
+        shards=shards,
+        bounds=tuple(cut << shift for cut in cuts),
+    )
+
+
+@dataclass
+class ClusterShard:
+    """One worker: its range, its build-time route count, and its
+    server (the live post-churn count is ``len(server.control)``)."""
+
+    index: int
+    lo: int
+    hi: int
+    routes: int
+    server: FibServer
+
+
+class EpochCoordinator:
+    """Staggers rebuild-plane epoch swaps shard-by-shard.
+
+    The coordinator is ticked once per served event. Each tick it scans
+    the shards round-robin from a moving cursor and swaps **at most
+    one** whose pending-update backlog reached ``rebuild_every`` — so a
+    burst that makes every shard due rolls fresh generations through
+    the cluster one event at a time instead of pausing all workers on
+    the same tick. Incremental shards never queue pending updates and
+    the coordinator leaves them alone.
+    """
+
+    def __init__(self, shards: Sequence[ClusterShard], rebuild_every: int):
+        if rebuild_every < 1:
+            raise ValueError(f"rebuild_every must be positive, got {rebuild_every}")
+        self._shards = list(shards)
+        self._rebuild_every = rebuild_every
+        self._cursor = 0
+        self.swaps = 0
+
+    @property
+    def rebuild_every(self) -> int:
+        return self._rebuild_every
+
+    def due(self) -> List[int]:
+        """Shards whose backlog reached the epoch threshold."""
+        return [
+            shard.index
+            for shard in self._shards
+            if len(shard.server.pending) >= self._rebuild_every
+        ]
+
+    def tick(self) -> Optional[int]:
+        """Swap the next due shard (round-robin); returns its index, or
+        None when no shard is due."""
+        count = len(self._shards)
+        for step in range(count):
+            shard = self._shards[(self._cursor + step) % count]
+            if len(shard.server.pending) >= self._rebuild_every:
+                self._cursor = (shard.index + 1) % count
+                shard.server.rebuild()
+                self.swaps += 1
+                return shard.index
+        return None
+
+
+class FibCluster:
+    """Serve one representation from N partitioned FibServer workers.
+
+    Parameters mirror :class:`~repro.serve.server.FibServer`, plus:
+
+    shards:
+        Worker count (1 degenerates to a single-server cluster).
+    partition:
+        ``"prefix"`` (range split balanced by trie leaf counts) or
+        ``"hash"`` (splitmix64 flow spreading, full-state replicas).
+    granularity:
+        Prefix-mode cut alignment in address bits (default /12 slots,
+        :data:`DEFAULT_GRANULARITY_BITS`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fib: Fib,
+        *,
+        shards: int = 2,
+        partition: str = "prefix",
+        options: Optional[Dict[str, Any]] = None,
+        rebuild_every: int = DEFAULT_REBUILD_EVERY,
+        batched: bool = True,
+        measure_staleness: bool = True,
+        granularity: Optional[int] = None,
+    ):
+        self._plan = plan_cluster(fib, shards, mode=partition, granularity=granularity)
+        self._spec = registry.get(name)
+        self._options = dict(options or {})
+        self._control = fib.copy()
+        self._shards: List[ClusterShard] = []
+        for index in range(self._plan.shards):
+            lo, hi = self._plan.shard_range(index)
+            if (lo, hi) == (0, 1 << fib.width):  # full-state replica
+                restricted = fib.copy()
+            else:
+                restricted = restrict_fib(fib, lo, hi)
+            server = FibServer(
+                name,
+                restricted,
+                options=self._options,
+                rebuild_every=rebuild_every,
+                batched=batched,
+                measure_staleness=measure_staleness,
+                auto_rebuild=False,  # the coordinator owns epoch swaps
+            )
+            self._shards.append(ClusterShard(index, lo, hi, len(restricted), server))
+        self._coordinator = EpochCoordinator(self._shards, rebuild_every)
+        self._lookups = 0
+        self._batches = 0
+        self._updates_applied = 0
+        self._updates_skipped = 0
+        self._fanout_total = 0
+        self._lookup_seconds = 0.0
+        self._busy_lookup_seconds = 0.0
+        self._update_seconds = 0.0
+        self._peak_size_bits = self._total_size_bits()
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def shards(self) -> Tuple[ClusterShard, ...]:
+        return tuple(self._shards)
+
+    @property
+    def control(self) -> Fib:
+        """The cluster-wide continuously-updated tabular oracle."""
+        return self._control
+
+    @property
+    def incremental(self) -> bool:
+        """True when shard updates land in serving structures directly
+        (all shards host the same representation, so they agree)."""
+        return self._shards[0].server.incremental
+
+    @property
+    def coordinator(self) -> EpochCoordinator:
+        return self._coordinator
+
+    @property
+    def is_stale(self) -> bool:
+        """True while any shard has updates awaiting an epoch swap."""
+        return any(shard.server.is_stale for shard in self._shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"FibCluster(name={self.name!r}, shards={self._plan.shards}, "
+            f"partition={self._plan.mode!r}, "
+            f"plane={'incremental' if self.incremental else 'rebuild'})"
+        )
+
+    # ---------------------------------------------------------------- lookups
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Serve one address through its owning shard."""
+        return self.lookup_batch([address])[0]
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Fan a batch out to the owning shards, merge in input order.
+
+        The coordinator gets its per-event tick first (a due shard swaps
+        off the lookup path, charged to its rebuild clock). The batch is
+        then charged the slowest shard's serving time — the critical
+        path a one-worker-per-shard deployment would observe — while
+        the summed busy time feeds ``parallel_efficiency``.
+        """
+        self._tick()
+        self._batches += 1
+        if not len(addresses):
+            return []
+        out: List[Optional[int]] = [None] * len(addresses)
+        critical = 0.0
+        for index, (positions, slice_) in self._plan.group(addresses).items():
+            server = self._shards[index].server
+            lookup_before = server.lookup_seconds
+            update_before = server.update_seconds
+            labels = server.lookup_batch(slice_)
+            spent = server.lookup_seconds - lookup_before
+            # Patch-log drains inside the shard are churn-induced work.
+            self._update_seconds += server.update_seconds - update_before
+            self._busy_lookup_seconds += spent
+            if spent > critical:
+                critical = spent
+            for position, label in zip(positions, labels):
+                out[position] = label
+        self._lookup_seconds += critical
+        self._lookups += len(addresses)
+        return out
+
+    # ---------------------------------------------------------------- updates
+
+    def apply_update(self, op: UpdateOp) -> bool:
+        """Route one operation to every shard covering its prefix.
+
+        The cluster oracle applies the operation first (bogus
+        withdrawals are skipped cluster-wide, so no shard ever sees
+        them); accepted operations then fan out to the owning shard(s)
+        — one in the common case, several when the prefix spans a cut,
+        all of them under hash partitioning. The fan-out is charged the
+        slowest shard's update time (the shards apply concurrently in a
+        deployment) plus the oracle edit.
+        """
+        started = time.perf_counter()
+        try:
+            self._control.update(op.prefix, op.length, op.label)
+        except KeyError:
+            self._updates_skipped += 1
+            self._update_seconds += time.perf_counter() - started
+            return False
+        self._update_seconds += time.perf_counter() - started
+        owners = self._plan.owners(op.prefix, op.length)
+        critical = 0.0
+        for index in owners:
+            server = self._shards[index].server
+            update_before = server.update_seconds
+            server.apply_update(op)
+            spent = server.update_seconds - update_before
+            if spent > critical:
+                critical = spent
+        self._update_seconds += critical
+        self._updates_applied += 1
+        self._fanout_total += len(owners)
+        self._tick()
+        if self._updates_applied % self._coordinator.rebuild_every == 0:
+            self._sample_size()
+        return True
+
+    def quiesce(self) -> None:
+        """Drain every shard's update plane (still one swap at a time)."""
+        for shard in self._shards:
+            if shard.server.pending:
+                self._swap(shard)
+
+    # ------------------------------------------------------------ coordinator
+
+    def _tick(self) -> None:
+        """Give the coordinator its per-event chance to stagger a swap,
+        and account the epoch overlap into the cluster memory peak."""
+        if not self._coordinator.due():
+            return
+        total_before = self._total_size_bits()
+        index = self._coordinator.tick()
+        if index is None:  # pragma: no cover - due() just said otherwise
+            return
+        fresh = self._shards[index].server.representation.size_bits()
+        # Only this one shard held two generations during the swap.
+        self._note_peak(total_before + fresh)
+
+    def _swap(self, shard: ClusterShard) -> None:
+        total_before = self._total_size_bits()
+        shard.server.rebuild()
+        fresh = shard.server.representation.size_bits()
+        self._note_peak(total_before + fresh)
+
+    # ----------------------------------------------------------------- replay
+
+    def replay(self, events: Sequence[ServeEvent]) -> None:
+        """Run one scenario script (see :mod:`repro.serve.scenarios`)."""
+        for event in events:
+            if event.is_lookup:
+                self.lookup_batch(event.addresses)
+            else:
+                self.apply_update(event.op)
+
+    def parity_fraction(self, addresses: Sequence[int]) -> float:
+        """Fraction of probe addresses agreeing with the cluster oracle
+        (route each probe to its owning shard, compare labels)."""
+        if not addresses:
+            return 1.0
+        oracle = self._control.lookup
+        agreed = 0
+        for index, (positions, slice_) in self._plan.group(addresses).items():
+            served = self._shards[index].server.representation.lookup_batch(slice_)
+            agreed += sum(
+                1 for address, label in zip(slice_, served) if label == oracle(address)
+            )
+        return agreed / len(addresses)
+
+    # ---------------------------------------------------------------- metrics
+
+    def _total_size_bits(self) -> int:
+        return sum(
+            shard.server.representation.size_bits() for shard in self._shards
+        )
+
+    def _note_peak(self, total_bits: int) -> None:
+        if total_bits > self._peak_size_bits:
+            self._peak_size_bits = total_bits
+
+    def _sample_size(self) -> None:
+        self._note_peak(self._total_size_bits())
+
+    @property
+    def replicated_routes(self) -> int:
+        """Routes currently present in more than one shard, from the
+        live control FIB (churn can announce or withdraw
+        boundary-spanning routes, so this is recomputed, not cached)."""
+        if self._plan.shards == 1:
+            return 0
+        if self._plan.mode == "hash":
+            return len(self._control)
+        return len(boundary_routes(self._control, self._plan.bounds))
+
+    def report(
+        self, scenario: str = "", final_parity: Optional[float] = None
+    ) -> ClusterReport:
+        """Aggregate the shard counters into a :class:`ClusterReport`."""
+        self._sample_size()
+        shard_rows: List[dict] = []
+        stale = mismatches = rebuilds = generation = pending = size = 0
+        rebuild_seconds = 0.0
+        rebuild_cycles = 0.0
+        for shard in self._shards:
+            record = shard.server.report(scenario=scenario)
+            stale += record.stale_lookups
+            mismatches += record.label_mismatches
+            rebuilds += record.rebuilds
+            generation += record.generation
+            pending += record.pending_updates
+            size += record.size_bits
+            rebuild_seconds += record.rebuild_seconds
+            rebuild_cycles += record.rebuild_cycles
+            shard_rows.append(
+                {
+                    "shard": shard.index,
+                    "lo": shard.lo,
+                    "hi": shard.hi,
+                    "routes": len(shard.server.control),  # live, post-churn
+                    "lookups": record.lookups,
+                    "lookup_seconds": record.lookup_seconds,
+                    "staleness": record.staleness,
+                    "rebuilds": record.rebuilds,
+                    "generation": record.generation,
+                    "size_bits": record.size_bits,
+                    "peak_size_bits": record.peak_size_bits,
+                }
+            )
+        applied = self._updates_applied
+        return ClusterReport(
+            name=self.name,
+            title=self._spec.title,
+            scenario=scenario,
+            incremental=self.incremental,
+            lookups=self._lookups,
+            batches=self._batches,
+            updates_applied=applied,
+            updates_skipped=self._updates_skipped,
+            rebuilds=rebuilds,
+            generation=generation,
+            pending_updates=pending,
+            stale_lookups=stale,
+            label_mismatches=mismatches,
+            lookup_seconds=self._lookup_seconds,
+            update_seconds=self._update_seconds,
+            rebuild_seconds=rebuild_seconds,
+            size_bits=size,
+            peak_size_bits=max(self._peak_size_bits, size),
+            rebuild_cycles=rebuild_cycles,
+            final_parity=final_parity,
+            shards=self._plan.shards,
+            partition=self._plan.mode,
+            replicated_routes=self.replicated_routes,
+            update_fanout=(self._fanout_total / applied) if applied else 0.0,
+            busy_lookup_seconds=self._busy_lookup_seconds,
+            coordinator_swaps=self._coordinator.swaps,
+            shard_rows=tuple(shard_rows),
+        )
+
+
+def serve_cluster_scenario(
+    name: str,
+    fib: Fib,
+    events: Sequence[ServeEvent],
+    *,
+    scenario: str = "",
+    shards: int = 2,
+    partition: str = "prefix",
+    options: Optional[Dict[str, Any]] = None,
+    rebuild_every: int = DEFAULT_REBUILD_EVERY,
+    batched: bool = True,
+    measure_staleness: bool = True,
+    parity_probes: Sequence[int] = (),
+    granularity: Optional[int] = None,
+) -> ClusterReport:
+    """Replay one script through one sharded cluster, end to end.
+
+    The cluster twin of :func:`~repro.serve.server.serve_scenario`:
+    build the cluster, replay the script, quiesce every shard, run the
+    post-quiescence parity probes against the cluster oracle, report.
+    """
+    cluster = FibCluster(
+        name,
+        fib,
+        shards=shards,
+        partition=partition,
+        options=options,
+        rebuild_every=rebuild_every,
+        batched=batched,
+        measure_staleness=measure_staleness,
+        granularity=granularity,
+    )
+    cluster.replay(events)
+    cluster.quiesce()
+    parity = cluster.parity_fraction(parity_probes) if parity_probes else None
+    return cluster.report(scenario=scenario, final_parity=parity)

@@ -16,12 +16,25 @@ scenario script through one :class:`~repro.serve.server.FibServer`:
   and ``label_mismatches`` counts the subset that actually differed
   from the continuously-updated tabular oracle. Incremental planes
   report zero for both.
+
+A :class:`ClusterReport` extends the same record to a sharded
+deployment (:mod:`repro.serve.cluster`). The aggregate counters keep
+their single-server meaning, with one deliberate change of clock:
+``lookup_seconds`` is the **critical-path** time — per batch, the
+slowest shard's serving time, since in a deployment the shards are
+independent workers answering their slices concurrently — while
+``busy_lookup_seconds`` keeps the summed per-shard busy time, so
+``parallel_efficiency`` exposes how much of the fan-out was actually
+overlapped. ``peak_size_bits`` is sampled across the whole cluster and
+shows the coordinator's staggering: with shard-by-shard epoch swaps at
+most *one* shard holds two generations at a time, so the aggregate
+high-water mark stays near total + one shard instead of 2x total.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -103,5 +116,69 @@ class ServeReport:
             events_per_second=self.events_per_second,
             staleness=self.staleness,
             peak_size_kbytes=self.peak_size_kbytes,
+        )
+        return record
+
+
+@dataclass
+class ClusterReport(ServeReport):
+    """Aggregate outcome of one scenario replay through a sharded cluster.
+
+    Inherited counters aggregate across shards (sums for counts and
+    memory; ``lookup_seconds`` switches to the critical-path clock, see
+    the module docstring). ``generation`` is the summed shard
+    generation counter and ``coordinator_swaps`` the subset of those
+    epochs the coordinator staggered mid-stream (quiescence drains make
+    up the difference).
+    """
+
+    shards: int = 1
+    partition: str = "prefix"
+    #: Routes present in more than one shard (boundary-spanning prefixes
+    #: under range partitioning; every route under hash partitioning).
+    replicated_routes: int = 0
+    #: Mean number of shards each applied update fanned out to.
+    update_fanout: float = 0.0
+    #: Summed per-shard lookup busy time (lookup_seconds holds the
+    #: critical path — the slowest shard per batch).
+    busy_lookup_seconds: float = 0.0
+    #: Mid-stream epoch swaps the coordinator performed, one shard at a
+    #: time (never a global pause).
+    coordinator_swaps: int = 0
+    #: Per-shard summaries: range, routes, lookups, staleness, rebuilds,
+    #: generation and sizes.
+    shard_rows: Tuple[dict, ...] = field(default_factory=tuple)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy time over ``shards x critical-path`` time: 1.0 means the
+        fan-out kept every shard busy for the whole batch, 1/shards
+        means one shard did all the work."""
+        if not self.lookup_seconds or not self.shards:
+            return 0.0
+        return self.busy_lookup_seconds / (self.shards * self.lookup_seconds)
+
+    @property
+    def lookup_imbalance(self) -> float:
+        """Largest shard's lookup share over the fair 1/shards share."""
+        if not self.lookups or not self.shard_rows:
+            return 0.0
+        largest = max(row.get("lookups", 0) for row in self.shard_rows)
+        return largest * self.shards / self.lookups
+
+    @property
+    def max_shard_staleness(self) -> float:
+        """Worst per-shard staleness fraction (the shard lagging most)."""
+        if not self.shard_rows:
+            return 0.0
+        return max(row.get("staleness", 0.0) for row in self.shard_rows)
+
+    def to_dict(self) -> dict:
+        record = super().to_dict()
+        record.update(
+            shard_rows=[dict(row) for row in self.shard_rows],
+            parallel_efficiency=self.parallel_efficiency,
+            lookup_imbalance=self.lookup_imbalance,
+            max_shard_staleness=self.max_shard_staleness,
         )
         return record

@@ -176,6 +176,20 @@ def scenario(name: str) -> Scenario:
         ) from None
 
 
+def parity_probes(fib: Fib, count: int = 1000, seed: int = 42) -> List[int]:
+    """The post-quiescence parity probe mix: half uniform, half locality.
+
+    Uniform addresses exercise uncovered space and short prefixes;
+    locality-heavy addresses concentrate on popular routes (and, under a
+    sharded deployment, on whatever shard owns them). The CLI, the
+    cluster benchmark and the parity tests all draw the same mix so a
+    quiescence bug cannot hide behind a friendly probe distribution.
+    """
+    probes = uniform_trace(count, seed=seed + 1, width=fib.width)
+    probes += caida_like_trace(fib, count, seed=seed + 2)
+    return probes
+
+
 def _interleave(
     batches: Sequence[Tuple[int, ...]], ops: Sequence[UpdateOp], bursts: int
 ) -> List[ServeEvent]:

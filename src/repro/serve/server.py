@@ -29,6 +29,35 @@ The server always keeps a **control FIB** — the continuously-updated
 tabular oracle — which is what rebuilds snapshot from, what the
 staleness comparison reads, and what :meth:`parity_fraction` checks
 against after quiescence (the ``compare`` discipline under churn).
+
+**The epoch / patch-log lifecycle**, end to end:
+
+1. *Build* — ``registry.build`` constructs generation 0 from the
+   control FIB; when serving batched, the flat program is compiled
+   immediately, before the first lookup can arrive.
+2. *Update* — an accepted operation lands in the control FIB, then
+   either in the serving structure (incremental plane, where the
+   adapter also appends the edited span to its **patch log**) or in
+   ``pending`` (rebuild plane, where the serving generation starts to
+   lag and lookups count as stale).
+3. *Drain* — at the top of every batched lookup, ``flat_program()``
+   replays the adapter's patch log into the compiled program in place
+   (only root slots under the edited prefixes recompile); the replay is
+   churn-induced work and is charged to the update clock, never the
+   lookup timer. Once patch garbage would exceed the original image the
+   program recompiles from scratch (:attr:`FlatProgram.bloated`).
+4. *Epoch swap* — on the rebuild plane, once ``rebuild_every``
+   operations are pending (or :meth:`rebuild` is called by a
+   coordinator when ``auto_rebuild`` is off), a fresh generation is
+   built and compiled off the lookup path, then swapped in with one
+   reference assignment; ``pending`` clears and staleness ends.
+5. *Quiesce* — :meth:`quiesce` forces a final swap so post-quiescence
+   parity can be asserted against the oracle.
+
+A sharded deployment (:mod:`repro.serve.cluster`) hosts one FibServer
+per shard with ``auto_rebuild=False`` and lets its epoch coordinator
+trigger step 4 shard-by-shard, so generations swap with no global
+pause.
 """
 
 from __future__ import annotations
@@ -70,6 +99,12 @@ class FibServer:
         Compare every batch served during a stale window against the
         control oracle, counting real label mismatches. Costs one
         oracle lookup per stale address; benchmarks switch it off.
+    auto_rebuild:
+        When True (the default) the rebuild plane swaps an epoch as
+        soon as ``rebuild_every`` operations are pending. A cluster
+        coordinator passes False and calls :meth:`rebuild` itself, so
+        shard generations swap one at a time instead of all servers
+        pausing on the same update tick.
     """
 
     def __init__(
@@ -81,6 +116,7 @@ class FibServer:
         rebuild_every: int = DEFAULT_REBUILD_EVERY,
         batched: bool = True,
         measure_staleness: bool = True,
+        auto_rebuild: bool = True,
     ):
         if rebuild_every < 1:
             raise ValueError(f"rebuild_every must be positive, got {rebuild_every}")
@@ -94,6 +130,7 @@ class FibServer:
         self._rebuild_every = rebuild_every
         self._batched = batched
         self._measure_staleness = measure_staleness
+        self._auto_rebuild = auto_rebuild
 
         self.generation = 0
         self.pending: List[UpdateOp] = []
@@ -139,6 +176,22 @@ class FibServer:
     @property
     def rebuilds(self) -> int:
         return self._rebuilds
+
+    @property
+    def lookup_seconds(self) -> float:
+        """Accumulated lookup-plane serving time (read-only; a cluster
+        reads per-batch deltas to compute its critical-path clock)."""
+        return self._lookup_seconds
+
+    @property
+    def update_seconds(self) -> float:
+        """Accumulated update-plane time, patch-log drains included."""
+        return self._update_seconds
+
+    @property
+    def rebuild_seconds(self) -> float:
+        """Accumulated epoch-rebuild time across generations."""
+        return self._rebuild_seconds
 
     def __repr__(self) -> str:
         return (
@@ -212,7 +265,7 @@ class FibServer:
         self.pending.append(op)
         self._updates_applied += 1
         self._update_seconds += time.perf_counter() - started
-        if len(self.pending) >= self._rebuild_every:
+        if self._auto_rebuild and len(self.pending) >= self._rebuild_every:
             self.rebuild()
         return True
 

@@ -11,13 +11,21 @@ import pytest
 import repro
 import repro.pipeline
 import repro.serve
+import repro.serve.cluster
 import repro.utils.bits
 import repro.utils.lambertw
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.pipeline, repro.serve, repro.utils.bits, repro.utils.lambertw],
+    [
+        repro,
+        repro.pipeline,
+        repro.serve,
+        repro.serve.cluster,
+        repro.utils.bits,
+        repro.utils.lambertw,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):
