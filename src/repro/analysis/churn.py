@@ -84,6 +84,29 @@ def render_cluster_rows(reports: Iterable) -> str:
     return render_table(CLUSTER_HEADERS, [cluster_row(report) for report in reports])
 
 
+WORKER_HEADERS = CLUSTER_HEADERS + (
+    "wall Mlps",
+    "agree",
+)
+
+
+def worker_row(report) -> tuple:
+    """One table row from a :class:`~repro.serve.metrics.WorkerReport`:
+    the cluster columns, then the *measured* wall-clock lookup
+    throughput and its agreement with the critical-path model (the
+    inherited ``lookup Mlps`` column is the model's prediction)."""
+    return cluster_row(report) + (
+        report.measured_lookup_mlps,
+        f"{report.model_agreement * 100:.0f}%",
+    )
+
+
+def render_worker_rows(reports: Iterable) -> str:
+    """The multi-process table of ``repro-fib serve --workers N`` and
+    ``benchmarks/bench_workers.py``."""
+    return render_table(WORKER_HEADERS, [worker_row(report) for report in reports])
+
+
 def assert_serve_parity(reports: Sequence) -> None:
     """Raise AssertionError naming every report below 100% parity."""
     bad = [

@@ -15,7 +15,11 @@ Subcommands regenerate the paper's experiments and operate on FIB files:
 * ``serve`` — replay a mixed lookup/update scenario through the online
   serving engine and report churn throughput, staleness and parity;
   with ``--shards N`` the scenario runs through a partitioned cluster
-  of N workers (``--partition prefix|hash``) instead of one server.
+  of N simulated workers (``--partition prefix|hash``) instead of one
+  server, and with ``--workers N`` through N *real* worker processes
+  (shared-nothing shards behind pipes, asyncio-pipelined fan-out)
+  reporting measured wall-clock throughput next to the critical-path
+  model's prediction.
 
 Example::
 
@@ -27,6 +31,7 @@ Example::
     repro-fib compare --scale 0.01
     repro-fib serve --scenario bgp-churn --updates 500 --lookups 5000
     repro-fib serve --shards 4 --partition prefix --scenario flap-storm
+    repro-fib serve --workers 4 --scenario uniform --seed 7
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from repro.analysis import (
     measure_fib,
     render_churn_rows,
     render_cluster_rows,
+    render_worker_rows,
     render_fig5,
     render_fig6,
     registry_sizes,
@@ -278,6 +284,13 @@ SERVE_DEFAULT_REPRESENTATIONS = ["prefix-dag", "lc-trie", "serialized-dag"]
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 0 and args.shards > 1:
+        print(
+            "--workers runs real processes, --shards the simulated cluster; "
+            "pick one",
+            file=sys.stderr,
+        )
+        return 2
     prof = profile(args.profile)
     fib = build_profile_fib(prof, scale=args.scale)
     scenario = serve.scenario(args.scenario)
@@ -293,9 +306,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     overrides = _barrier_overrides(args.barrier)
     names = args.representations or SERVE_DEFAULT_REPRESENTATIONS
     sharded = args.shards > 1
+    pooled = args.workers > 0
     reports = []
     for name in names:
-        if sharded:
+        if pooled:
+            reports.append(
+                serve.serve_worker_scenario(
+                    name,
+                    fib,
+                    events,
+                    scenario=args.scenario,
+                    workers=args.workers,
+                    partition=args.partition,
+                    options=overrides.get(name, {}),
+                    rebuild_every=args.rebuild_every,
+                    parity_probes=probes,
+                    start_method=args.start_method,
+                    window=args.window,
+                )
+            )
+        elif sharded:
             reports.append(
                 serve.serve_cluster_scenario(
                     name,
@@ -322,16 +352,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
             )
         print(f"served {name} ({reports[-1].plane} plane)", file=sys.stderr)
-    cluster_banner = (
-        f", {args.shards} {args.partition}-partitioned shards" if sharded else ""
-    )
+    if pooled:
+        cluster_banner = (
+            f", {args.workers} {args.partition}-partitioned "
+            f"{args.start_method} workers"
+        )
+    elif sharded:
+        cluster_banner = f", {args.shards} {args.partition}-partitioned shards"
+    else:
+        cluster_banner = ""
     print(
         banner(
             f"serve {args.scenario} on {args.profile} (scale {args.scale}, "
             f"{args.lookups} lookups / {args.updates} updates{cluster_banner})"
         )
     )
-    print(render_cluster_rows(reports) if sharded else render_churn_rows(reports))
+    if pooled:
+        print(render_worker_rows(reports))
+    elif sharded:
+        print(render_cluster_rows(reports))
+    else:
+        print(render_churn_rows(reports))
     status = 0
     for report in reports:
         if report.final_parity is not None and report.final_parity < 1.0:
@@ -355,7 +396,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "batch_size": args.batch_size,
                 "seed": args.seed,
                 "shards": args.shards,
-                "partition": args.partition if sharded else None,
+                "workers": args.workers,
+                "start_method": args.start_method if pooled else None,
+                "partition": args.partition if (sharded or pooled) else None,
                 "rows": [report.to_dict() for report in reports],
             },
         )
@@ -550,6 +593,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="serve through a partitioned cluster of N workers (default 1)",
+    )
+    p.add_argument(
+        "--workers",
+        type=count_arg,
+        default=0,
+        metavar="N",
+        help="serve through N real worker processes (multi-process plane; "
+        "0 = off, mutually exclusive with --shards)",
+    )
+    p.add_argument(
+        "--start-method",
+        choices=["spawn", "fork"],
+        default=serve.DEFAULT_START_METHOD,
+        help="worker process start method (default spawn; fork where the "
+        "platform offers it)",
+    )
+    p.add_argument(
+        "--window",
+        type=positive_int,
+        default=serve.DEFAULT_WINDOW,
+        help="in-flight lookup batches the async front-end pipelines "
+        f"(default {serve.DEFAULT_WINDOW})",
     )
     p.add_argument(
         "--partition",

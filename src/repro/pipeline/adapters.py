@@ -211,7 +211,7 @@ def _trivial_batch(root, addresses: Sequence[int], width: int) -> Optional[List[
     neither is worth a 2^stride dispatch array. Returns None when the
     batch needs the real fast path.
     """
-    if not addresses:
+    if not len(addresses):  # len(), not truthiness: ndarrays are batches too
         return []
     if root is not None and root.left is None and root.right is None:
         check_addresses(addresses, width)

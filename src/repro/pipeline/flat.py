@@ -190,6 +190,27 @@ class FlatProgram:
         self._initial_cells = 0
         self._views = None
 
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self):
+        """Pickle the program as its raw arrays and scalars.
+
+        The NumPy view cache is dropped: views alias the ``array('q')``
+        buffers and must be re-derived in the receiving process. This is
+        what lets a deployment ship a *compiled* shard across a process
+        boundary for roughly the cost of copying the image bytes.
+        """
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_views"
+        }
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._views = None
+
     # ------------------------------------------------------------ bookkeeping
 
     def seal(self) -> "FlatProgram":
@@ -377,6 +398,28 @@ class FlatProgram:
         check_addresses(addresses, self.width)
         return self._batch_python(addresses)
 
+    def lookup_batch_packed(self, addresses: Sequence[int]) -> bytes:
+        """Batched LPM returning packed int64 labels (0 = no route).
+
+        The wire-format twin of :meth:`lookup_batch` for callers that
+        forward label ids instead of boxing them into Python objects —
+        the multi-process serving plane's workers. On the vector path
+        this skips both the object-table gather and the ``tolist`` box
+        loop; the portable path packs the decoded labels.
+        """
+        if not len(addresses):
+            return b""
+        if self.vectorized:
+            np = _np
+            root_ptr, root_val, cell_ptr, cell_val, _ = self._ensure_views()
+            batch = self._to_vector(np, addresses)
+            labels = self._resolve_vector(np, batch, root_ptr, root_val,
+                                          cell_ptr, cell_val)
+            return labels.tobytes()
+        check_addresses(addresses, self.width)
+        return array("q", [label or 0 for label in
+                           self._batch_python(addresses)]).tobytes()
+
     def lookup_batch_shared(self, addresses: Sequence[int]) -> List[Optional[int]]:
         """Batched LPM resolving shared-fate addresses together.
 
@@ -408,14 +451,31 @@ class FlatProgram:
 
     def _to_vector(self, np, addresses: Sequence[int]):
         """Convert and range-check a batch in C (the vector-path twin of
-        :func:`~repro.pipeline.batch.check_addresses`)."""
-        try:
-            batch = np.fromiter(addresses, dtype=np.int64, count=len(addresses))
-        except OverflowError:
-            # Too wide for int64 means out of range for width <= 62.
-            raise ValueError(
-                f"address outside {self.width}-bit space"
-            ) from None
+        :func:`~repro.pipeline.batch.check_addresses`).
+
+        Packed batches — ``array('q')`` buffers or int64 ndarrays, the
+        wire format of the multi-process serving plane — convert by
+        buffer view instead of per-element iteration, so a worker fed
+        over a pipe never pays the Python-object conversion loop.
+        """
+        if isinstance(addresses, array) and addresses.typecode == "q":
+            batch = np.frombuffer(addresses, dtype=np.int64)
+        elif isinstance(addresses, np.ndarray) and addresses.dtype == np.int64:
+            batch = addresses
+        else:
+            try:
+                batch = np.fromiter(
+                    addresses, dtype=np.int64, count=len(addresses)
+                )
+            except OverflowError:
+                # Too wide for int64 means out of range for width <= 62.
+                raise ValueError(
+                    f"address outside {self.width}-bit space"
+                ) from None
+        return self._check_range(batch)
+
+    def _check_range(self, batch):
+        """Range-check an int64 batch against the address width in C."""
         lowest = batch.min()
         if lowest < 0:
             raise ValueError(

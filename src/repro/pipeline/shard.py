@@ -30,6 +30,7 @@ materializes roughly 1/N of the program cells.
 from __future__ import annotations
 
 from bisect import bisect_right
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.core.fib import Fib, Route
@@ -67,17 +68,50 @@ def restrict_fib(fib: Fib, lo: int, hi: int) -> Fib:
     return restricted
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's build recipe: its range and its restricted sub-FIB.
+
+    This is the unit a deployment ships to a worker — everything in it
+    is plain data (ints and a :class:`~repro.core.fib.Fib` of dicts), so
+    a spec pickles cheaply across a process boundary and the receiving
+    worker rebuilds its representation and compiled program locally
+    (shared-nothing: no live structure ever crosses the pipe).
+    """
+
+    index: int
+    lo: int
+    hi: int
+    fib: Fib
+
+    @property
+    def routes(self) -> int:
+        """Build-time route count of the restricted sub-FIB."""
+        return len(self.fib)
+
+
+def shard_specs(fib: Fib, bounds: Sequence[int]) -> List[ShardSpec]:
+    """One :class:`ShardSpec` per contiguous range of an ascending cut
+    list (the spec form of :func:`shard_fibs`). A range covering the
+    whole space gets a plain copy — the full-state replica of hash
+    partitioning and of the 1-shard degenerate plan."""
+    _check_bounds(fib.width, bounds)
+    specs: List[ShardSpec] = []
+    full = (0, 1 << fib.width)
+    for index in range(len(bounds) - 1):
+        lo, hi = bounds[index], bounds[index + 1]
+        restricted = fib.copy() if (lo, hi) == full else restrict_fib(fib, lo, hi)
+        specs.append(ShardSpec(index, lo, hi, restricted))
+    return specs
+
+
 def shard_fibs(fib: Fib, bounds: Sequence[int]) -> List[Fib]:
     """One restricted FIB per contiguous range of an ascending cut list.
 
     ``bounds`` has one more entry than there are shards, starts at 0 and
     ends at ``2^width``; shard ``i`` serves ``[bounds[i], bounds[i+1])``.
     """
-    _check_bounds(fib.width, bounds)
-    return [
-        restrict_fib(fib, bounds[index], bounds[index + 1])
-        for index in range(len(bounds) - 1)
-    ]
+    return [spec.fib for spec in shard_specs(fib, bounds)]
 
 
 def boundary_routes(fib: Fib, bounds: Sequence[int]) -> List[Route]:

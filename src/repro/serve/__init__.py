@@ -20,7 +20,7 @@ coordinator staggering epoch swaps (:mod:`repro.serve.cluster`):
 (64, 0.0)
 """
 
-from repro.serve.metrics import ClusterReport, ServeReport
+from repro.serve.metrics import ClusterReport, ServeReport, WorkerReport
 from repro.serve.scenarios import (
     DEFAULT_BATCH_SIZE,
     SCENARIOS,
@@ -41,17 +41,31 @@ from repro.serve.cluster import (
     plan_cluster,
     serve_cluster_scenario,
 )
+from repro.serve.workers import (
+    DEFAULT_START_METHOD,
+    DEFAULT_WINDOW,
+    AsyncFibFrontend,
+    WorkerError,
+    WorkerPool,
+    serve_worker_scenario,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_GRANULARITY_BITS",
     "DEFAULT_REBUILD_EVERY",
+    "DEFAULT_START_METHOD",
+    "DEFAULT_WINDOW",
     "PARTITION_MODES",
     "SCENARIOS",
+    "AsyncFibFrontend",
     "Scenario",
     "ServeEvent",
     "ServeReport",
     "ClusterReport",
+    "WorkerError",
+    "WorkerPool",
+    "WorkerReport",
     "EpochCoordinator",
     "FibCluster",
     "FibServer",
@@ -63,4 +77,5 @@ __all__ = [
     "scenario_names",
     "serve_cluster_scenario",
     "serve_scenario",
+    "serve_worker_scenario",
 ]

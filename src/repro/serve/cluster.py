@@ -65,7 +65,13 @@ from repro.core.fib import Fib
 from repro.core.trie import BinaryTrie, TrieNode
 from repro.datasets.updates import UpdateOp
 from repro.pipeline import registry
-from repro.pipeline.shard import boundary_routes, prefix_span, restrict_fib
+from repro.pipeline.flat import have_numpy
+from repro.pipeline.shard import (
+    ShardSpec,
+    boundary_routes,
+    prefix_span,
+    shard_specs,
+)
 from repro.serve.metrics import ClusterReport
 from repro.serve.scenarios import ServeEvent
 from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
@@ -85,6 +91,10 @@ MAX_GRANULARITY_BITS = 16
 
 _MASK64 = (1 << 64) - 1
 
+#: Largest address width the vectorized owner split can shift in int64
+#: (the same bound as the flat plane's vector walk).
+_NUMPY_MAX_WIDTH = 62
+
 
 def _mix64(value: int) -> int:
     """The splitmix64 finalizer: a deterministic, well-spread 64-bit
@@ -93,6 +103,15 @@ def _mix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
     return value ^ (value >> 31)
+
+
+def _mix64_vector(np, values):
+    """The splitmix64 finalizer over a uint64 vector (wrapping C ops —
+    bit-identical to :func:`_mix64` element-wise)."""
+    values = (values + np.uint64(0x9E3779B97F4A7C15))
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
 
 
 @dataclass(frozen=True)
@@ -179,6 +198,66 @@ class ShardPlan:
             entry[0].append(position)
             entry[1].append(address)
         return groups
+
+    def split_vector(self, batch):
+        """Owner split of an int64 NumPy address vector, entirely in C.
+
+        Returns ``{shard: (positions, addresses)}`` with both values as
+        int64 arrays — the vector twin of :meth:`group`, used by the
+        worker frontend where the per-address Python loop would sit on
+        the serial critical path of every fanned-out batch. Requires
+        NumPy (callers fall back to :meth:`group`) and a width the
+        int64 shift can carry.
+        """
+        import numpy as np
+
+        if self.mode == "hash":
+            owners = (
+                _mix64_vector(np, batch.astype(np.uint64)) % np.uint64(self.shards)
+            ).astype(np.int64)
+        else:
+            owners = np.searchsorted(
+                np.asarray(self.bounds[1:-1], dtype=np.int64), batch, side="right"
+            )
+        groups = {}
+        if self.shards <= 16:
+            # One boolean mask per shard beats a stable argsort at the
+            # shard counts a pool actually runs (O(shards·n) C compares
+            # vs the sort's constant-heavy O(n log n)).
+            for shard in range(self.shards):
+                positions = np.nonzero(owners == shard)[0]
+                if positions.size:
+                    groups[shard] = (positions, batch[positions])
+            return groups
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        present = np.arange(self.shards, dtype=np.int64)
+        starts = np.searchsorted(sorted_owners, present, side="left")
+        ends = np.searchsorted(sorted_owners, present, side="right")
+        for shard in range(self.shards):
+            if starts[shard] == ends[shard]:
+                continue
+            positions = order[starts[shard] : ends[shard]]
+            groups[shard] = (positions, batch[positions])
+        return groups
+
+    @property
+    def vectorized(self) -> bool:
+        """True when :meth:`split_vector` is usable for this plan."""
+        return have_numpy() and self.width <= _NUMPY_MAX_WIDTH
+
+    def materialize(self, fib: Fib) -> List[ShardSpec]:
+        """One :class:`~repro.pipeline.shard.ShardSpec` per shard of
+        this plan — the shared partition step of the simulated cluster
+        and the multi-process worker pool. Hash plans (and the 1-shard
+        degenerate prefix plan) replicate the full FIB per shard."""
+        if self.mode == "hash":
+            full = 1 << self.width
+            return [
+                ShardSpec(index, 0, full, fib.copy())
+                for index in range(self.shards)
+            ]
+        return shard_specs(fib, self.bounds)
 
 
 def _leaf_count(node: TrieNode) -> int:
@@ -386,22 +465,19 @@ class FibCluster:
         self._options = dict(options or {})
         self._control = fib.copy()
         self._shards: List[ClusterShard] = []
-        for index in range(self._plan.shards):
-            lo, hi = self._plan.shard_range(index)
-            if (lo, hi) == (0, 1 << fib.width):  # full-state replica
-                restricted = fib.copy()
-            else:
-                restricted = restrict_fib(fib, lo, hi)
+        for spec in self._plan.materialize(fib):
             server = FibServer(
                 name,
-                restricted,
+                spec.fib,
                 options=self._options,
                 rebuild_every=rebuild_every,
                 batched=batched,
                 measure_staleness=measure_staleness,
                 auto_rebuild=False,  # the coordinator owns epoch swaps
             )
-            self._shards.append(ClusterShard(index, lo, hi, len(restricted), server))
+            self._shards.append(
+                ClusterShard(spec.index, spec.lo, spec.hi, spec.routes, server)
+            )
         self._coordinator = EpochCoordinator(self._shards, rebuild_every)
         self._lookups = 0
         self._batches = 0

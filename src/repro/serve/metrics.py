@@ -17,6 +17,18 @@ scenario script through one :class:`~repro.serve.server.FibServer`:
   from the continuously-updated tabular oracle. Incremental planes
   report zero for both.
 
+A :class:`WorkerReport` extends :class:`ClusterReport` to the
+multi-process plane (:mod:`repro.serve.workers`). The simulated cluster
+can only *model* concurrency — its ``lookup_seconds`` critical path is
+a prediction of what one-worker-per-shard hardware would do. The worker
+pool actually runs that deployment, so the report carries both clocks
+side by side: the inherited critical-path prediction and the
+**measured** wall-clock fields (``wall_lookup_seconds`` is the span
+during which at least one lookup batch was in flight, so pipelined
+batches are not double-counted). ``model_agreement`` is their ratio —
+the validation the ROADMAP's "wall-clock scaling matches the
+critical-path model" item asks for.
+
 A :class:`ClusterReport` extends the same record to a sharded
 deployment (:mod:`repro.serve.cluster`). The aggregate counters keep
 their single-server meaning, with one deliberate change of clock:
@@ -180,5 +192,70 @@ class ClusterReport(ServeReport):
             parallel_efficiency=self.parallel_efficiency,
             lookup_imbalance=self.lookup_imbalance,
             max_shard_staleness=self.max_shard_staleness,
+        )
+        return record
+
+
+@dataclass
+class WorkerReport(ClusterReport):
+    """Aggregate outcome of one scenario replay through a pool of real
+    worker processes.
+
+    Inherited counters keep their cluster meaning — ``lookup_seconds``
+    stays the critical-path *model* (per batch, the slowest worker's
+    self-reported serving time), which is now a prediction to be
+    validated rather than the headline number. The headline is
+    ``wall_lookup_seconds``: frontend wall clock while lookup batches
+    were in flight, fan-out/serialize/merge overhead and all.
+    """
+
+    #: Process start method the pool used (``spawn`` or ``fork``).
+    spawn_method: str = "spawn"
+    #: Wall seconds from first process start to the last ready ack
+    #: (process boot + shard build + compile, off the serving path).
+    spawn_seconds: float = 0.0
+    #: Wall seconds during which >= 1 lookup batch was in flight.
+    wall_lookup_seconds: float = 0.0
+    #: Wall seconds for the whole replay (lookups, updates, swaps).
+    wall_seconds: float = 0.0
+
+    @property
+    def workers(self) -> int:
+        """Worker-process count (alias of ``shards`` on this plane)."""
+        return self.shards
+
+    @property
+    def measured_lookup_mlps(self) -> float:
+        """Million lookups per second of *measured* wall clock."""
+        if not self.wall_lookup_seconds:
+            return 0.0
+        return self.lookups / self.wall_lookup_seconds / 1e6
+
+    @property
+    def predicted_lookup_mlps(self) -> float:
+        """The critical-path model's throughput prediction (what
+        :class:`ClusterReport` calls ``lookup_mlps``)."""
+        return self.lookup_mlps
+
+    @property
+    def model_agreement(self) -> float:
+        """Measured over predicted throughput, capped at 1.0 from
+        neither side: the fraction below 1.0 is fan-out overhead the
+        critical-path model does not price (serialization, pipes, the
+        frontend's merge); above 1.0 means pipelining overlapped more
+        than the model assumed."""
+        predicted = self.predicted_lookup_mlps
+        measured = self.measured_lookup_mlps
+        if not predicted or not measured:
+            return 0.0
+        return measured / predicted
+
+    def to_dict(self) -> dict:
+        record = super().to_dict()
+        record.update(
+            workers=self.workers,
+            measured_lookup_mlps=self.measured_lookup_mlps,
+            predicted_lookup_mlps=self.predicted_lookup_mlps,
+            model_agreement=self.model_agreement,
         )
         return record

@@ -63,6 +63,7 @@ pause.
 from __future__ import annotations
 
 import time
+from array import array
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.fib import Fib
@@ -206,6 +207,40 @@ class FibServer:
         """Serve one address (counted, staleness-checked)."""
         return self.lookup_batch([address])[0]
 
+    def _drain_patches(self):
+        """Replay the compiled plane's patch log on the update clock;
+        returns the live program (None when unbatched or uncompiled)."""
+        if not self._batched:
+            return None
+        started = time.perf_counter()
+        program = flat_program(self._representation)
+        self._update_seconds += time.perf_counter() - started
+        return program
+
+    def _note_batch(self, addresses, served, packed: bool) -> None:
+        """Shared post-serve bookkeeping: counters plus the staleness
+        audit (packed answers encode no-route as 0, decoded as None)."""
+        self._lookups += len(addresses)
+        self._batches += 1
+        if not self.pending:
+            return
+        self._stale_lookups += len(addresses)
+        if not self._measure_staleness:
+            return
+        oracle = self._control.lookup
+        if packed:
+            self._label_mismatches += sum(
+                1
+                for address, label in zip(addresses, served)
+                if label != (oracle(address) or 0)
+            )
+        else:
+            self._label_mismatches += sum(
+                1
+                for address, label in zip(addresses, served)
+                if label != oracle(address)
+            )
+
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         """Serve a batch through the current generation.
 
@@ -214,10 +249,7 @@ class FibServer:
         and the compiled plane's patch-log replay (churn-induced work)
         is drained first, on the update plane's clock.
         """
-        if self._batched:
-            started = time.perf_counter()
-            flat_program(self._representation)  # replay pending patches
-            self._update_seconds += time.perf_counter() - started
+        self._drain_patches()
         started = time.perf_counter()
         if self._batched:
             labels = self._representation.lookup_batch(addresses)
@@ -225,18 +257,37 @@ class FibServer:
             scalar = self._representation.lookup
             labels = [scalar(address) for address in addresses]
         self._lookup_seconds += time.perf_counter() - started
-        self._lookups += len(addresses)
-        self._batches += 1
-        if self.pending:
-            self._stale_lookups += len(addresses)
-            if self._measure_staleness:
-                oracle = self._control.lookup
-                self._label_mismatches += sum(
-                    1
-                    for address, label in zip(addresses, labels)
-                    if label != oracle(address)
-                )
+        self._note_batch(addresses, labels, packed=False)
         return labels
+
+    def lookup_batch_packed(self, addresses: Sequence[int]) -> bytes:
+        """Serve a batch as packed int64 labels (0 = no route).
+
+        The forwarding-plane twin of :meth:`lookup_batch` for callers
+        that ship label ids over a wire instead of boxing them into
+        Python objects (the multi-process workers). Clocks and counters
+        behave identically: the patch-log drain lands on the update
+        clock, the timed region covers only the resolve, and a stale
+        window counts (and, when auditing, compares) every address.
+        """
+        program = self._drain_patches()
+        started = time.perf_counter()
+        if program is not None:
+            payload = program.lookup_batch_packed(addresses)
+        else:  # no compiled plane: decode through the dispatch engine
+            labels = (
+                self._representation.lookup_batch(addresses)
+                if self._batched
+                else [self._representation.lookup(a) for a in addresses]
+            )
+            payload = array("q", [label or 0 for label in labels]).tobytes()
+        self._lookup_seconds += time.perf_counter() - started
+        served: Sequence[int] = ()
+        if self.pending and self._measure_staleness:
+            served = array("q")  # decode only when the audit will read it
+            served.frombytes(payload)
+        self._note_batch(addresses, served, packed=True)
+        return payload
 
     # ---------------------------------------------------------------- updates
 

@@ -1,0 +1,1106 @@
+"""repro.serve.workers — true multi-process serving workers.
+
+:mod:`repro.serve.cluster` proves the sharding design on a simulated
+clock: one process hosts every shard and *charges* each batch the
+slowest shard's time. This module runs the deployment the simulation
+models. Each shard of the same :class:`~repro.serve.cluster.ShardPlan`
+becomes a real worker **process** (``spawn``-safe, shared-nothing): the
+frontend pickles the shard's restricted :class:`~repro.core.fib.Fib`
+across the pipe at start-up, and the worker builds its own
+representation and compiles its own
+:class:`~repro.pipeline.flat.FlatProgram` locally — no live structure
+ever crosses a process boundary.
+
+**The wire protocol.** One full-duplex ``multiprocessing`` pipe per
+worker carries pickled tuples; bulk payloads travel as packed int64
+bytes (``array('q')``), which pickle at memcpy speed and feed the flat
+plane's buffer-view fast path on the far side, so neither end pays a
+per-address Python conversion loop::
+
+    frontend -> worker                      worker -> frontend
+    ("lookup", seq, addr_bytes)             ("ok", seq, (label_bytes,
+                                                         lookup_s, update_s))
+    ("bcast",  seq, addr_bytes)             ("ok", seq, (position_bytes,
+      (whole batch; the worker filters                   label_bytes,
+       its owned slice in C)                             lookup_s, update_s))
+    ("probe",  seq, addr_bytes)             ("ok", seq, label_bytes)
+    ("update", prefix, length, label)       (no reply — pipe FIFO orders it)
+    ("swap",   seq)                         ("ok", seq, (generation,
+                                                         rebuild_s, size_bits))
+    ("report", seq, scenario)               ("ok", seq, ServeReport)
+    ("shutdown",)                           (worker exits)
+
+Lookups fan out in one of two modes (``fanout=``): **broadcast** (the
+default wherever the plan vectorizes) ships the packed batch whole to
+every worker, which filters the addresses its partition owns with two
+C compares and answers with their input positions — the owner split
+runs in parallel on the workers; **split** owner-groups at the
+frontend (``ShardPlan.group`` / ``split_vector``) and ships each
+worker only its slice.
+
+A failing handler answers ``("err", seq, message)``; a worker that dies
+closes the pipe, which the frontend's reader thread turns into a
+:class:`WorkerError` on every in-flight future — a crash is a clean
+exception, never a hang.
+
+**Update feed and epochs.** Updates are serialized down each owning
+worker's pipe (fire-and-forget; per-worker FIFO ordering is the pipe's).
+The frontend keeps the cluster-wide control oracle, so bogus
+withdrawals are filtered before they fan out — exactly the
+:class:`~repro.serve.cluster.FibCluster` discipline. Epoch swaps reuse
+the :class:`~repro.serve.cluster.EpochCoordinator` *unchanged* across
+the process boundary: each worker is wrapped in a proxy that quacks
+like a ``FibServer`` (a ``pending`` backlog the frontend tracks, and a
+``rebuild()`` that sends ``("swap")`` and blocks on the ack), so the
+coordinator still rolls at most one fresh generation through the pool
+per tick — and because the swap ack necessarily follows every update
+already in that worker's pipe, the acked generation is never stale.
+
+**The async front-end.** :class:`AsyncFibFrontend` pipelines the
+fan-out: scripted lookup batches are submitted in event order but up to
+``window`` batches stay in flight, so the frontend's serial work (owner
+split, packing, merge) overlaps the workers' parallel lookups instead
+of alternating with them. :class:`WorkerPool` is the synchronous core —
+usable directly when pipelining is not wanted — and
+:func:`serve_worker_scenario` is the CLI/benchmark entry point that
+replays a scenario through the async front-end and reports a
+:class:`~repro.serve.metrics.WorkerReport` with measured wall-clock
+throughput next to the critical-path model's prediction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+import time
+import traceback
+from array import array
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.fib import Fib
+from repro.datasets.updates import UpdateOp
+from repro.pipeline import registry
+from repro.serve.cluster import (
+    ClusterShard,
+    EpochCoordinator,
+    _mix64,
+    _mix64_vector,
+    plan_cluster,
+)
+from repro.serve.metrics import WorkerReport
+from repro.serve.scenarios import ServeEvent
+from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
+
+try:  # the frontend's owner split and merge vectorize when available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+#: Default in-flight lookup-batch window of the async front-end.
+DEFAULT_WINDOW = 8
+
+#: Default seconds the frontend waits on any single worker reply.
+DEFAULT_TIMEOUT = 120.0
+
+#: Default process start method ("spawn" imports cleanly everywhere;
+#: pass "fork" where the platform offers it and boot cost matters).
+DEFAULT_START_METHOD = "spawn"
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed, died, or timed out."""
+
+
+def _pack_addresses(addresses: Sequence[int]) -> bytes:
+    """Batch -> packed int64 bytes (the pipe wire format)."""
+    if _np is not None and isinstance(addresses, _np.ndarray):
+        return addresses.tobytes()
+    if isinstance(addresses, array) and addresses.typecode == "q":
+        return addresses.tobytes()
+    return array("q", addresses).tobytes()
+
+
+def _pack_labels(labels: Sequence[Optional[int]]) -> bytes:
+    """Labels -> packed int64 bytes (None encodes as 0 = no route)."""
+    return array("q", [label or 0 for label in labels]).tobytes()
+
+
+def _unpack(payload: bytes) -> array:
+    values = array("q")
+    values.frombytes(payload)
+    return values
+
+
+def pack_events(events: Sequence[ServeEvent]) -> List[ServeEvent]:
+    """Re-script lookup events with wire-ready packed address batches.
+
+    The scenario builder scripts addresses as Python int tuples — the
+    interchange form every representation accepts. A packed script
+    carries each batch as an ``array('q')`` instead, which the flat
+    plane converts by buffer view and the pool ships as raw bytes, so
+    neither the frontend nor a benchmark baseline pays the per-element
+    conversion loop inside the timed region. Replays identically
+    through a :class:`~repro.serve.server.FibServer`, a
+    :class:`~repro.serve.cluster.FibCluster` or a :class:`WorkerPool`.
+    """
+    return [
+        ServeEvent(event.time, event.kind, array("q", event.addresses), event.op)
+        if event.is_lookup
+        else event
+        for event in events
+    ]
+
+
+# --------------------------------------------------------------------- worker
+
+
+def _owned_slice(payload: bytes, filter_spec):
+    """Filter a broadcast batch down to the addresses this worker owns.
+
+    ``filter_spec`` is ``("prefix", lo, hi)`` or ``("hash", shards,
+    index)``. Returns ``(positions_bytes, owned_addresses)`` — the
+    input positions of the owned addresses (for the frontend's merge)
+    and the owned slice itself. Vectorized when NumPy is importable in
+    the worker; the portable loop is the fallback.
+    """
+    if _np is not None:
+        batch = _np.frombuffer(payload, dtype=_np.int64)
+        if filter_spec[0] == "prefix":
+            mask = (batch >= filter_spec[1]) & (batch < filter_spec[2])
+        else:
+            shards, index = filter_spec[1], filter_spec[2]
+            mask = (
+                _mix64_vector(_np, batch.astype(_np.uint64))
+                % _np.uint64(shards)
+            ).astype(_np.int64) == index
+        positions = _np.nonzero(mask)[0]
+        owned = array("q")
+        owned.frombytes(batch[positions].tobytes())
+        return positions.tobytes(), owned
+    values = _unpack(payload)
+    positions = array("q")
+    owned = array("q")
+    if filter_spec[0] == "prefix":
+        lo, hi = filter_spec[1], filter_spec[2]
+        for position, address in enumerate(values):
+            if lo <= address < hi:
+                positions.append(position)
+                owned.append(address)
+    else:
+        shards, index = filter_spec[1], filter_spec[2]
+        for position, address in enumerate(values):
+            if _mix64(address) % shards == index:
+                positions.append(position)
+                owned.append(address)
+    return positions.tobytes(), owned
+
+
+def worker_main(
+    conn,
+    name: str,
+    fib: Fib,
+    options: Optional[Dict[str, Any]],
+    rebuild_every: int,
+    batched: bool,
+    filter_spec=None,
+) -> None:
+    """The worker-process entry point: one FibServer behind a pipe.
+
+    Module-level (and fed only picklable arguments) so the ``spawn``
+    start method can import and run it on any platform. The worker
+    builds its representation and compiled program *here*, from the
+    pickled shard FIB — the shared-nothing guarantee — then acks
+    readiness (seq 0) and serves the message loop until shutdown or a
+    closed pipe.
+    """
+    try:
+        server = FibServer(
+            name,
+            fib,
+            options=options,
+            rebuild_every=rebuild_every,
+            batched=batched,
+            measure_staleness=False,
+            auto_rebuild=False,  # the frontend's coordinator owns swaps
+        )
+    except Exception:  # noqa: BLE001 - report the build failure, then exit
+        try:
+            conn.send(("err", 0, traceback.format_exc()))
+        except OSError:
+            pass
+        return
+    conn.send(("ok", 0, ("ready", server.incremental, server.representation.size_bits())))
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "lookup":
+                seq, payload = message[1], message[2]
+                try:
+                    addresses = _unpack(payload)
+                    lookup_before = server.lookup_seconds
+                    update_before = server.update_seconds
+                    labels = server.lookup_batch_packed(addresses)
+                    conn.send(
+                        (
+                            "ok",
+                            seq,
+                            (
+                                labels,
+                                server.lookup_seconds - lookup_before,
+                                server.update_seconds - update_before,
+                            ),
+                        )
+                    )
+                except Exception:  # noqa: BLE001
+                    conn.send(("err", seq, traceback.format_exc()))
+            elif kind == "bcast":
+                # Broadcast fan-out: the whole batch arrives, the worker
+                # keeps only the addresses its filter owns and answers
+                # with their input positions alongside the labels.
+                seq, payload = message[1], message[2]
+                try:
+                    positions, owned = _owned_slice(payload, filter_spec)
+                    lookup_before = server.lookup_seconds
+                    update_before = server.update_seconds
+                    labels = server.lookup_batch_packed(owned)
+                    conn.send(
+                        (
+                            "ok",
+                            seq,
+                            (
+                                positions,
+                                labels,
+                                server.lookup_seconds - lookup_before,
+                                server.update_seconds - update_before,
+                            ),
+                        )
+                    )
+                except Exception:  # noqa: BLE001
+                    conn.send(("err", seq, traceback.format_exc()))
+            elif kind == "update":
+                # Fire-and-forget: the frontend's oracle already
+                # filtered bogus withdrawals, so failure here means the
+                # shard diverged — fatal, surfaced via the pipe closing.
+                server.apply_update(UpdateOp(message[1], message[2], message[3]))
+            elif kind == "probe":
+                seq, payload = message[1], message[2]
+                try:
+                    labels = server.representation.lookup_batch(_unpack(payload))
+                    conn.send(("ok", seq, _pack_labels(labels)))
+                except Exception:  # noqa: BLE001
+                    conn.send(("err", seq, traceback.format_exc()))
+            elif kind == "swap":
+                seq = message[1]
+                try:
+                    rebuild_before = server.rebuild_seconds
+                    server.rebuild()
+                    conn.send(
+                        (
+                            "ok",
+                            seq,
+                            (
+                                server.generation,
+                                server.rebuild_seconds - rebuild_before,
+                                server.representation.size_bits(),
+                            ),
+                        )
+                    )
+                except Exception:  # noqa: BLE001
+                    conn.send(("err", seq, traceback.format_exc()))
+            elif kind == "report":
+                seq, scenario = message[1], message[2]
+                conn.send(("ok", seq, server.report(scenario=scenario)))
+            elif kind == "shutdown":
+                break
+            else:
+                conn.send(("err", message[1] if len(message) > 1 else None,
+                           f"unknown message kind {kind!r}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # frontend went away; nothing to answer to
+    finally:
+        conn.close()
+
+
+# ------------------------------------------------------------------ frontend
+
+
+class _WorkerHandle:
+    """Frontend-side state of one worker: process, pipe, in-flight map."""
+
+    __slots__ = (
+        "index",
+        "lo",
+        "hi",
+        "routes",
+        "process",
+        "conn",
+        "pending",
+        "lock",
+        "seq",
+        "dead",
+        "reason",
+        "reader",
+    )
+
+    def __init__(self, index: int, lo: int, hi: int, routes: int, process, conn):
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.routes = routes
+        self.process = process
+        self.conn = conn
+        self.pending: Dict[int, Future] = {}
+        self.lock = threading.Lock()
+        self.seq = 0
+        self.dead = False
+        self.reason = ""
+
+    def fail(self, reason: str) -> None:
+        """Mark dead and fail every in-flight future (reader thread)."""
+        with self.lock:
+            self.dead = True
+            self.reason = reason
+            drained = list(self.pending.values())
+            self.pending.clear()
+        for future in drained:
+            if not future.done():
+                future.set_exception(WorkerError(reason))
+
+
+def _reader_loop(handle: _WorkerHandle) -> None:
+    """Per-worker reply pump: resolve futures, turn EOF into failures."""
+    try:
+        while True:
+            status, seq, payload = handle.conn.recv()
+            if seq is None:
+                handle.fail(f"worker {handle.index} failed: {payload}")
+                return
+            with handle.lock:
+                future = handle.pending.pop(seq, None)
+            if future is None:
+                continue  # reply for a caller that already timed out
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(
+                    WorkerError(f"worker {handle.index} failed: {payload}")
+                )
+    except (EOFError, OSError):
+        handle.fail(f"worker {handle.index} (pid {handle.process.pid}) died")
+
+
+class _ProxyServer:
+    """Duck-typed FibServer facade over a remote worker, so the
+    cluster's :class:`~repro.serve.cluster.EpochCoordinator` staggers
+    swaps across process boundaries without modification: ``pending``
+    is the frontend-tracked backlog of updates routed to the worker
+    since its last swap, and ``rebuild()`` is a synchronous
+    swap-and-ack over the control channel."""
+
+    __slots__ = ("_pool", "_handle", "pending")
+
+    def __init__(self, pool: "WorkerPool", handle: _WorkerHandle):
+        self._pool = pool
+        self._handle = handle
+        self.pending: List[UpdateOp] = []
+
+    @property
+    def is_stale(self) -> bool:
+        return bool(self.pending)
+
+    def rebuild(self) -> None:
+        self._pool._swap(self._handle, self)
+
+
+class WorkerPool:
+    """N shard-restricted FibServers, each a real OS process.
+
+    Parameters mirror :class:`~repro.serve.cluster.FibCluster`, plus:
+
+    start_method:
+        ``"spawn"`` (default, portable) or ``"fork"`` where available.
+    fanout:
+        ``"broadcast"`` ships every batch whole to every worker, which
+        filters its owned slice in C and answers with positions — the
+        owner split runs *in parallel on the workers* instead of on the
+        frontend's serial path. ``"split"`` groups by owner at the
+        frontend and ships each worker only its slice (less pipe
+        bandwidth, more frontend CPU). ``"auto"`` (default) broadcasts
+        when the plan can vectorize, splits otherwise.
+    timeout:
+        Seconds to wait on any single worker reply before declaring the
+        worker lost (belt under the reader thread's EOF detection).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fib: Fib,
+        *,
+        workers: int = 2,
+        partition: str = "prefix",
+        options: Optional[Dict[str, Any]] = None,
+        rebuild_every: int = DEFAULT_REBUILD_EVERY,
+        batched: bool = True,
+        granularity: Optional[int] = None,
+        start_method: str = DEFAULT_START_METHOD,
+        fanout: str = "auto",
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if fib.width > 63:
+            # The pipe wire format packs addresses and labels as signed
+            # int64 (array('q')); wider tables serve through the
+            # in-process FibCluster instead.
+            raise ValueError(
+                f"worker pool wire format carries at most 63-bit addresses, "
+                f"got a {fib.width}-bit FIB (use FibCluster for wider tables)"
+            )
+        self._plan = plan_cluster(fib, workers, mode=partition, granularity=granularity)
+        self._spec = registry.get(name)
+        self._options = dict(options or {})
+        self._control = fib.copy()
+        self._timeout = timeout
+        self._start_method = start_method
+        if fanout not in ("auto", "split", "broadcast"):
+            raise ValueError(
+                f"unknown fanout {fanout!r}; choose auto, split or broadcast"
+            )
+        self._broadcast = self._plan.shards > 1 and (
+            fanout == "broadcast"
+            or (fanout == "auto" and _np is not None and self._plan.vectorized)
+        )
+        self._closed = False
+        started = time.perf_counter()
+        context = multiprocessing.get_context(start_method)
+        self._handles: List[_WorkerHandle] = []
+        ready: List[Future] = []
+        for spec in self._plan.materialize(fib):
+            if self._plan.mode == "hash":
+                filter_spec = ("hash", self._plan.shards, spec.index)
+            else:
+                filter_spec = ("prefix", spec.lo, spec.hi)
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    name,
+                    spec.fib,
+                    self._options,
+                    rebuild_every,
+                    batched,
+                    filter_spec,
+                ),
+                daemon=True,
+                name=f"repro-fib-worker-{spec.index}",
+            )
+            process.start()
+            child_conn.close()  # the child owns its end now
+            handle = _WorkerHandle(
+                spec.index, spec.lo, spec.hi, spec.routes, process, parent_conn
+            )
+            future: Future = Future()
+            handle.pending[0] = future  # the readiness ack (seq 0)
+            ready.append(future)
+            handle.reader = threading.Thread(
+                target=_reader_loop, args=(handle,), daemon=True
+            )
+            handle.reader.start()
+            self._handles.append(handle)
+        self._proxies = [_ProxyServer(self, handle) for handle in self._handles]
+        try:
+            acks = [self._await(future) for future in ready]
+        except WorkerError:
+            self.close()
+            raise
+        self._incremental = bool(acks[0][1])
+        self._coordinator = EpochCoordinator(
+            [
+                ClusterShard(h.index, h.lo, h.hi, h.routes, proxy)
+                for h, proxy in zip(self._handles, self._proxies)
+            ],
+            rebuild_every,
+        )
+        self._spawn_seconds = time.perf_counter() - started
+        # ------------------------------------------------- serving counters
+        self._lookups = 0
+        self._batches = 0
+        self._updates_applied = 0
+        self._updates_skipped = 0
+        self._fanout_total = 0
+        self._lookup_seconds = 0.0       # critical-path model clock
+        self._busy_lookup_seconds = 0.0  # summed worker-reported time
+        self._update_seconds = 0.0       # oracle edits + worker patch drains
+        self._rebuild_seconds = 0.0      # acked swap costs
+        self._swaps = 0
+        self._inflight = 0               # lookup batches currently in flight
+        self._inflight_lock = threading.Lock()
+        self._inflight_started = 0.0
+        self._wall_lookup_seconds = 0.0
+        # Merges may run on executor threads concurrently (the async
+        # front-end's window), so clock folding takes this lock.
+        self._account_lock = threading.Lock()
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def plan(self):
+        return self._plan
+
+    @property
+    def workers(self) -> int:
+        return self._plan.shards
+
+    @property
+    def control(self) -> Fib:
+        """The pool-wide continuously-updated tabular oracle."""
+        return self._control
+
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
+
+    @property
+    def coordinator(self) -> EpochCoordinator:
+        return self._coordinator
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    @property
+    def spawn_seconds(self) -> float:
+        """Wall seconds from first process start to the last ready ack."""
+        return self._spawn_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(name={self.name!r}, workers={self.workers}, "
+            f"partition={self._plan.mode!r}, start={self._start_method!r})"
+        )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- messaging
+
+    def _submit(self, handle: _WorkerHandle, kind: str, *payload) -> Future:
+        """Send one request, registering its reply future (race-free
+        against the reader thread declaring the worker dead)."""
+        with handle.lock:
+            if handle.dead:
+                raise WorkerError(handle.reason or f"worker {handle.index} is gone")
+            handle.seq += 1
+            seq = handle.seq
+            future: Future = Future()
+            handle.pending[seq] = future
+        try:
+            handle.conn.send((kind,) + (seq,) + payload)
+        except (OSError, ValueError) as error:
+            reason = f"worker {handle.index} pipe broke: {error}"
+            handle.fail(reason)
+            raise WorkerError(reason) from None
+        return future
+
+    def _send_update(self, handle: _WorkerHandle, op: UpdateOp) -> None:
+        if handle.dead:
+            raise WorkerError(handle.reason or f"worker {handle.index} is gone")
+        try:
+            handle.conn.send(("update", op.prefix, op.length, op.label))
+        except (OSError, ValueError) as error:
+            reason = f"worker {handle.index} pipe broke: {error}"
+            handle.fail(reason)
+            raise WorkerError(reason) from None
+
+    def _await(self, future: Future):
+        """Block on one reply with the pool timeout (never hangs: the
+        reader thread fails the future the moment the pipe closes)."""
+        try:
+            return future.result(self._timeout)
+        except (TimeoutError, _FutureTimeout):
+            raise WorkerError(
+                f"no worker reply within {self._timeout:.0f}s"
+            ) from None
+
+    # ---------------------------------------------------------------- lookups
+
+    def _split(self, addresses: Sequence[int]):
+        """Owner split -> [(handle, positions, packed_addresses)].
+
+        Vectorized (``ShardPlan.split_vector``: searchsorted + per-shard
+        masks over an int64 view) when NumPy is available; the portable
+        path reuses ``ShardPlan.group``.
+        """
+        if self._plan.shards == 1:
+            return [(self._handles[0], None, _pack_addresses(addresses))]
+        if _np is not None and self._plan.vectorized:
+            if isinstance(addresses, _np.ndarray):
+                batch = addresses
+            elif isinstance(addresses, array) and addresses.typecode == "q":
+                batch = _np.frombuffer(addresses, dtype=_np.int64)
+            else:
+                batch = _np.fromiter(
+                    addresses, dtype=_np.int64, count=len(addresses)
+                )
+            return [
+                (self._handles[shard], positions, slice_.tobytes())
+                for shard, (positions, slice_) in self._plan.split_vector(batch).items()
+            ]
+        return [
+            (self._handles[shard], positions, _pack_addresses(slice_))
+            for shard, (positions, slice_) in self._plan.group(addresses).items()
+        ]
+
+    def _enter_flight(self) -> None:
+        with self._inflight_lock:
+            if self._inflight == 0:
+                self._inflight_started = time.perf_counter()
+            self._inflight += 1
+
+    def _leave_flight(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._wall_lookup_seconds += (
+                    time.perf_counter() - self._inflight_started
+                )
+
+    def submit_batch(self, addresses: Sequence[int]):
+        """Fan one batch out to the workers, without waiting.
+
+        Returns the in-flight token ``(parts, count)`` that
+        :meth:`merge_batch` (or the async front-end) completes. The
+        coordinator gets its per-event tick first, exactly like the
+        simulated cluster. Broadcast mode sends the packed batch whole
+        to every worker (one ``bytes`` pickled N times at memcpy
+        speed); split mode owner-groups here and ships slices.
+        """
+        self._tick()
+        self._batches += 1
+        count = len(addresses)
+        if not count:
+            return [], 0
+        self._enter_flight()
+        try:
+            if self._broadcast:
+                packed = _pack_addresses(addresses)
+                parts = [
+                    (handle, None, self._submit(handle, "bcast", packed))
+                    for handle in self._handles
+                ]
+            else:
+                parts = [
+                    (handle, positions, self._submit(handle, "lookup", packed))
+                    for handle, positions, packed in self._split(addresses)
+                ]
+        except Exception:
+            # Any failure here (dead worker, malformed batch) must not
+            # leak the in-flight counter, or the wall clock never folds
+            # again for the rest of the run.
+            self._leave_flight()
+            raise
+        self._lookups += count
+        return parts, count
+
+    def _account_batch(self, replies) -> float:
+        """Fold one batch's worker-reported lookup clocks into the
+        counters; returns the critical path (the slowest worker's
+        serving time). The per-reply update delta (the patch-log drain
+        at the top of the worker's batch) is deliberately *not* folded
+        here: every drain second is already inside the worker's own
+        update clock, which :meth:`report` aggregates — folding it
+        again would double-count it."""
+        critical = 0.0
+        busy = 0.0
+        for _, lookup_spent, _update_spent in replies:
+            busy += lookup_spent
+            if lookup_spent > critical:
+                critical = lookup_spent
+        with self._account_lock:
+            self._busy_lookup_seconds += busy
+            self._lookup_seconds += critical
+        return critical
+
+    def merge_batch(self, parts, count: int, decode: bool = True):
+        """Await every worker's slice and merge in input order.
+
+        ``decode=False`` keeps the merged labels packed (an int64 array
+        with 0 = no route) — the replay loop uses it, since a serving
+        frontend forwards labels rather than boxing them into Python
+        objects; :meth:`lookup_batch` decodes for the public API.
+        """
+        if not count:
+            return []
+        try:
+            return self._merge_replies(parts, count, decode)
+        finally:
+            # The in-flight span closes only after the merge: the
+            # measured wall clock prices fan-out, waiting AND merge,
+            # exactly as WorkerReport documents.
+            self._leave_flight()
+
+    def _merge_replies(self, parts, count: int, decode: bool):
+        replies = [
+            (self._await(future), positions) for _, positions, future in parts
+        ]
+        if self._broadcast:
+            # Reply shape (positions, labels, lookup_s, update_s): the
+            # workers already did the owner split; adopt their positions.
+            replies = [
+                ((payload[1], payload[2], payload[3]), payload[0])
+                for payload, _ in replies
+            ]
+        self._account_batch([reply for reply, _ in replies])
+        if len(replies) == 1 and replies[0][1] is None:  # single-shard plan
+            merged = _unpack(replies[0][0][0])
+            if _np is not None:
+                merged = _np.frombuffer(merged, dtype=_np.int64)
+        elif _np is not None:
+            merged = _np.empty(count, dtype=_np.int64)
+            for (payload, _, _), positions in replies:
+                labels = _np.frombuffer(payload, dtype=_np.int64)
+                if isinstance(positions, bytes):
+                    positions = _np.frombuffer(positions, dtype=_np.int64)
+                elif not isinstance(positions, _np.ndarray):
+                    positions = _np.asarray(positions, dtype=_np.int64)
+                merged[positions] = labels
+        else:
+            merged = array("q", bytes(8 * count))
+            for (payload, _, _), positions in replies:
+                labels = _unpack(payload)
+                if isinstance(positions, bytes):
+                    positions = _unpack(positions)
+                for position, label in zip(positions, labels):
+                    merged[position] = label
+        if not decode:
+            return merged
+        return [label if label else None for label in merged.tolist()]
+
+    def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Serve one batch synchronously (fan out, wait, merge)."""
+        parts, count = self.submit_batch(addresses)
+        return self.merge_batch(parts, count)
+
+    def lookup(self, address: int) -> Optional[int]:
+        return self.lookup_batch([address])[0]
+
+    # ---------------------------------------------------------------- updates
+
+    def apply_update(self, op: UpdateOp) -> bool:
+        """Route one accepted operation down every owning worker's pipe.
+
+        The oracle applies it first (bogus withdrawals are skipped
+        pool-wide); per-worker FIFO ordering of the serialized feed is
+        the pipe's. On the rebuild plane the routed backlog is tracked
+        frontend-side so the coordinator knows which workers are due.
+        """
+        started = time.perf_counter()
+        try:
+            self._control.update(op.prefix, op.length, op.label)
+        except KeyError:
+            self._updates_skipped += 1
+            with self._account_lock:
+                self._update_seconds += time.perf_counter() - started
+            return False
+        owners = self._plan.owners(op.prefix, op.length)
+        for index in owners:
+            self._send_update(self._handles[index], op)
+            if not self._incremental:
+                self._proxies[index].pending.append(op)
+        with self._account_lock:
+            self._update_seconds += time.perf_counter() - started
+        self._updates_applied += 1
+        self._fanout_total += len(owners)
+        self._tick()
+        return True
+
+    # ------------------------------------------------------------ coordinator
+
+    def _tick(self) -> None:
+        """The coordinator's per-event chance to stagger one swap."""
+        if self._coordinator.due():
+            self._coordinator.tick()
+
+    def _swap(self, handle: _WorkerHandle, proxy: _ProxyServer) -> None:
+        """One synchronous epoch swap over the control channel: send,
+        block on the ack (which the pipe orders after every update
+        already fed to the worker), clear the tracked backlog."""
+        _, rebuild_spent, _ = self._await(self._submit(handle, "swap"))
+        self._rebuild_seconds += rebuild_spent
+        self._swaps += 1
+        proxy.pending.clear()
+
+    def quiesce(self) -> None:
+        """Drain every worker's update plane (still one swap at a time)."""
+        for handle, proxy in zip(self._handles, self._proxies):
+            if proxy.pending:
+                self._swap(handle, proxy)
+
+    # ----------------------------------------------------------------- replay
+
+    def replay(self, events: Sequence[ServeEvent]) -> None:
+        """Synchronous scenario replay (the async front-end pipelines)."""
+        for event in events:
+            if event.is_lookup:
+                parts, count = self.submit_batch(event.addresses)
+                self.merge_batch(parts, count, decode=False)
+            else:
+                self.apply_update(event.op)
+
+    def parity_fraction(self, addresses: Sequence[int]) -> float:
+        """Fraction of probe addresses agreeing with the pool oracle
+        (served over the uncounted probe channel)."""
+        if not addresses:
+            return 1.0
+        oracle = self._control.lookup
+        agreed = 0
+        for handle, _, packed in self._split(addresses):
+            probe = _unpack(packed)
+            served = _unpack(self._await(self._submit(handle, "probe", packed)))
+            agreed += sum(
+                1
+                for address, label in zip(probe, served)
+                if label == (oracle(address) or 0)
+            )
+        return agreed / len(addresses)
+
+    # ---------------------------------------------------------------- metrics
+
+    def report(
+        self, scenario: str = "", final_parity: Optional[float] = None,
+        wall_seconds: float = 0.0,
+    ) -> WorkerReport:
+        """Gather every worker's ServeReport and aggregate, cluster-style."""
+        futures = [
+            self._submit(handle, "report", scenario) for handle in self._handles
+        ]
+        records = [self._await(future) for future in futures]
+        shard_rows: List[dict] = []
+        stale = mismatches = rebuilds = generation = pending = size = peak = 0
+        worker_update = rebuild_seconds = rebuild_cycles = 0.0
+        for handle, record in zip(self._handles, records):
+            stale += record.stale_lookups
+            mismatches += record.label_mismatches
+            rebuilds += record.rebuilds
+            generation += record.generation
+            pending += record.pending_updates
+            size += record.size_bits
+            peak += record.peak_size_bits
+            worker_update += record.update_seconds
+            rebuild_seconds += record.rebuild_seconds
+            rebuild_cycles += record.rebuild_cycles
+            shard_rows.append(
+                {
+                    "shard": handle.index,
+                    "lo": handle.lo,
+                    "hi": handle.hi,
+                    "routes": handle.routes,
+                    "lookups": record.lookups,
+                    "lookup_seconds": record.lookup_seconds,
+                    "staleness": record.staleness,
+                    "rebuilds": record.rebuilds,
+                    "generation": record.generation,
+                    "size_bits": record.size_bits,
+                    "peak_size_bits": record.peak_size_bits,
+                }
+            )
+        applied = self._updates_applied
+        return WorkerReport(
+            name=self.name,
+            title=self._spec.title,
+            scenario=scenario,
+            incremental=self._incremental,
+            lookups=self._lookups,
+            batches=self._batches,
+            updates_applied=applied,
+            updates_skipped=self._updates_skipped,
+            rebuilds=rebuilds,
+            generation=generation,
+            pending_updates=pending,
+            stale_lookups=stale,
+            label_mismatches=mismatches,
+            lookup_seconds=self._lookup_seconds,
+            update_seconds=self._update_seconds + worker_update,
+            rebuild_seconds=rebuild_seconds,
+            size_bits=size,
+            peak_size_bits=peak,
+            rebuild_cycles=rebuild_cycles,
+            final_parity=final_parity,
+            shards=self._plan.shards,
+            partition=self._plan.mode,
+            replicated_routes=self._replicated_routes(),
+            update_fanout=(self._fanout_total / applied) if applied else 0.0,
+            busy_lookup_seconds=self._busy_lookup_seconds,
+            coordinator_swaps=self._coordinator.swaps,
+            shard_rows=tuple(shard_rows),
+            spawn_method=self._start_method,
+            spawn_seconds=self._spawn_seconds,
+            wall_lookup_seconds=self._wall_lookup_seconds,
+            wall_seconds=wall_seconds,
+        )
+
+    def _replicated_routes(self) -> int:
+        from repro.pipeline.shard import boundary_routes
+
+        if self._plan.shards == 1:
+            return 0
+        if self._plan.mode == "hash":
+            return len(self._control)
+        return len(boundary_routes(self._control, self._plan.bounds))
+
+    # ---------------------------------------------------------------- closing
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Shut every worker down (idempotent; terminates stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            if not handle.dead:
+                try:
+                    handle.conn.send(("shutdown",))
+                except (OSError, ValueError):
+                    pass
+        for handle in self._handles:
+            handle.process.join(join_timeout)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(join_timeout)
+            handle.fail(f"worker {handle.index} shut down")
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+class AsyncFibFrontend:
+    """Asyncio front-end pipelining lookups over a :class:`WorkerPool`.
+
+    Lookup batches are submitted in event order (so every worker's pipe
+    sees the same lookup/update interleaving the script prescribes) but
+    merged concurrently: up to ``window`` batches stay in flight, which
+    overlaps the frontend's serial split/pack/merge work with the
+    workers' parallel serving time instead of strictly alternating —
+    the difference between the critical-path model and what a
+    sequential fan-out actually achieves.
+    """
+
+    def __init__(self, pool: WorkerPool, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"pipeline window must be positive, got {window}")
+        self._pool = pool
+        self._window = window
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    async def _merge(self, parts, count: int, decode: bool):
+        """Complete one in-flight batch without blocking the loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._pool.merge_batch, parts, count, decode
+        )
+
+    async def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
+        """Serve one batch through the pool, awaiting the merge."""
+        parts, count = self._pool.submit_batch(addresses)
+        return await self._merge(parts, count, True)
+
+    async def replay(self, events: Sequence[ServeEvent]) -> None:
+        """Pipelined scenario replay.
+
+        Submissions happen inline, in event order — updates are
+        fire-and-forget and batch fan-outs are non-blocking — while
+        merges run as windowed tasks. The window is backpressure: when
+        ``window`` batches are in flight the replay pauses until the
+        oldest merge lands, bounding frontend memory and pipe depth.
+        """
+        merges: List[asyncio.Task] = []
+        gate = asyncio.Semaphore(self._window)
+        try:
+            for event in events:
+                if event.is_lookup:
+                    await gate.acquire()
+                    parts, count = self._pool.submit_batch(event.addresses)
+
+                    async def complete(parts=parts, count=count):
+                        try:
+                            await self._merge(parts, count, False)
+                        finally:
+                            gate.release()
+
+                    merges.append(asyncio.ensure_future(complete()))
+                else:
+                    self._pool.apply_update(event.op)
+            if merges:
+                await asyncio.gather(*merges)
+        finally:
+            for task in merges:
+                if not task.done():  # pragma: no cover - error unwinding
+                    task.cancel()
+
+
+def serve_worker_scenario(
+    name: str,
+    fib: Fib,
+    events: Sequence[ServeEvent],
+    *,
+    scenario: str = "",
+    workers: int = 2,
+    partition: str = "prefix",
+    options: Optional[Dict[str, Any]] = None,
+    rebuild_every: int = DEFAULT_REBUILD_EVERY,
+    batched: bool = True,
+    parity_probes: Sequence[int] = (),
+    granularity: Optional[int] = None,
+    start_method: str = DEFAULT_START_METHOD,
+    window: int = DEFAULT_WINDOW,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> WorkerReport:
+    """Replay one script through a real multi-process worker pool.
+
+    The worker twin of :func:`~repro.serve.cluster.serve_cluster_scenario`:
+    spawn the pool, replay the script through the pipelining async
+    front-end, quiesce every worker, probe post-quiescence parity
+    against the pool oracle, report (with the whole-replay wall clock),
+    and always tear the processes down.
+    """
+    pool = WorkerPool(
+        name,
+        fib,
+        workers=workers,
+        partition=partition,
+        options=options,
+        rebuild_every=rebuild_every,
+        batched=batched,
+        granularity=granularity,
+        start_method=start_method,
+        timeout=timeout,
+    )
+    try:
+        frontend = AsyncFibFrontend(pool, window=window)
+        started = time.perf_counter()
+        asyncio.run(frontend.replay(events))
+        pool.quiesce()
+        wall = time.perf_counter() - started
+        parity = pool.parity_fraction(parity_probes) if parity_probes else None
+        return pool.report(
+            scenario=scenario, final_parity=parity, wall_seconds=wall
+        )
+    finally:
+        pool.close()

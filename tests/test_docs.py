@@ -75,10 +75,18 @@ def test_architecture_covers_every_package():
 
 def test_benchmarks_doc_covers_every_trajectory():
     text = (REPO / "docs" / "benchmarks.md").read_text()
-    for trajectory in ("BENCH_pipeline.json", "BENCH_serve.json", "BENCH_cluster.json"):
+    for trajectory in (
+        "BENCH_pipeline.json",
+        "BENCH_serve.json",
+        "BENCH_cluster.json",
+        "BENCH_workers.json",
+    ):
         assert trajectory in text, f"docs/benchmarks.md misses {trajectory}"
-    for floor in ("1.5x", "2.5x", "2.0x"):
+        assert (REPO / trajectory).is_file(), f"{trajectory} baseline not committed"
+    for floor in ("1.5x", "2.5x", "2.0x", "30%"):
         assert floor in text, f"docs/benchmarks.md misses the {floor} floor"
+    for field in ("wall_lookup_seconds", "model_agreement", "spawn_seconds", "gated"):
+        assert field in text, f"docs/benchmarks.md misses WorkerReport field {field}"
 
 
 @pytest.mark.parametrize(

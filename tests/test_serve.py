@@ -342,3 +342,88 @@ class TestServeCli:
         (row,) = payload["rows"]
         assert row["name"] == "prefix-dag"
         assert row["speedup"] > 0
+
+
+class TestServeCliWorkers:
+    def test_workers_smoke_parity_gated(self, tmp_path, capsys):
+        path = tmp_path / "workers.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale", "0.002",
+                    "--scenario", "uniform",
+                    "--updates", "30",
+                    "--lookups", "300",
+                    "--workers", "2",
+                    "--representations", "prefix-dag",
+                    "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "2 prefix-partitioned spawn workers" in captured.out
+        assert "wall Mlps" in captured.out
+        assert "serve parity OK" in captured.err
+        payload = json.loads(path.read_text())
+        assert payload["workers"] == 2
+        assert payload["start_method"] == "spawn"
+        (row,) = payload["rows"]
+        assert row["final_parity"] == 1.0
+        assert row["measured_lookup_mlps"] > 0
+
+    def test_workers_and_shards_are_mutually_exclusive(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale", "0.002",
+                    "--workers", "2",
+                    "--shards", "2",
+                ]
+            )
+            == 2
+        )
+        assert "pick one" in capsys.readouterr().err
+
+    @staticmethod
+    def _serve_payload(tmp_path, seed, run):
+        path = tmp_path / f"serve-{seed}-{run}.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale", "0.002",
+                    "--scenario", "flap-storm",
+                    "--updates", "40",
+                    "--lookups", "400",
+                    "--seed", str(seed),
+                    "--representations", "prefix-dag",
+                    "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())
+        # Strip wall-clock fields: determinism covers the script and
+        # every counter, not machine timing.
+        (row,) = payload["rows"]
+        return {
+            key: value
+            for key, value in row.items()
+            if not any(part in key for part in ("second", "mlps", "kops", "per_"))
+        }
+
+    def test_seed_makes_smoke_runs_deterministic(self, tmp_path, capsys):
+        first = self._serve_payload(tmp_path, seed=7, run=1)
+        second = self._serve_payload(tmp_path, seed=7, run=2)
+        capsys.readouterr()
+        assert first == second
+        assert first["updates_applied"] > 0
+
+    def test_different_seeds_script_different_runs(self, tmp_path, capsys):
+        first = self._serve_payload(tmp_path, seed=7, run=1)
+        other = self._serve_payload(tmp_path, seed=8, run=1)
+        capsys.readouterr()
+        assert first != other

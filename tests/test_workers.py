@@ -1,0 +1,366 @@
+"""Tests for repro.serve.workers — the multi-process serving plane.
+
+Process-touching tests keep FIBs tiny and worker counts small: every
+pool spawn costs an interpreter boot per worker, and the suite must
+stay cheap on one core. Lifecycle coverage is the point here — crash
+handling, epoch swaps over the control channel, start-method
+portability — while throughput claims live in
+``benchmarks/bench_workers.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import random
+
+import pytest
+
+from repro import serve
+from repro.core.fib import Fib
+from repro.datasets.updates import UpdateOp
+from repro.pipeline import registry
+from repro.pipeline.base import flat_program
+from repro.pipeline.shard import ShardSpec, shard_specs
+from repro.serve.workers import (
+    WorkerError,
+    WorkerPool,
+    pack_events,
+    serve_worker_scenario,
+)
+from tests.conftest import PAPER_EXAMPLE_ENTRIES, build_fib, random_fib
+
+
+def start_methods():
+    """Start methods this platform offers (spawn everywhere; fork where
+    the OS has it) — the portability matrix."""
+    available = multiprocessing.get_all_start_methods()
+    return [method for method in ("spawn", "fork") if method in available]
+
+
+@pytest.fixture(scope="module")
+def small_fib():
+    rng = random.Random(20260731)
+    return random_fib(rng, entries=160, delta=6, max_length=14)
+
+
+@pytest.fixture(scope="module")
+def pool(small_fib):
+    with WorkerPool("prefix-dag", small_fib, workers=2) as pool:
+        yield pool
+
+
+class TestPoolServing:
+    def test_lookup_matches_oracle(self, pool, small_fib):
+        rng = random.Random(7)
+        addresses = [rng.getrandbits(32) for _ in range(512)]
+        labels = pool.lookup_batch(addresses)
+        oracle = small_fib.lookup
+        assert labels == [oracle(address) for address in addresses]
+
+    def test_single_lookup_and_empty_batch(self, pool, small_fib):
+        assert pool.lookup(0) == small_fib.lookup(0)
+        assert pool.lookup_batch([]) == []
+
+    def test_update_round_trip(self, pool):
+        # Announce through the pool, observe through the pool.
+        op = UpdateOp(0b1010, 4, 3)
+        assert pool.apply_update(op) is True
+        address = 0b1010 << 28
+        assert pool.lookup(address) == 3
+        assert pool.apply_update(UpdateOp(0b1010, 4, None)) is True
+
+    def test_bogus_withdrawal_skipped_pool_wide(self, pool):
+        before = pool.control.copy()
+        assert pool.apply_update(UpdateOp(0x5A5A, 16, None)) is False
+        assert pool.control == before
+
+    def test_parity_fraction_after_churn(self, pool, small_fib):
+        rng = random.Random(13)
+        for _ in range(32):
+            prefix_length = rng.randint(4, 12)
+            pool.apply_update(
+                UpdateOp(rng.getrandbits(prefix_length), prefix_length,
+                         rng.randint(1, 6))
+            )
+        pool.quiesce()
+        probes = serve.parity_probes(small_fib, 300, seed=5)
+        assert pool.parity_fraction(probes) == 1.0
+
+    def test_report_shape(self, pool):
+        report = pool.report(scenario="unit")
+        assert report.shards == 2
+        assert report.workers == 2
+        assert report.spawn_method == "spawn"
+        assert report.spawn_seconds > 0
+        assert report.lookups > 0
+        record = report.to_dict()
+        assert record["workers"] == 2
+        assert "measured_lookup_mlps" in record
+        assert "model_agreement" in record
+        assert len(record["shard_rows"]) == 2
+
+
+class TestFanoutModes:
+    @pytest.mark.parametrize("fanout", ["split", "broadcast"])
+    @pytest.mark.parametrize("partition", ["prefix", "hash"])
+    def test_fanout_partition_matrix(self, small_fib, fanout, partition):
+        rng = random.Random(99)
+        addresses = [rng.getrandbits(32) for _ in range(256)]
+        oracle = [small_fib.lookup(address) for address in addresses]
+        with WorkerPool(
+            "binary-trie", small_fib, workers=3, partition=partition,
+            fanout=fanout,
+        ) as pool:
+            assert pool.lookup_batch(addresses) == oracle
+
+    def test_unknown_fanout_rejected(self, small_fib):
+        with pytest.raises(ValueError, match="fanout"):
+            WorkerPool("binary-trie", small_fib, workers=2, fanout="scatter")
+
+    def test_wide_fib_rejected_up_front(self):
+        # The int64 wire format cannot carry >= 64-bit addresses; the
+        # pool must refuse at construction, not crash mid-replay.
+        wide = Fib(64)
+        wide.add(0, 0, 1)
+        with pytest.raises(ValueError, match="63-bit"):
+            WorkerPool("binary-trie", wide, workers=2)
+
+
+class TestEpochSwapOverControlChannel:
+    def test_mid_churn_swap_and_parity(self, small_fib):
+        # A rebuild-plane representation: updates pend worker-side until
+        # the frontend's coordinator swaps one worker at a time over the
+        # control channel.
+        rng = random.Random(31)
+        with WorkerPool(
+            "lc-trie", small_fib, workers=2, rebuild_every=8
+        ) as pool:
+            assert not pool.incremental
+            swapped_mid_churn = 0
+            for _ in range(48):
+                length = rng.randint(3, 10)
+                pool.apply_update(
+                    UpdateOp(rng.getrandbits(length), length, rng.randint(1, 6))
+                )
+                pool.lookup_batch([rng.getrandbits(32) for _ in range(16)])
+                swapped_mid_churn = pool.coordinator.swaps
+            assert swapped_mid_churn > 0, "coordinator never swapped mid-churn"
+            pool.quiesce()
+            report = pool.report()
+            assert report.pending_updates == 0
+            assert report.generation >= swapped_mid_churn
+            # Mid-churn epochs must leave the workers bit-identical to
+            # the oracle once quiesced.
+            probes = serve.parity_probes(small_fib, 400, seed=17)
+            assert pool.parity_fraction(probes) == 1.0
+
+    def test_swaps_are_staggered_one_worker_per_event(self, small_fib):
+        with WorkerPool(
+            "lc-trie", small_fib, workers=2, rebuild_every=4
+        ) as pool:
+            # Default-route updates replicate to every worker, so both
+            # backlogs hit the threshold on the same event — yet the
+            # coordinator may swap at most one worker per tick.
+            for index in range(4):
+                pool.apply_update(UpdateOp(0, 0, 1 + (index & 1)))
+            assert pool.coordinator.swaps == 1
+            rows = pool.report().shard_rows
+            generations = sorted(row["generation"] for row in rows)
+            assert generations == [0, 1]
+
+
+class TestWorkerCrash:
+    def test_crash_raises_clean_error_not_hang(self, small_fib):
+        pool = WorkerPool("binary-trie", small_fib, workers=2, timeout=30.0)
+        try:
+            victim = pool._handles[0]
+            victim.process.kill()
+            victim.process.join(10.0)
+            with pytest.raises(WorkerError, match="worker 0"):
+                # Either the submit sees the dead pipe or the reader
+                # thread fails the in-flight future — both surface as
+                # WorkerError well before the timeout.
+                for _ in range(3):
+                    pool.lookup_batch(list(range(64)))
+        finally:
+            pool.close()
+
+    def test_submit_after_crash_raises_immediately(self, small_fib):
+        pool = WorkerPool("binary-trie", small_fib, workers=2, timeout=30.0)
+        try:
+            victim = pool._handles[1]
+            victim.process.kill()
+            victim.process.join(10.0)
+            victim.reader.join(10.0)  # EOF marks the handle dead
+            with pytest.raises(WorkerError):
+                pool.apply_update(UpdateOp(0, 0, 1))
+        finally:
+            pool.close()
+
+    def test_build_failure_surfaces_not_hangs(self, small_fib):
+        # An option the representation rejects fails the build inside
+        # the worker process; the error must travel back over the pipe.
+        with pytest.raises(WorkerError, match="nonsense"):
+            WorkerPool(
+                "prefix-dag", small_fib, workers=2,
+                options={"nonsense": 1}, timeout=30.0,
+            )
+
+    def test_close_is_idempotent(self, small_fib):
+        pool = WorkerPool("binary-trie", small_fib, workers=2)
+        pool.close()
+        pool.close()
+        with pytest.raises(WorkerError):
+            pool.lookup_batch([1, 2, 3])
+
+
+class TestStartMethods:
+    @pytest.mark.parametrize("method", start_methods())
+    def test_spawn_and_fork_both_serve(self, small_fib, method):
+        events = pack_events(
+            serve.build_events(
+                serve.scenario("bgp-churn"), small_fib,
+                lookups=512, updates=48, seed=3, batch_size=128,
+            )
+        )
+        probes = serve.parity_probes(small_fib, 200, seed=3)
+        report = serve_worker_scenario(
+            "prefix-dag", small_fib, events,
+            scenario="bgp-churn", workers=2,
+            parity_probes=probes, start_method=method,
+        )
+        assert report.final_parity == 1.0
+        assert report.spawn_method == method
+        assert report.lookups == 512
+
+
+class TestAsyncFrontend:
+    def test_pipelined_replay_matches_oracle(self, small_fib):
+        events = pack_events(
+            serve.build_events(
+                serve.scenario("flap-storm"), small_fib,
+                lookups=1024, updates=64, seed=11, batch_size=64,
+            )
+        )
+        probes = serve.parity_probes(small_fib, 300, seed=11)
+        report = serve_worker_scenario(
+            "prefix-dag", small_fib, events,
+            scenario="flap-storm", workers=2, window=4,
+            parity_probes=probes,
+        )
+        assert report.final_parity == 1.0
+        assert report.batches == sum(1 for e in events if e.is_lookup)
+        assert report.wall_lookup_seconds > 0
+        assert report.wall_seconds >= report.wall_lookup_seconds
+
+    def test_window_must_be_positive(self, pool):
+        with pytest.raises(ValueError, match="window"):
+            serve.AsyncFibFrontend(pool, window=0)
+
+
+class TestShardSpecs:
+    def test_specs_cover_and_restrict(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        bounds = (0, 1 << 31, 1 << 32)
+        specs = shard_specs(fib, bounds)
+        assert [spec.index for spec in specs] == [0, 1]
+        assert specs[0].routes >= 1
+        for spec in specs:
+            for address in (spec.lo, spec.hi - 1):
+                assert spec.fib.lookup(address) == fib.lookup(address)
+
+    def test_spec_pickles(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        spec = shard_specs(fib, (0, 1 << 31, 1 << 32))[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert isinstance(clone, ShardSpec)
+        assert clone.fib == spec.fib
+        assert (clone.lo, clone.hi, clone.routes) == (spec.lo, spec.hi, spec.routes)
+
+    def test_full_range_is_plain_copy(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        specs = shard_specs(fib, (0, 1 << 32))
+        assert len(specs) == 1
+        assert specs[0].fib == fib
+
+
+class TestFlatProgramPickling:
+    def test_compiled_program_round_trips(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        representation = registry.build("prefix-dag", fib)
+        program = flat_program(representation)
+        assert program is not None
+        clone = pickle.loads(pickle.dumps(program))
+        rng = random.Random(23)
+        addresses = [rng.getrandbits(32) for _ in range(256)]
+        assert clone.lookup_batch(addresses) == program.lookup_batch(addresses)
+        assert clone.size_in_bits() == program.size_in_bits()
+
+    def test_views_not_pickled(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        program = flat_program(registry.build("binary-trie", fib))
+        program.lookup_batch([0, 1, 2])  # may materialize view cache
+        state = program.__getstate__()
+        assert "_views" not in state
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.lookup(0) == program.lookup(0)
+
+
+class TestPackedServing:
+    def test_packed_labels_match_decoded(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        server = serve.FibServer("prefix-dag", fib, measure_staleness=False)
+        rng = random.Random(3)
+        addresses = [rng.getrandbits(32) for _ in range(333)]
+        from array import array
+
+        packed = array("q")
+        packed.frombytes(server.lookup_batch_packed(addresses))
+        decoded = server.lookup_batch(addresses)
+        assert list(packed) == [label or 0 for label in decoded]
+
+    def test_packed_dispatch_fallback(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        server = serve.FibServer(
+            "binary-trie", fib, options={"compiled": False},
+            measure_staleness=False,
+        )
+        from array import array
+
+        packed = array("q")
+        packed.frombytes(server.lookup_batch_packed([0, 1 << 31, (1 << 32) - 1]))
+        assert list(packed) == [
+            label or 0 for label in server.lookup_batch([0, 1 << 31, (1 << 32) - 1])
+        ]
+
+    def test_pack_events_replays_identically(self):
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        events = serve.build_events(
+            serve.scenario("uniform"), fib, lookups=256, updates=16, seed=9,
+            batch_size=64,
+        )
+        packed = pack_events(events)
+        assert len(packed) == len(events)
+        plain = serve.serve_scenario("prefix-dag", fib, events, scenario="u")
+        repacked = serve.serve_scenario("prefix-dag", fib, packed, scenario="u")
+        assert plain.lookups == repacked.lookups
+        assert plain.updates_applied == repacked.updates_applied
+
+
+class TestVectorSplit:
+    def test_split_vector_matches_group(self):
+        np = pytest.importorskip("numpy")
+        fib = build_fib(PAPER_EXAMPLE_ENTRIES)
+        for partition, shards in (("prefix", 4), ("hash", 5)):
+            plan = serve.plan_cluster(fib, shards, mode=partition)
+            rng = random.Random(41)
+            addresses = [rng.getrandbits(32) for _ in range(500)]
+            grouped = plan.group(addresses)
+            batch = np.fromiter(addresses, dtype=np.int64, count=len(addresses))
+            vectored = plan.split_vector(batch)
+            assert set(grouped) == set(vectored)
+            for shard, (positions, slice_) in grouped.items():
+                v_positions, v_slice = vectored[shard]
+                assert v_positions.tolist() == positions
+                assert v_slice.tolist() == slice_
