@@ -109,10 +109,24 @@ def _workers_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:
     gated = bool(payload.get("gated"))
     for key, value in sorted(payload.get("speedups", {}).items()):
         yield f"speedup.{key}", value, gated and _scaling_point(key)
-    if "compiled_speedup" in payload:
-        yield "compiled_speedup", payload["compiled_speedup"], False
-    if "model_agreement" in payload:
-        yield "model_agreement", payload["model_agreement"], False
+    # compiled_speedup / model_agreement are per-transport dicts since
+    # the shm plane landed ({"shm": x, "pipe": y}); older baselines
+    # recorded a single float, which stays warn-only (a 1-CPU
+    # agreement number is noise, not a ratchet). The shm compiled
+    # ratio is the zero-copy acceptance bar and the agreement ratios
+    # are the model validation — both gate only when the runs on both
+    # sides had the cores; the pipe compiled foil always warns.
+    for field in ("compiled_speedup", "model_agreement"):
+        value = payload.get(field)
+        if isinstance(value, dict):
+            for transport, ratio in sorted(value.items()):
+                gate = gated and (
+                    field == "model_agreement"
+                    or (field == "compiled_speedup" and transport == "shm")
+                )
+                yield f"{field}.{transport}", ratio, gate
+        elif isinstance(value, (int, float)):
+            yield field, value, False
     if "baseline_mlps" in payload:
         yield "baseline_mlps", payload["baseline_mlps"], False
 

@@ -87,17 +87,24 @@ def render_cluster_rows(reports: Iterable) -> str:
 WORKER_HEADERS = CLUSTER_HEADERS + (
     "wall Mlps",
     "agree",
+    "transport",
+    "attach[ms]",
 )
 
 
 def worker_row(report) -> tuple:
     """One table row from a :class:`~repro.serve.metrics.WorkerReport`:
     the cluster columns, then the *measured* wall-clock lookup
-    throughput and its agreement with the critical-path model (the
-    inherited ``lookup Mlps`` column is the model's prediction)."""
+    throughput, its agreement with the critical-path model (the
+    inherited ``lookup Mlps`` column is the model's prediction), the
+    data-plane transport the pool actually served over, and the worst
+    per-worker program-segment attach time (``-`` on the pipe plane,
+    which rebuilds instead of attaching)."""
     return cluster_row(report) + (
         report.measured_lookup_mlps,
         f"{report.model_agreement * 100:.0f}%",
+        report.transport,
+        "-" if report.transport != "shm" else f"{report.attach_seconds * 1e3:.2f}",
     )
 
 

@@ -323,6 +323,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     parity_probes=probes,
                     start_method=args.start_method,
                     window=args.window,
+                    transport=args.transport,
                 )
             )
         elif sharded:
@@ -353,9 +354,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         print(f"served {name} ({reports[-1].plane} plane)", file=sys.stderr)
     if pooled:
+        served_transports = sorted({report.transport for report in reports})
         cluster_banner = (
             f", {args.workers} {args.partition}-partitioned "
-            f"{args.start_method} workers"
+            f"{args.start_method} workers over {'/'.join(served_transports)}"
         )
     elif sharded:
         cluster_banner = f", {args.shards} {args.partition}-partitioned shards"
@@ -398,6 +400,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "shards": args.shards,
                 "workers": args.workers,
                 "start_method": args.start_method if pooled else None,
+                "transport": args.transport if pooled else None,
                 "partition": args.partition if (sharded or pooled) else None,
                 "rows": [report.to_dict() for report in reports],
             },
@@ -608,6 +611,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=serve.DEFAULT_START_METHOD,
         help="worker process start method (default spawn; fork where the "
         "platform offers it)",
+    )
+    p.add_argument(
+        "--transport",
+        choices=serve.TRANSPORTS,
+        default=serve.DEFAULT_TRANSPORT,
+        help="worker data plane: shared-memory rings with published "
+        "program segments, or pickled pipes (default shm; falls back to "
+        "pipe where shared memory or a compiled program is unavailable)",
     )
     p.add_argument(
         "--window",

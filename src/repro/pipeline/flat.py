@@ -153,6 +153,7 @@ class FlatProgram:
         "cell_val",
         "vectorize",
         "max_label",
+        "frozen",
         "_initial_cells",
         "_views",
     )
@@ -187,6 +188,10 @@ class FlatProgram:
         #: Largest label ever written (tracked incrementally: the decode
         #: table must never be rebuilt by scanning the cell arrays).
         self.max_label = 0
+        #: True for programs attached to an externally-owned image (a
+        #: shared-memory segment): the arrays are read-only views and
+        #: :meth:`patch` refuses — churn publishes a fresh generation.
+        self.frozen = False
         self._initial_cells = 0
         self._views = None
 
@@ -198,18 +203,69 @@ class FlatProgram:
         The NumPy view cache is dropped: views alias the ``array('q')``
         buffers and must be re-derived in the receiving process. This is
         what lets a deployment ship a *compiled* shard across a process
-        boundary for roughly the cost of copying the image bytes.
+        boundary for roughly the cost of copying the image bytes. A
+        *frozen* (segment-attached) program pickles as a detached copy:
+        its memoryview rows materialize into owned arrays, so the
+        pickled twin outlives the segment it came from.
         """
-        return {
+        state = {
             name: getattr(self, name)
             for name in self.__slots__
             if name != "_views"
         }
+        if self.frozen:
+            for row in ("root_ptr", "root_val", "cell_ptr", "cell_val"):
+                state[row] = array("q", state[row])
+            state["frozen"] = False
+        return state
 
     def __setstate__(self, state):
+        self.frozen = False  # absent in images pickled before the field
         for name, value in state.items():
             setattr(self, name, value)
         self._views = None
+
+    # -------------------------------------------------------- attached images
+
+    @classmethod
+    def from_image(
+        cls,
+        *,
+        width: int,
+        root_stride: int,
+        sub_stride: int,
+        max_label: int,
+        root_ptr,
+        root_val,
+        cell_ptr,
+        cell_val,
+    ) -> "FlatProgram":
+        """Rehydrate a program over externally-owned int64 row buffers.
+
+        The rows are adopted as-is (``memoryview.cast('q')`` slices of a
+        shared-memory segment, typically), so construction is O(1): no
+        copy, no recompile — this is what lets a worker *attach* to a
+        frontend-compiled program. The result is :attr:`frozen`: the
+        scalar and batch walks (and their NumPy views) run straight off
+        the foreign buffers, while :meth:`patch` refuses — an attached
+        image changes only by publishing a whole new generation.
+        """
+        program = cls.__new__(cls)
+        program.width = width
+        program.root_stride = root_stride
+        program.root_shift = width - root_stride
+        program.sub_stride = sub_stride
+        program.max_cells = DEFAULT_MAX_CELLS
+        program.root_ptr = root_ptr
+        program.root_val = root_val
+        program.cell_ptr = cell_ptr
+        program.cell_val = cell_val
+        program.vectorize = True
+        program.max_label = max_label
+        program.frozen = True
+        program._initial_cells = len(cell_ptr)
+        program._views = None
+        return program
 
     # ------------------------------------------------------------ bookkeeping
 
@@ -336,6 +392,11 @@ class FlatProgram:
         (see :attr:`bloated`); cells of untouched slots are never
         mutated, so compile-time block sharing stays safe.
         """
+        if self.frozen:
+            raise FlatCompileError(
+                "attached flat programs are immutable; publish a new "
+                "segment generation instead of patching in place"
+            )
         self._views = None  # releases buffer exports so the arrays may grow
         stride = self.root_stride
         if length > stride:
@@ -420,6 +481,55 @@ class FlatProgram:
         return array("q", [label or 0 for label in
                            self._batch_python(addresses)]).tobytes()
 
+    def lookup_batch_packed_into(self, addresses: Sequence[int], out) -> int:
+        """Resolve a batch straight into a caller-owned buffer.
+
+        The zero-copy twin of :meth:`lookup_batch_packed` for the
+        shared-memory transport: ``out`` is a writable buffer (a ring
+        payload slice) of at least ``8 * len(addresses)`` bytes, and the
+        int64 labels land in it without an intermediate ``bytes`` object
+        ever existing. ``addresses`` may itself be a ring slice — an
+        ``memoryview.cast('q')`` of the request payload — so a worker
+        serves a batch with no allocation beyond NumPy's gather
+        temporaries. Returns the number of bytes written.
+        """
+        count = len(addresses)
+        if not count:
+            return 0
+        if self.vectorized:
+            np = _np
+            root_ptr, root_val, cell_ptr, cell_val, _ = self._ensure_views()
+            batch = self._to_vector(np, addresses)
+            labels = self._resolve_vector(np, batch, root_ptr, root_val,
+                                          cell_ptr, cell_val)
+            dest = np.frombuffer(out, dtype=np.int64, count=count)
+            dest[:] = labels
+            return count * 8
+        check_addresses(addresses, self.width)
+        dest = memoryview(out)[: count * 8].cast("q")
+        root_shift = self.root_shift
+        root_ptr = self.root_ptr
+        root_val = self.root_val
+        cell_ptr = self.cell_ptr
+        cell_val = self.cell_val
+        stride_mask = STRIDE_MASK
+        stride_bits = STRIDE_BITS
+        for position, address in enumerate(addresses):
+            slot = address >> root_shift
+            encoded = root_ptr[slot]
+            shift = root_shift
+            while encoded >= 0:
+                stride = encoded & stride_mask
+                shift -= stride
+                index = (encoded >> stride_bits) + (
+                    (address >> shift) & ((1 << stride) - 1)
+                )
+                encoded = cell_ptr[index]
+            dest[position] = (
+                cell_val[index] if shift != root_shift else root_val[slot]
+            )
+        return count * 8
+
     def lookup_batch_shared(self, addresses: Sequence[int]) -> List[Optional[int]]:
         """Batched LPM resolving shared-fate addresses together.
 
@@ -459,6 +569,10 @@ class FlatProgram:
         over a pipe never pays the Python-object conversion loop.
         """
         if isinstance(addresses, array) and addresses.typecode == "q":
+            batch = np.frombuffer(addresses, dtype=np.int64)
+        elif isinstance(addresses, memoryview):
+            # Ring-buffer slices from the shared-memory transport: raw
+            # int64 payload, viewed in place — nothing is copied.
             batch = np.frombuffer(addresses, dtype=np.int64)
         elif isinstance(addresses, np.ndarray) and addresses.dtype == np.int64:
             batch = addresses

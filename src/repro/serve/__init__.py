@@ -41,9 +41,17 @@ from repro.serve.cluster import (
     plan_cluster,
     serve_cluster_scenario,
 )
+from repro.serve.shm import (
+    DEFAULT_RING_BYTES,
+    ShmRing,
+    leaked_segments,
+    shm_available,
+)
 from repro.serve.workers import (
     DEFAULT_START_METHOD,
+    DEFAULT_TRANSPORT,
     DEFAULT_WINDOW,
+    TRANSPORTS,
     AsyncFibFrontend,
     WorkerError,
     WorkerPool,
@@ -54,10 +62,13 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_GRANULARITY_BITS",
     "DEFAULT_REBUILD_EVERY",
+    "DEFAULT_RING_BYTES",
     "DEFAULT_START_METHOD",
+    "DEFAULT_TRANSPORT",
     "DEFAULT_WINDOW",
     "PARTITION_MODES",
     "SCENARIOS",
+    "TRANSPORTS",
     "AsyncFibFrontend",
     "Scenario",
     "ServeEvent",
@@ -70,11 +81,14 @@ __all__ = [
     "FibCluster",
     "FibServer",
     "ShardPlan",
+    "ShmRing",
     "build_events",
+    "leaked_segments",
     "parity_probes",
     "plan_cluster",
     "scenario",
     "scenario_names",
+    "shm_available",
     "serve_cluster_scenario",
     "serve_scenario",
     "serve_worker_scenario",

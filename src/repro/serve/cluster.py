@@ -398,13 +398,19 @@ class EpochCoordinator:
     the coordinator leaves them alone.
     """
 
-    def __init__(self, shards: Sequence[ClusterShard], rebuild_every: int):
+    def __init__(self, shards: Sequence[ClusterShard], rebuild_every: int,
+                 on_swap=None):
         if rebuild_every < 1:
             raise ValueError(f"rebuild_every must be positive, got {rebuild_every}")
         self._shards = list(shards)
         self._rebuild_every = rebuild_every
         self._cursor = 0
         self.swaps = 0
+        #: Attach-time swap hook: called with the swapped shard's index
+        #: after its ``rebuild()`` returns. The shared-memory worker
+        #: plane uses it to observe generation publishes (its "shard" is
+        #: the frontend publisher whose rebuild *is* a segment publish).
+        self._on_swap = on_swap
 
     @property
     def rebuild_every(self) -> int:
@@ -428,6 +434,8 @@ class EpochCoordinator:
                 self._cursor = (shard.index + 1) % count
                 shard.server.rebuild()
                 self.swaps += 1
+                if self._on_swap is not None:
+                    self._on_swap(shard.index)
                 return shard.index
         return None
 

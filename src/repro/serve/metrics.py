@@ -218,6 +218,23 @@ class WorkerReport(ClusterReport):
     wall_lookup_seconds: float = 0.0
     #: Wall seconds for the whole replay (lookups, updates, swaps).
     wall_seconds: float = 0.0
+    #: Data-plane transport the pool served over: ``shm`` (shared-memory
+    #: rings + attached program segments) or ``pipe`` (pickled tuples).
+    transport: str = "pipe"
+    #: Worst per-worker wall seconds to attach the published program
+    #: segment at spawn (shm transport; rebuild-from-FIB time on pipe
+    #: shows up in ``spawn_seconds`` instead). Near-constant in worker
+    #: count — attaching is an ``mmap``, not a rebuild.
+    attach_seconds: float = 0.0
+    #: Program-segment generations published over the pool's lifetime
+    #: (shm transport; 0 on pipe).
+    publishes: int = 0
+    #: Data-plane payload bytes the frontend moved to the workers
+    #: (request rings / lookup pipes; probes excluded).
+    bytes_tx: int = 0
+    #: Data-plane payload bytes the workers moved back (labels and
+    #: broadcast positions; probes excluded).
+    bytes_rx: int = 0
 
     @property
     def workers(self) -> int:

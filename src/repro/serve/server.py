@@ -217,6 +217,18 @@ class FibServer:
         self._update_seconds += time.perf_counter() - started
         return program
 
+    def serving_program(self):
+        """The live compiled program, patch log drained — or None.
+
+        The attach-time publish hook for the shared-memory transport:
+        the frontend hosts one FibServer as the *publisher* and, at each
+        epoch, drains the patch log here (on the update clock, exactly
+        like a batched lookup would) and copies the returned program
+        into a fresh shared segment for the workers to attach. The
+        program itself never leaves this process.
+        """
+        return self._drain_patches()
+
     def _note_batch(self, addresses, served, packed: bool) -> None:
         """Shared post-serve bookkeeping: counters plus the staleness
         audit (packed answers encode no-route as 0, decoded as None)."""

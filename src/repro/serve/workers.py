@@ -11,8 +11,26 @@ representation and compiles its own
 :class:`~repro.pipeline.flat.FlatProgram` locally — no live structure
 ever crosses a process boundary.
 
-**The wire protocol.** One full-duplex ``multiprocessing`` pipe per
-worker carries pickled tuples; bulk payloads travel as packed int64
+**Transports.** The pool serves over one of two data planes
+(``transport=``). The default, ``"shm"``, is the zero-copy plane from
+:mod:`repro.serve.shm`: per-worker request/response
+:class:`~repro.serve.shm.ShmRing` pairs carry struct-packed records
+whose payloads are raw int64 bytes viewed in place on both ends, and
+the compiled :class:`~repro.pipeline.flat.FlatProgram` lives in a
+frontend-published shared-memory segment that every worker *attaches*
+(an ``mmap``) instead of rebuilding — so spawn cost is process boot,
+near-constant in worker count, and no lookup or update payload is ever
+pickled. Epoch swaps publish a fresh segment generation and walk the
+workers onto it through their request rings (``OP_ATTACH``), FIFO with
+the data they serve. The pipe remains connected but carries only the
+low-rate control plane: readiness, ``report``, ``shutdown`` — and its
+EOF is still how a worker death is detected. ``"pipe"`` is the PR 5
+wire protocol below, kept for unbatched serving, representations with
+no compiled plane, and hosts without POSIX shared memory; ``"shm"``
+falls back to it cleanly in those cases.
+
+**The pipe wire protocol.** One full-duplex ``multiprocessing`` pipe
+per worker carries pickled tuples; bulk payloads travel as packed int64
 bytes (``array('q')``), which pickle at memcpy speed and feed the flat
 plane's buffer-view fast path on the far side, so neither end pays a
 per-address Python conversion loop::
@@ -93,6 +111,26 @@ from repro.serve.cluster import (
 from repro.serve.metrics import WorkerReport
 from repro.serve.scenarios import ServeEvent
 from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
+from repro.serve.shm import (
+    DEFAULT_RING_BYTES,
+    OP_ATTACH,
+    OP_ATTACHED,
+    OP_BCAST,
+    OP_ERROR,
+    OP_LABELS,
+    OP_LOOKUP,
+    OP_POSITIONS,
+    OP_PROBE,
+    OP_PROBED,
+    RingClosed,
+    RingOverflow,
+    RingPeerDied,
+    ShmRing,
+    attach_program,
+    detach_program,
+    publish_program,
+    shm_available,
+)
 
 try:  # the frontend's owner split and merge vectorize when available
     import numpy as _np
@@ -108,6 +146,19 @@ DEFAULT_TIMEOUT = 120.0
 #: Default process start method ("spawn" imports cleanly everywhere;
 #: pass "fork" where the platform offers it and boot cost matters).
 DEFAULT_START_METHOD = "spawn"
+
+#: Default data-plane transport; falls back to "pipe" when shared
+#: memory, batching or a compiled program is unavailable.
+DEFAULT_TRANSPORT = "shm"
+
+#: The transports a pool can be asked for.
+TRANSPORTS = ("shm", "pipe")
+
+#: Data-plane request opcodes by the pipe protocol's message kind.
+_RING_OPS = {"lookup": OP_LOOKUP, "bcast": OP_BCAST, "probe": OP_PROBE}
+
+#: Seconds the frontend's ring pump sleeps between idle sweeps.
+_READER_SLEEP = 0.0002
 
 
 class WorkerError(RuntimeError):
@@ -325,6 +376,145 @@ def worker_main(
         conn.close()
 
 
+def shm_worker_main(conn, spec) -> None:
+    """The shm-transport worker entry point: attach, then serve rings.
+
+    The worker builds *nothing*: it attaches the frontend-published
+    program segment and its two rings (three ``mmap`` calls), acks
+    readiness over the pipe with its attach wall time, and serves
+    lookups straight out of the mapped image, resolving each batch in
+    place into its response ring (:meth:`ShmRing.send_into` +
+    :meth:`~repro.pipeline.flat.FlatProgram.lookup_batch_packed_into`).
+    ``OP_ATTACH`` records arrive FIFO with the lookups, so a fresh
+    generation is adopted exactly between batches, never under one.
+    The pipe carries only the low-rate control plane (``report``,
+    ``shutdown``), checked while the ring is idle; a frontend death
+    surfaces through the ring's liveness callback.
+    """
+    started = time.perf_counter()
+    program = segment = None
+    req = res = None
+    try:
+        req = ShmRing.attach(spec["request"])
+        res = ShmRing.attach(spec["response"])
+        program, generation, segment = attach_program(spec["program"])
+        attach_seconds = time.perf_counter() - started
+    except Exception:  # noqa: BLE001 - report the attach failure, then exit
+        try:
+            conn.send(("err", 0, traceback.format_exc()))
+        except OSError:
+            pass
+        return
+    conn.send(("ok", 0, ("ready", attach_seconds, program.size_in_bits())))
+    filter_spec = spec["filter"]
+    parent = multiprocessing.parent_process()
+    alive = parent.is_alive if parent is not None else (lambda: True)
+    lookups = batches = lookup_ns = 0
+    spent = [0]  # written by the fill closures below
+    try:
+        while True:
+            try:
+                record = req.recv(alive=alive, timeout=0.05)
+            except RingPeerDied:
+                return
+            if record is None:
+                # Idle: service the control pipe, then poll again.
+                if conn.poll(0):
+                    message = conn.recv()
+                    if message[0] == "report":
+                        conn.send(("ok", message[1], {
+                            "lookups": lookups,
+                            "batches": batches,
+                            "lookup_seconds": lookup_ns / 1e9,
+                            "size_bits": program.size_in_bits(),
+                            "generation": generation,
+                            "attach_seconds": attach_seconds,
+                        }))
+                    elif message[0] == "shutdown":
+                        return
+                continue
+            op = record.op
+            try:
+                if op == OP_LOOKUP or op == OP_PROBE:
+                    addresses = record.payload.cast("q")
+
+                    def fill(view, addresses=addresses):
+                        t0 = time.perf_counter_ns()
+                        program.lookup_batch_packed_into(addresses, view)
+                        spent[0] = time.perf_counter_ns() - t0
+                        return spent[0], 0
+
+                    res.send_into(
+                        OP_LABELS if op == OP_LOOKUP else OP_PROBED,
+                        len(addresses) * 8, fill, seq=record.seq, alive=alive,
+                    )
+                    if op == OP_LOOKUP:
+                        lookups += len(addresses)
+                        batches += 1
+                        lookup_ns += spent[0]
+                elif op == OP_BCAST:
+                    positions, owned = _owned_slice(record.payload, filter_spec)
+
+                    def fill(view, positions=positions, owned=owned):
+                        view[:len(positions)] = positions
+                        t0 = time.perf_counter_ns()
+                        program.lookup_batch_packed_into(
+                            owned, view[len(positions):]
+                        )
+                        spent[0] = time.perf_counter_ns() - t0
+                        return spent[0], len(positions) // 8
+
+                    res.send_into(
+                        OP_POSITIONS, len(positions) + 8 * len(owned), fill,
+                        seq=record.seq, alive=alive,
+                    )
+                    lookups += len(owned)
+                    batches += 1
+                    lookup_ns += spent[0]
+                elif op == OP_ATTACH:
+                    name = bytes(record.payload).decode()
+                    t0 = time.perf_counter()
+                    fresh, generation, fresh_segment = attach_program(name)
+                    stale, stale_segment = program, segment
+                    program, segment = fresh, fresh_segment
+                    detach_program(stale, stale_segment)
+                    adopted = time.perf_counter() - t0
+                    attach_seconds = max(attach_seconds, adopted)
+                    res.send(
+                        OP_ATTACHED, seq=record.seq, generation=generation,
+                        aux1=int(adopted * 1e9), alive=alive,
+                    )
+                else:
+                    raise ValueError(f"unknown request opcode {op}")
+            except RingPeerDied:
+                return
+            except Exception:  # noqa: BLE001 - per-record error reply
+                try:
+                    res.send(
+                        OP_ERROR, traceback.format_exc().encode(),
+                        seq=record.seq, alive=alive, timeout=5.0,
+                    )
+                except (RingPeerDied, RingOverflow):
+                    return
+            finally:
+                req.advance()
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # frontend went away; nothing to answer to
+    finally:
+        # Drop every lingering view of the ring buffers (the last
+        # record's payload, its cast, the fill closure holding it) so
+        # the mappings release cleanly instead of at interpreter exit.
+        record = addresses = fill = None  # noqa: F841
+        try:
+            conn.close()
+        except OSError:
+            pass
+        req.close()
+        res.close()
+        if program is not None:
+            detach_program(program, segment)
+
+
 # ------------------------------------------------------------------ frontend
 
 
@@ -344,6 +534,9 @@ class _WorkerHandle:
         "dead",
         "reason",
         "reader",
+        "req_ring",
+        "res_ring",
+        "attach_seconds",
     )
 
     def __init__(self, index: int, lo: int, hi: int, routes: int, process, conn):
@@ -358,6 +551,9 @@ class _WorkerHandle:
         self.seq = 0
         self.dead = False
         self.reason = ""
+        self.req_ring: Optional[ShmRing] = None  # shm transport only
+        self.res_ring: Optional[ShmRing] = None
+        self.attach_seconds = 0.0
 
     def fail(self, reason: str) -> None:
         """Mark dead and fail every in-flight future (reader thread)."""
@@ -416,6 +612,35 @@ class _ProxyServer:
         self._pool._swap(self._handle, self)
 
 
+class _PublishProxy:
+    """Duck-typed FibServer facade over the shm transport's *publisher*.
+
+    On the shm plane there is one logical update shard — the
+    frontend-hosted publisher server — and "rebuild" means publish a
+    fresh program segment and walk every worker onto it
+    (:meth:`WorkerPool._publish`). ``pending`` tracks every update
+    applied since the last published generation, incremental planes
+    included: patches mutate the publisher's live program immediately,
+    but the workers' mapped images only change when a generation
+    ships. Wrapping the publisher this way lets the unmodified
+    :class:`~repro.serve.cluster.EpochCoordinator` pace publishes
+    exactly as it paces per-worker swaps on the pipe transport.
+    """
+
+    __slots__ = ("_pool", "pending")
+
+    def __init__(self, pool: "WorkerPool"):
+        self._pool = pool
+        self.pending: List[UpdateOp] = []
+
+    @property
+    def is_stale(self) -> bool:
+        return bool(self.pending)
+
+    def rebuild(self) -> None:
+        self._pool._publish()
+
+
 class WorkerPool:
     """N shard-restricted FibServers, each a real OS process.
 
@@ -434,6 +659,15 @@ class WorkerPool:
     timeout:
         Seconds to wait on any single worker reply before declaring the
         worker lost (belt under the reader thread's EOF detection).
+    transport:
+        ``"shm"`` (default) serves over shared-memory rings with the
+        compiled program in a published segment the workers attach;
+        falls back to ``"pipe"`` — recorded in the report — when shared
+        memory is unavailable, serving is unbatched, or the
+        representation compiles no flat program. ``"pipe"`` forces the
+        pickled-tuple wire protocol.
+    ring_bytes:
+        Per-direction, per-worker ring data capacity (shm transport).
     """
 
     def __init__(
@@ -450,6 +684,8 @@ class WorkerPool:
         start_method: str = DEFAULT_START_METHOD,
         fanout: str = "auto",
         timeout: float = DEFAULT_TIMEOUT,
+        transport: str = DEFAULT_TRANSPORT,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ):
         if fib.width > 63:
             # The pipe wire format packs addresses and labels as signed
@@ -458,6 +694,11 @@ class WorkerPool:
             raise ValueError(
                 f"worker pool wire format carries at most 63-bit addresses, "
                 f"got a {fib.width}-bit FIB (use FibCluster for wider tables)"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; "
+                f"choose one of {', '.join(TRANSPORTS)}"
             )
         self._plan = plan_cluster(fib, workers, mode=partition, granularity=granularity)
         self._spec = registry.get(name)
@@ -474,57 +715,160 @@ class WorkerPool:
             or (fanout == "auto" and _np is not None and self._plan.vectorized)
         )
         self._closed = False
+        # shm-plane state exists in every mode so close() is always safe.
+        self._publisher: Optional[FibServer] = None
+        self._publish_proxy: Optional[_PublishProxy] = None
+        self._program_segment = None
+        self._segments: List[Any] = []   # frontend-owned program segments
+        self._rings: List[ShmRing] = []  # frontend-owned rings (both ends')
+        self._ring_reader: Optional[threading.Thread] = None
+        self._generation = 0
+        self._publishes = 0
+        self._attach_seconds = 0.0
+        self._stale_lookups = 0
+        self._bytes_tx = 0
+        self._bytes_rx = 0
         started = time.perf_counter()
+        self._transport = "pipe"
+        if transport == "shm" and batched and shm_available():
+            try:
+                publisher = FibServer(
+                    name,
+                    fib,
+                    options=self._options,
+                    rebuild_every=rebuild_every,
+                    batched=True,
+                    measure_staleness=False,
+                    auto_rebuild=False,  # the pool's coordinator paces publishes
+                )
+            except Exception:  # noqa: BLE001 - same surface as a worker build
+                raise WorkerError(
+                    f"publisher build failed:\n{traceback.format_exc()}"
+                ) from None
+            if publisher.serving_program() is not None:
+                self._publisher = publisher
+                self._transport = "shm"
+            # else: no compiled plane to publish (e.g. compiled=False);
+            # the pickled-pipe transport serves instead.
         context = multiprocessing.get_context(start_method)
         self._handles: List[_WorkerHandle] = []
         ready: List[Future] = []
-        for spec in self._plan.materialize(fib):
-            if self._plan.mode == "hash":
-                filter_spec = ("hash", self._plan.shards, spec.index)
-            else:
-                filter_spec = ("prefix", spec.lo, spec.hi)
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=worker_main,
-                args=(
-                    child_conn,
-                    name,
-                    spec.fib,
-                    self._options,
-                    rebuild_every,
-                    batched,
-                    filter_spec,
-                ),
-                daemon=True,
-                name=f"repro-fib-worker-{spec.index}",
-            )
-            process.start()
-            child_conn.close()  # the child owns its end now
-            handle = _WorkerHandle(
-                spec.index, spec.lo, spec.hi, spec.routes, process, parent_conn
-            )
-            future: Future = Future()
-            handle.pending[0] = future  # the readiness ack (seq 0)
-            ready.append(future)
-            handle.reader = threading.Thread(
-                target=_reader_loop, args=(handle,), daemon=True
-            )
-            handle.reader.start()
-            self._handles.append(handle)
-        self._proxies = [_ProxyServer(self, handle) for handle in self._handles]
         try:
+            if self._transport == "shm":
+                self._generation = 1
+                self._program_segment = publish_program(
+                    self._publisher.serving_program(), self._generation
+                )
+                self._segments.append(self._program_segment)
+                for index in range(self._plan.shards):
+                    lo, hi = self._plan.shard_range(index)
+                    if self._plan.mode == "hash":
+                        filter_spec = ("hash", self._plan.shards, index)
+                    else:
+                        filter_spec = ("prefix", lo, hi)
+                    req_ring = ShmRing.create(ring_bytes)
+                    self._rings.append(req_ring)
+                    res_ring = ShmRing.create(ring_bytes)
+                    self._rings.append(res_ring)
+                    parent_conn, child_conn = context.Pipe(duplex=True)
+                    process = context.Process(
+                        target=shm_worker_main,
+                        args=(
+                            child_conn,
+                            {
+                                "request": req_ring.name,
+                                "response": res_ring.name,
+                                "program": self._program_segment.name,
+                                "filter": filter_spec,
+                            },
+                        ),
+                        daemon=True,
+                        name=f"repro-fib-worker-{index}",
+                    )
+                    process.start()
+                    child_conn.close()  # the child owns its end now
+                    handle = _WorkerHandle(
+                        index, lo, hi, len(fib), process, parent_conn
+                    )
+                    handle.req_ring = req_ring
+                    handle.res_ring = res_ring
+                    future: Future = Future()
+                    handle.pending[0] = future  # the readiness ack (seq 0)
+                    ready.append(future)
+                    handle.reader = threading.Thread(
+                        target=_reader_loop, args=(handle,), daemon=True
+                    )
+                    handle.reader.start()
+                    self._handles.append(handle)
+            else:
+                for spec in self._plan.materialize(fib):
+                    if self._plan.mode == "hash":
+                        filter_spec = ("hash", self._plan.shards, spec.index)
+                    else:
+                        filter_spec = ("prefix", spec.lo, spec.hi)
+                    parent_conn, child_conn = context.Pipe(duplex=True)
+                    process = context.Process(
+                        target=worker_main,
+                        args=(
+                            child_conn,
+                            name,
+                            spec.fib,
+                            self._options,
+                            rebuild_every,
+                            batched,
+                            filter_spec,
+                        ),
+                        daemon=True,
+                        name=f"repro-fib-worker-{spec.index}",
+                    )
+                    process.start()
+                    child_conn.close()  # the child owns its end now
+                    handle = _WorkerHandle(
+                        spec.index, spec.lo, spec.hi, spec.routes, process, parent_conn
+                    )
+                    future = Future()
+                    handle.pending[0] = future  # the readiness ack (seq 0)
+                    ready.append(future)
+                    handle.reader = threading.Thread(
+                        target=_reader_loop, args=(handle,), daemon=True
+                    )
+                    handle.reader.start()
+                    self._handles.append(handle)
+            if self._transport == "shm":
+                self._proxies = []
+            else:
+                self._proxies = [_ProxyServer(self, h) for h in self._handles]
             acks = [self._await(future) for future in ready]
-        except WorkerError:
+        except Exception:
             self.close()
             raise
-        self._incremental = bool(acks[0][1])
-        self._coordinator = EpochCoordinator(
-            [
-                ClusterShard(h.index, h.lo, h.hi, h.routes, proxy)
-                for h, proxy in zip(self._handles, self._proxies)
-            ],
-            rebuild_every,
-        )
+        if self._transport == "shm":
+            self._incremental = self._publisher.incremental
+            for handle, ack in zip(self._handles, acks):
+                handle.attach_seconds = ack[1]
+            self._attach_seconds = max(h.attach_seconds for h in self._handles)
+            self._publish_proxy = _PublishProxy(self)
+            self._coordinator = EpochCoordinator(
+                [
+                    ClusterShard(
+                        0, 0, 1 << self._plan.width, len(fib), self._publish_proxy
+                    )
+                ],
+                rebuild_every,
+            )
+            self._ring_reader = threading.Thread(
+                target=self._shm_reader_loop, daemon=True
+            )
+            self._ring_reader.start()
+        else:
+            self._incremental = bool(acks[0][1])
+            self._coordinator = EpochCoordinator(
+                [
+                    ClusterShard(h.index, h.lo, h.hi, h.routes, proxy)
+                    for h, proxy in zip(self._handles, self._proxies)
+                ],
+                rebuild_every,
+            )
         self._spawn_seconds = time.perf_counter() - started
         # ------------------------------------------------- serving counters
         self._lookups = 0
@@ -577,14 +921,24 @@ class WorkerPool:
         return self._start_method
 
     @property
+    def transport(self) -> str:
+        """The data plane actually serving: ``shm`` or ``pipe`` (what
+        was requested may have fallen back; this is what runs)."""
+        return self._transport
+
+    @property
     def spawn_seconds(self) -> float:
-        """Wall seconds from first process start to the last ready ack."""
+        """Wall seconds from first process start to the last ready ack
+        (on the shm transport this includes the one-time publisher
+        build and segment publish, so it is near-constant in worker
+        count instead of linear)."""
         return self._spawn_seconds
 
     def __repr__(self) -> str:
         return (
             f"WorkerPool(name={self.name!r}, workers={self.workers}, "
-            f"partition={self._plan.mode!r}, start={self._start_method!r})"
+            f"partition={self._plan.mode!r}, start={self._start_method!r}, "
+            f"transport={self._transport!r})"
         )
 
     def __enter__(self) -> "WorkerPool":
@@ -613,6 +967,47 @@ class WorkerPool:
             raise WorkerError(reason) from None
         return future
 
+    def _submit_ring(
+        self, handle: _WorkerHandle, op: int, payload, generation: int = 0
+    ) -> Future:
+        """Ring twin of :meth:`_submit`: register the reply future, then
+        write the record into the worker's request ring — blocking under
+        backpressure with the worker's liveness as the escape hatch, so
+        a dead consumer is a :class:`WorkerError`, never a hang."""
+        with handle.lock:
+            if handle.dead:
+                raise WorkerError(handle.reason or f"worker {handle.index} is gone")
+            handle.seq += 1
+            seq = handle.seq
+            future: Future = Future()
+            handle.pending[seq] = future
+        try:
+            handle.req_ring.send(
+                op,
+                payload,
+                seq=seq,
+                generation=generation,
+                alive=lambda: not handle.dead and handle.process.is_alive(),
+                timeout=self._timeout,
+            )
+        except RingOverflow as error:
+            # The batch can never fit; the worker is fine — fail only
+            # this request.
+            with handle.lock:
+                handle.pending.pop(seq, None)
+            raise WorkerError(str(error)) from None
+        except RingPeerDied as error:
+            reason = f"worker {handle.index} ring stalled: {error}"
+            handle.fail(reason)
+            raise WorkerError(reason) from None
+        return future
+
+    def _request(self, handle: _WorkerHandle, kind: str, packed) -> Future:
+        """Transport-dispatching data-plane submit (lookup/bcast/probe)."""
+        if self._transport == "shm":
+            return self._submit_ring(handle, _RING_OPS[kind], packed)
+        return self._submit(handle, kind, packed)
+
     def _send_update(self, handle: _WorkerHandle, op: UpdateOp) -> None:
         if handle.dead:
             raise WorkerError(handle.reason or f"worker {handle.index} is gone")
@@ -632,6 +1027,76 @@ class WorkerPool:
             raise WorkerError(
                 f"no worker reply within {self._timeout:.0f}s"
             ) from None
+
+    def _shm_reader_loop(self) -> None:
+        """The pool-wide reply pump of the shm transport: drain every
+        worker's response ring, resolving futures in the pipe
+        protocol's reply shapes so the merge path is transport-blind.
+        Worker death stays the pipe reader's to detect (EOF ->
+        :meth:`_WorkerHandle.fail`); this loop only ever sees records a
+        live worker published, and it stops when the pool closes."""
+        idle = 0
+        while not self._closed:
+            busy = False
+            for handle in self._handles:
+                ring = handle.res_ring
+                if ring is None or handle.dead:
+                    continue
+                while True:
+                    try:
+                        record = ring.try_recv()
+                    except (RingClosed, ValueError):  # pragma: no cover
+                        record = None  # torn down under us mid-close
+                    if record is None:
+                        break
+                    busy = True
+                    try:
+                        self._resolve_reply(handle, record)
+                    finally:
+                        ring.advance()
+            if busy:
+                idle = 0
+                continue
+            idle += 1
+            if idle > 50:
+                time.sleep(_READER_SLEEP)
+
+    def _resolve_reply(self, handle: _WorkerHandle, record) -> None:
+        """Complete one in-flight future from a ring record, copying the
+        payload out of the ring before the slots are released."""
+        with handle.lock:
+            future = handle.pending.pop(record.seq, None)
+        if future is None:
+            return  # reply for a caller that already timed out
+        op = record.op
+        if op == OP_ERROR:
+            future.set_exception(
+                WorkerError(
+                    f"worker {handle.index} failed: "
+                    f"{bytes(record.payload).decode()}"
+                )
+            )
+            return
+        payload = bytes(record.payload)
+        if op == OP_LABELS:
+            with self._account_lock:
+                self._bytes_rx += len(payload)
+            future.set_result((payload, record.aux1 / 1e9, 0.0))
+        elif op == OP_POSITIONS:
+            split = record.aux2 * 8
+            with self._account_lock:
+                self._bytes_rx += len(payload)
+            future.set_result(
+                (payload[:split], payload[split:], record.aux1 / 1e9, 0.0)
+            )
+        elif op == OP_PROBED:
+            future.set_result(payload)
+        elif op == OP_ATTACHED:
+            future.set_result(record.aux1 / 1e9)
+        else:  # pragma: no cover - protocol drift
+            future.set_exception(
+                WorkerError(f"unknown reply opcode {op} from worker {handle.index}")
+            )
 
     # ---------------------------------------------------------------- lookups
 
@@ -695,14 +1160,17 @@ class WorkerPool:
         try:
             if self._broadcast:
                 packed = _pack_addresses(addresses)
+                sent = len(packed) * len(self._handles)
                 parts = [
-                    (handle, None, self._submit(handle, "bcast", packed))
+                    (handle, None, self._request(handle, "bcast", packed))
                     for handle in self._handles
                 ]
             else:
+                split = self._split(addresses)
+                sent = sum(len(packed) for _, _, packed in split)
                 parts = [
-                    (handle, positions, self._submit(handle, "lookup", packed))
-                    for handle, positions, packed in self._split(addresses)
+                    (handle, positions, self._request(handle, "lookup", packed))
+                    for handle, positions, packed in split
                 ]
         except Exception:
             # Any failure here (dead worker, malformed batch) must not
@@ -711,6 +1179,12 @@ class WorkerPool:
             self._leave_flight()
             raise
         self._lookups += count
+        with self._account_lock:
+            self._bytes_tx += sent
+        if self._publish_proxy is not None and self._publish_proxy.pending:
+            # Served against a generation older than the accepted
+            # updates — the shm plane's analogue of a stale rebuild.
+            self._stale_lookups += count
         return parts, count
 
     def _account_batch(self, replies) -> float:
@@ -761,6 +1235,15 @@ class WorkerPool:
                 ((payload[1], payload[2], payload[3]), payload[0])
                 for payload, _ in replies
             ]
+        if self._transport == "pipe":
+            # shm replies were already counted by the ring pump.
+            received = 0
+            for (labels, _, _), positions in replies:
+                received += len(labels)
+                if isinstance(positions, (bytes, bytearray)):
+                    received += len(positions)
+            with self._account_lock:
+                self._bytes_rx += received
         self._account_batch([reply for reply, _ in replies])
         if len(replies) == 1 and replies[0][1] is None:  # single-shard plan
             merged = _unpack(replies[0][0][0])
@@ -814,10 +1297,27 @@ class WorkerPool:
                 self._update_seconds += time.perf_counter() - started
             return False
         owners = self._plan.owners(op.prefix, op.length)
-        for index in owners:
-            self._send_update(self._handles[index], op)
-            if not self._incremental:
-                self._proxies[index].pending.append(op)
+        if self._transport == "shm":
+            # The update never crosses a process boundary per-op: the
+            # frontend-hosted publisher absorbs it (a patch on the
+            # incremental plane, a backlog entry on the rebuild plane)
+            # and the workers adopt it wholesale at the next published
+            # generation. A dead owner still surfaces here — accepting
+            # an update no live worker can ever adopt would serve the
+            # stale generation silently.
+            for index in owners:
+                handle = self._handles[index]
+                if handle.dead:
+                    raise WorkerError(
+                        handle.reason or f"worker {handle.index} is gone"
+                    )
+            self._publisher.apply_update(op)
+            self._publish_proxy.pending.append(op)
+        else:
+            for index in owners:
+                self._send_update(self._handles[index], op)
+                if not self._incremental:
+                    self._proxies[index].pending.append(op)
         with self._account_lock:
             self._update_seconds += time.perf_counter() - started
         self._updates_applied += 1
@@ -841,8 +1341,77 @@ class WorkerPool:
         self._swaps += 1
         proxy.pending.clear()
 
+    def _publish(self) -> None:
+        """Roll one fresh program generation through the pool (shm).
+
+        Rebuild the publisher if its backlog requires it (the
+        incremental plane has already patched itself), copy the
+        compiled image into a new segment, and walk every live worker
+        onto it through its *request ring* — FIFO with the data plane,
+        so a worker adopts the generation exactly between the batches
+        around it. Only after every ack is the outgoing segment
+        unlinked; a worker that fails to adopt is declared dead rather
+        than silently left serving a stale image.
+        """
+        started = time.perf_counter()
+        publisher = self._publisher
+        if publisher.pending:
+            publisher.rebuild()
+        generation = self._generation + 1
+        segment = publish_program(publisher.serving_program(), generation)
+        self._segments.append(segment)
+        name = segment.name.encode()
+        submitted = []
+        for handle in self._handles:
+            if handle.dead:
+                continue
+            try:
+                submitted.append(
+                    (handle, self._submit_ring(
+                        handle, OP_ATTACH, name, generation=generation
+                    ))
+                )
+            except WorkerError:
+                continue  # already failed; its in-flight futures are drained
+        for handle, future in submitted:
+            try:
+                adopted = self._await(future)
+            except WorkerError as error:
+                if not handle.dead:
+                    # Alive but refusing the fresh generation: serving
+                    # stale data silently is worse than losing the worker.
+                    handle.fail(
+                        f"worker {handle.index} failed to adopt "
+                        f"generation {generation}: {error}"
+                    )
+                continue
+            handle.attach_seconds = max(handle.attach_seconds, adopted)
+            self._attach_seconds = max(self._attach_seconds, adopted)
+        old = self._program_segment
+        self._program_segment = segment
+        self._generation = generation
+        if old is not None:
+            self._segments.remove(old)
+            try:
+                old.close()
+            except BufferError:  # pragma: no cover - a view escaped
+                pass
+            try:
+                old.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._publishes += 1
+        self._swaps += 1
+        self._rebuild_seconds += time.perf_counter() - started
+        self._publish_proxy.pending.clear()
+
     def quiesce(self) -> None:
-        """Drain every worker's update plane (still one swap at a time)."""
+        """Drain the update plane: publish the backlog's generation on
+        the shm transport, else swap each due worker (one at a time)."""
+        if self._transport == "shm":
+            if self._publish_proxy.pending:
+                self._publish()
+            return
         for handle, proxy in zip(self._handles, self._proxies):
             if proxy.pending:
                 self._swap(handle, proxy)
@@ -867,7 +1436,7 @@ class WorkerPool:
         agreed = 0
         for handle, _, packed in self._split(addresses):
             probe = _unpack(packed)
-            served = _unpack(self._await(self._submit(handle, "probe", packed)))
+            served = _unpack(self._await(self._request(handle, "probe", packed)))
             agreed += sum(
                 1
                 for address, label in zip(probe, served)
@@ -881,7 +1450,15 @@ class WorkerPool:
         self, scenario: str = "", final_parity: Optional[float] = None,
         wall_seconds: float = 0.0,
     ) -> WorkerReport:
-        """Gather every worker's ServeReport and aggregate, cluster-style."""
+        """Gather every worker's state and aggregate, cluster-style.
+
+        On the pipe transport each worker returns its full
+        ``ServeReport``. On the shm transport the workers are thin
+        resolvers — they return counter dicts — and the update-plane
+        accounting (rebuilds, cycles, structure sizes) comes from the
+        frontend-hosted publisher, plus the published image segment the
+        workers share (counted once: it is physically one mapping).
+        """
         futures = [
             self._submit(handle, "report", scenario) for handle in self._handles
         ]
@@ -889,32 +1466,71 @@ class WorkerPool:
         shard_rows: List[dict] = []
         stale = mismatches = rebuilds = generation = pending = size = peak = 0
         worker_update = rebuild_seconds = rebuild_cycles = 0.0
-        for handle, record in zip(self._handles, records):
-            stale += record.stale_lookups
-            mismatches += record.label_mismatches
-            rebuilds += record.rebuilds
-            generation += record.generation
-            pending += record.pending_updates
-            size += record.size_bits
-            peak += record.peak_size_bits
-            worker_update += record.update_seconds
-            rebuild_seconds += record.rebuild_seconds
-            rebuild_cycles += record.rebuild_cycles
-            shard_rows.append(
-                {
-                    "shard": handle.index,
-                    "lo": handle.lo,
-                    "hi": handle.hi,
-                    "routes": handle.routes,
-                    "lookups": record.lookups,
-                    "lookup_seconds": record.lookup_seconds,
-                    "staleness": record.staleness,
-                    "rebuilds": record.rebuilds,
-                    "generation": record.generation,
-                    "size_bits": record.size_bits,
-                    "peak_size_bits": record.peak_size_bits,
-                }
+        if self._transport == "shm":
+            published = self._publisher.report(scenario=scenario)
+            image_bits = 8 * self._program_segment.size
+            stale = self._stale_lookups
+            rebuilds = published.rebuilds
+            pending = len(self._publish_proxy.pending)
+            # One publisher + one shared image; while a publish is in
+            # flight two generations of the image are linked at once.
+            size = published.size_bits + image_bits
+            peak = published.peak_size_bits + image_bits * (
+                2 if self._publishes else 1
             )
+            # The publisher's own update/rebuild clocks are inside the
+            # pool's measured walls (it runs on the frontend), so only
+            # the pool's clocks are reported — no double counting.
+            rebuild_seconds = self._rebuild_seconds
+            rebuild_cycles = published.rebuild_cycles
+            # Staleness is a pool-wide property on this plane (every
+            # worker lags the same unpublished backlog identically).
+            pool_staleness = stale / self._lookups if self._lookups else 0.0
+            for handle, record in zip(self._handles, records):
+                generation += record["generation"]
+                shard_rows.append(
+                    {
+                        "shard": handle.index,
+                        "lo": handle.lo,
+                        "hi": handle.hi,
+                        "routes": handle.routes,
+                        "lookups": record["lookups"],
+                        "lookup_seconds": record["lookup_seconds"],
+                        "staleness": pool_staleness,
+                        "rebuilds": 0,
+                        "generation": record["generation"],
+                        "size_bits": record["size_bits"],
+                        "peak_size_bits": record["size_bits"],
+                        "attach_seconds": record["attach_seconds"],
+                    }
+                )
+        else:
+            for handle, record in zip(self._handles, records):
+                stale += record.stale_lookups
+                mismatches += record.label_mismatches
+                rebuilds += record.rebuilds
+                generation += record.generation
+                pending += record.pending_updates
+                size += record.size_bits
+                peak += record.peak_size_bits
+                worker_update += record.update_seconds
+                rebuild_seconds += record.rebuild_seconds
+                rebuild_cycles += record.rebuild_cycles
+                shard_rows.append(
+                    {
+                        "shard": handle.index,
+                        "lo": handle.lo,
+                        "hi": handle.hi,
+                        "routes": handle.routes,
+                        "lookups": record.lookups,
+                        "lookup_seconds": record.lookup_seconds,
+                        "staleness": record.staleness,
+                        "rebuilds": record.rebuilds,
+                        "generation": record.generation,
+                        "size_bits": record.size_bits,
+                        "peak_size_bits": record.peak_size_bits,
+                    }
+                )
         applied = self._updates_applied
         return WorkerReport(
             name=self.name,
@@ -948,6 +1564,11 @@ class WorkerPool:
             spawn_seconds=self._spawn_seconds,
             wall_lookup_seconds=self._wall_lookup_seconds,
             wall_seconds=wall_seconds,
+            transport=self._transport,
+            attach_seconds=self._attach_seconds,
+            publishes=self._publishes,
+            bytes_tx=self._bytes_tx,
+            bytes_rx=self._bytes_rx,
         )
 
     def _replicated_routes(self) -> int:
@@ -962,7 +1583,14 @@ class WorkerPool:
     # ---------------------------------------------------------------- closing
 
     def close(self, join_timeout: float = 5.0) -> None:
-        """Shut every worker down (idempotent; terminates stragglers)."""
+        """Shut every worker down (idempotent; terminates stragglers).
+
+        The frontend owns every shared-memory segment — rings and
+        program images — and unlinks each exactly once here, whether
+        the workers exited cleanly, crashed mid-batch, or never came
+        up: a crashed worker's mappings die with its process, so after
+        ``close()`` nothing of the pool remains in ``/dev/shm``.
+        """
         if self._closed:
             return
         self._closed = True
@@ -982,6 +1610,23 @@ class WorkerPool:
                 handle.conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        if self._ring_reader is not None:
+            self._ring_reader.join(2.0)  # sees _closed within one sweep
+            self._ring_reader = None
+        for ring in self._rings:
+            ring.close()  # owner side: unlinks the segment
+        self._rings.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view escaped
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._program_segment = None
 
 
 class AsyncFibFrontend:
@@ -1071,6 +1716,8 @@ def serve_worker_scenario(
     start_method: str = DEFAULT_START_METHOD,
     window: int = DEFAULT_WINDOW,
     timeout: float = DEFAULT_TIMEOUT,
+    transport: str = DEFAULT_TRANSPORT,
+    ring_bytes: int = DEFAULT_RING_BYTES,
 ) -> WorkerReport:
     """Replay one script through a real multi-process worker pool.
 
@@ -1091,6 +1738,8 @@ def serve_worker_scenario(
         granularity=granularity,
         start_method=start_method,
         timeout=timeout,
+        transport=transport,
+        ring_bytes=ring_bytes,
     )
     try:
         frontend = AsyncFibFrontend(pool, window=window)

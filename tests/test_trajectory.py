@@ -39,7 +39,18 @@ def _cluster(four_shard):
     }
 
 
-def _workers(four_worker, gated=True):
+def _workers(four_worker, gated=True, shm_compiled=2.5):
+    return {
+        "speedups": {"4-prefix": four_worker},
+        "gated": gated,
+        "compiled_speedup": {"shm": shm_compiled, "pipe": 0.9},
+        "model_agreement": {"shm": 0.8, "pipe": 0.5},
+        "baseline_mlps": 1.0,
+    }
+
+
+def _workers_legacy(four_worker, gated=True):
+    # Pre-shm schema: compiled_speedup/model_agreement were floats.
     return {
         "speedups": {"4-prefix": four_worker},
         "gated": gated,
@@ -107,6 +118,55 @@ class TestCompare:
         _write(tmp_path / "new", "BENCH_workers.json", _workers(1.2, gated=True))
         failures, _ = check_trajectory.check(tmp_path / "base", tmp_path / "new")
         assert len(failures) == 1
+
+    def test_shm_compiled_speedup_gates_when_both_gated(self, tmp_path):
+        # The zero-copy ratio is a gated metric; the pipe compiled
+        # foil only warns.
+        base = _workers(3.0, gated=True, shm_compiled=3.0)
+        fresh = _workers(3.0, gated=True, shm_compiled=1.1)
+        fresh["compiled_speedup"]["pipe"] = 0.1
+        _write(tmp_path / "base", "BENCH_workers.json", base)
+        _write(tmp_path / "new", "BENCH_workers.json", fresh)
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new"
+        )
+        assert len(failures) == 1
+        assert "compiled_speedup.shm" in failures[0]
+        assert any("compiled_speedup.pipe" in warning for warning in warnings)
+
+    def test_model_agreement_gates_per_transport_when_both_gated(self, tmp_path):
+        base = _workers(3.0, gated=True)
+        fresh = _workers(3.0, gated=True)
+        fresh["model_agreement"] = {"shm": 0.1, "pipe": 0.5}
+        _write(tmp_path / "base", "BENCH_workers.json", base)
+        _write(tmp_path / "new", "BENCH_workers.json", fresh)
+        failures, _ = check_trajectory.check(tmp_path / "base", tmp_path / "new")
+        assert len(failures) == 1
+        assert "model_agreement.shm" in failures[0]
+
+    def test_model_agreement_warns_when_ungated(self, tmp_path):
+        # A 1-CPU agreement number is noise, never a ratchet.
+        base = _workers(3.0, gated=False)
+        fresh = _workers(3.0, gated=False)
+        fresh["model_agreement"] = {"shm": 0.05, "pipe": 0.05}
+        _write(tmp_path / "base", "BENCH_workers.json", base)
+        _write(tmp_path / "new", "BENCH_workers.json", fresh)
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new"
+        )
+        assert failures == []
+        assert any("model_agreement.shm" in warning for warning in warnings)
+
+    def test_legacy_float_compiled_speedup_still_compares(self, tmp_path):
+        # A pre-shm float baseline against a per-transport fresh run:
+        # the keys no longer line up, so nothing gates — the reseeded
+        # baseline picks the new schema up on the next commit.
+        _write(
+            tmp_path / "base", "BENCH_workers.json", _workers_legacy(3.0)
+        )
+        _write(tmp_path / "new", "BENCH_workers.json", _workers(3.0))
+        failures, _ = check_trajectory.check(tmp_path / "base", tmp_path / "new")
+        assert failures == []
 
     def test_missing_fresh_file_skips_unless_strict(self, tmp_path):
         _write(tmp_path / "base", "BENCH_pipeline.json", _pipeline(80.0, 4.0))

@@ -44,9 +44,11 @@ def small_fib():
     return random_fib(rng, entries=160, delta=6, max_length=14)
 
 
-@pytest.fixture(scope="module")
-def pool(small_fib):
-    with WorkerPool("prefix-dag", small_fib, workers=2) as pool:
+@pytest.fixture(scope="module", params=["shm", "pipe"])
+def pool(small_fib, request):
+    with WorkerPool(
+        "prefix-dag", small_fib, workers=2, transport=request.param
+    ) as pool:
         yield pool
 
 
@@ -63,12 +65,16 @@ class TestPoolServing:
         assert pool.lookup_batch([]) == []
 
     def test_update_round_trip(self, pool):
-        # Announce through the pool, observe through the pool.
+        # Announce through the pool, observe through the pool. On the
+        # shm transport the workers adopt updates at the next published
+        # generation, so drain the update plane before observing.
         op = UpdateOp(0b1010, 4, 3)
         assert pool.apply_update(op) is True
+        pool.quiesce()
         address = 0b1010 << 28
         assert pool.lookup(address) == 3
         assert pool.apply_update(UpdateOp(0b1010, 4, None)) is True
+        pool.quiesce()
 
     def test_bogus_withdrawal_skipped_pool_wide(self, pool):
         before = pool.control.copy()
@@ -94,8 +100,14 @@ class TestPoolServing:
         assert report.spawn_method == "spawn"
         assert report.spawn_seconds > 0
         assert report.lookups > 0
+        assert report.transport == pool.transport
+        assert report.bytes_tx > 0
+        assert report.bytes_rx > 0
+        if pool.transport == "shm":
+            assert report.attach_seconds > 0
         record = report.to_dict()
         assert record["workers"] == 2
+        assert record["transport"] == pool.transport
         assert "measured_lookup_mlps" in record
         assert "model_agreement" in record
         assert len(record["shard_rows"]) == 2
@@ -156,8 +168,11 @@ class TestEpochSwapOverControlChannel:
             assert pool.parity_fraction(probes) == 1.0
 
     def test_swaps_are_staggered_one_worker_per_event(self, small_fib):
+        # Staggering is a pipe-transport behavior: each worker rebuilds
+        # from its own backlog, so the coordinator must pace them one at
+        # a time. (On shm a publish adopts globally — covered below.)
         with WorkerPool(
-            "lc-trie", small_fib, workers=2, rebuild_every=4
+            "lc-trie", small_fib, workers=2, rebuild_every=4, transport="pipe"
         ) as pool:
             # Default-route updates replicate to every worker, so both
             # backlogs hit the threshold on the same event — yet the
@@ -168,6 +183,23 @@ class TestEpochSwapOverControlChannel:
             rows = pool.report().shard_rows
             generations = sorted(row["generation"] for row in rows)
             assert generations == [0, 1]
+
+    def test_shm_publish_adopts_globally(self, small_fib):
+        # On the shm transport the frontend publishes one program image
+        # and every worker attaches it, so a swap moves all workers to
+        # the same generation in the same tick.
+        with WorkerPool(
+            "lc-trie", small_fib, workers=2, rebuild_every=4, transport="shm"
+        ) as pool:
+            if pool.transport != "shm":
+                pytest.skip("shared memory unavailable on this host")
+            for index in range(4):
+                pool.apply_update(UpdateOp(0, 0, 1 + (index & 1)))
+            assert pool.coordinator.swaps == 1
+            rows = pool.report().shard_rows
+            generations = {row["generation"] for row in rows}
+            assert len(generations) == 1
+            assert generations.pop() >= 2
 
 
 class TestWorkerCrash:
