@@ -27,7 +27,14 @@ What is gated — and what deliberately is not:
   config changes.
 * **Missing files skip.** A trajectory absent on either side is noted
   and skipped, so the gate can be adopted file by file (pass
-  ``--strict`` to make a missing fresh file an error).
+  ``--strict`` to make a missing fresh file an error). With
+  ``--seed-missing`` a missing or unreadable committed baseline is
+  *seeded* from the fresh run — the gate stays inert for that file on
+  this run (and says so) but bites from the next baseline commit on.
+* **No silent vacuous passes.** A baseline that parses but yields no
+  comparable metrics (an empty ``rows`` list, a ``[]`` file, a stale
+  schema) compares nothing — the gate warns exactly which file was
+  skipped and why instead of reporting success on zero comparisons.
 
 Usage (what CI runs after regenerating the trajectories)::
 
@@ -183,6 +190,15 @@ def compare_trajectory(
     """
     failures: List[str] = []
     warnings: List[str] = []
+    if not isinstance(baseline, dict) or not isinstance(fresh, dict):
+        # A seeded-but-never-run trajectory is committed as `[]`; a
+        # bare list (or any non-object) holds no config and no rows.
+        side = "baseline" if not isinstance(baseline, dict) else "fresh run"
+        warnings.append(
+            f"{name}: {side} is not a trajectory object "
+            "(empty-seed `[]`?); nothing compared — regenerate it"
+        )
+        return failures, warnings
     mismatched = _config_mismatch(name, baseline, fresh)
     if mismatched:
         warnings.append(
@@ -193,6 +209,20 @@ def compare_trajectory(
         return failures, warnings
     base = _metrics(name, baseline)
     new = _metrics(name, fresh)
+    if not base:
+        # Zero comparisons is not a pass: say which file contributed
+        # nothing (empty rows, stale schema) instead of staying silent.
+        warnings.append(
+            f"{name}: baseline yields no comparable metrics "
+            "(empty rows or stale schema); nothing gated — regenerate "
+            "the committed baseline"
+        )
+        return failures, warnings
+    if not new:
+        warnings.append(
+            f"{name}: fresh run yields no comparable metrics; nothing gated"
+        )
+        return failures, warnings
     for metric, (base_value, base_gated) in sorted(base.items()):
         if metric not in new:
             warnings.append(f"{name}: {metric} missing from the fresh run")
@@ -229,30 +259,63 @@ def compare_trajectory(
     return failures, warnings
 
 
+def _load(path: Path) -> Tuple[object, str]:
+    """(payload, error) — error is '' when the file parsed."""
+    try:
+        return json.loads(path.read_text()), ""
+    except (OSError, ValueError) as error:
+        return None, str(error)
+
+
 def check(
     baseline_dir: Path,
     fresh_dir: Path,
     tolerance: float = DEFAULT_TOLERANCE,
     strict: bool = False,
+    seed_missing: bool = False,
 ) -> Tuple[List[str], List[str]]:
-    """(failures, warnings) across every known trajectory file."""
+    """(failures, warnings) across every known trajectory file.
+
+    ``seed_missing`` copies the fresh trajectory over a missing or
+    unparseable committed baseline instead of merely skipping it: the
+    gate stays inert for that file on this run (the warning says so)
+    but has a baseline to bite on from the next commit.
+    """
     failures: List[str] = []
     warnings: List[str] = []
     for name in TRAJECTORIES:
         baseline_path = baseline_dir / name
         fresh_path = fresh_dir / name
-        if not baseline_path.is_file():
-            warnings.append(f"{name}: no committed baseline; skipped")
-            continue
+        baseline, baseline_error = (
+            _load(baseline_path) if baseline_path.is_file() else (None, "absent")
+        )
         if not fresh_path.is_file():
             message = f"{name}: fresh trajectory missing"
             (failures if strict else warnings).append(message)
             continue
+        if baseline_error:
+            reason = (
+                "no committed baseline"
+                if baseline_error == "absent"
+                else f"unreadable baseline ({baseline_error})"
+            )
+            if seed_missing:
+                baseline_dir.mkdir(parents=True, exist_ok=True)
+                baseline_path.write_text(fresh_path.read_text())
+                warnings.append(
+                    f"{name}: {reason}; seeded from the fresh run — gate "
+                    "inert this run, commit the seeded baseline to arm it"
+                )
+            else:
+                warnings.append(f"{name}: {reason}; skipped")
+            continue
+        fresh, fresh_error = _load(fresh_path)
+        if fresh_error:
+            message = f"{name}: unreadable fresh trajectory ({fresh_error})"
+            (failures if strict else warnings).append(message)
+            continue
         failures_, warnings_ = compare_trajectory(
-            name,
-            json.loads(baseline_path.read_text()),
-            json.loads(fresh_path.read_text()),
-            tolerance,
+            name, baseline, fresh, tolerance
         )
         failures.extend(failures_)
         warnings.extend(warnings_)
@@ -286,11 +349,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat a missing fresh trajectory as a failure",
     )
+    parser.add_argument(
+        "--seed-missing",
+        action="store_true",
+        help="copy the fresh trajectory over a missing or unreadable "
+        "committed baseline (gate inert for that file this run)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
     failures, warnings = check(
-        args.baseline_dir, args.fresh_dir, args.tolerance, args.strict
+        args.baseline_dir,
+        args.fresh_dir,
+        args.tolerance,
+        args.strict,
+        seed_missing=args.seed_missing,
     )
     for message in warnings:
         print(f"warning: {message}", file=sys.stderr)

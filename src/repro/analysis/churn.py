@@ -28,12 +28,22 @@ CHURN_HEADERS = (
     "plane",
     "lookup Mlps",
     "update kops",
+    "p50[us]",
+    "p99[us]",
     "rebuilds",
     "stale%",
     "mismatches",
     "peak[KB]",
     "parity",
 )
+
+
+def _latency_cell(seconds, scale: float = 1e6) -> str:
+    """Pre-formatted latency column: ``-`` on uninstrumented runs (the
+    quantile properties return None without an obs snapshot)."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * scale:.1f}"
 
 
 def churn_row(report) -> tuple:
@@ -44,6 +54,8 @@ def churn_row(report) -> tuple:
         report.plane,
         report.lookup_mlps,
         report.update_kops,
+        _latency_cell(report.lookup_latency_p50),
+        _latency_cell(report.lookup_latency_p99),
         report.rebuilds,
         f"{report.staleness * 100:.1f}%",
         report.label_mismatches,
@@ -89,6 +101,9 @@ WORKER_HEADERS = CLUSTER_HEADERS + (
     "agree",
     "transport",
     "attach[ms]",
+    "tx[MB]",
+    "rx[MB]",
+    "vis p99[ms]",
 )
 
 
@@ -97,14 +112,20 @@ def worker_row(report) -> tuple:
     the cluster columns, then the *measured* wall-clock lookup
     throughput, its agreement with the critical-path model (the
     inherited ``lookup Mlps`` column is the model's prediction), the
-    data-plane transport the pool actually served over, and the worst
+    data-plane transport the pool actually served over, the worst
     per-worker program-segment attach time (``-`` on the pipe plane,
-    which rebuilds instead of attaching)."""
+    which rebuilds instead of attaching), the data-plane payload the
+    frontend moved each way, and the p99 update-visibility window
+    (ingress to first lookup served with the update visible; ``-``
+    on uninstrumented runs)."""
     return cluster_row(report) + (
         report.measured_lookup_mlps,
         f"{report.model_agreement * 100:.0f}%",
         report.transport,
         "-" if report.transport != "shm" else f"{report.attach_seconds * 1e3:.2f}",
+        f"{report.bytes_tx / 1e6:.2f}",
+        f"{report.bytes_rx / 1e6:.2f}",
+        _latency_cell(report.visibility_p99, scale=1e3),
     )
 
 

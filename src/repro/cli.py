@@ -42,6 +42,13 @@ import sys
 from typing import Dict, Optional, Sequence
 
 from repro import pipeline, serve
+from repro.obs import (
+    NULL_REGISTRY,
+    SCHEMA as OBS_SCHEMA,
+    MetricsExporter,
+    Registry,
+    write_json as write_metrics_json,
+)
 from repro.analysis import (
     Table2Inputs,
     banner,
@@ -307,8 +314,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     names = args.representations or SERVE_DEFAULT_REPRESENTATIONS
     sharded = args.shards > 1
     pooled = args.workers > 0
+    instrumented = args.metrics_json is not None or args.metrics_port is not None
+    registries: Dict[str, Registry] = {}
+    exporter = None
+    if args.metrics_port is not None:
+        # Live view across every representation served so far (the
+        # per-row snapshots in --metrics-json stay separate).
+        def _merged_snapshot() -> dict:
+            merged = Registry()
+            for registry in registries.values():
+                merged.merge(registry)
+            return merged.snapshot()
+
+        exporter = MetricsExporter(_merged_snapshot, port=args.metrics_port)
+        print(
+            f"metrics on http://127.0.0.1:{exporter.port}/metrics "
+            f"(and /json) for the run's lifetime",
+            file=sys.stderr,
+        )
     reports = []
     for name in names:
+        obs_registry = Registry() if instrumented else NULL_REGISTRY
+        if instrumented:
+            registries[name] = obs_registry
         if pooled:
             reports.append(
                 serve.serve_worker_scenario(
@@ -324,6 +352,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     start_method=args.start_method,
                     window=args.window,
                     transport=args.transport,
+                    obs=obs_registry,
                 )
             )
         elif sharded:
@@ -338,6 +367,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     options=overrides.get(name, {}),
                     rebuild_every=args.rebuild_every,
                     parity_probes=probes,
+                    obs=obs_registry,
                 )
             )
         else:
@@ -350,6 +380,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     options=overrides.get(name, {}),
                     rebuild_every=args.rebuild_every,
                     parity_probes=probes,
+                    obs=obs_registry,
                 )
             )
         print(f"served {name} ({reports[-1].plane} plane)", file=sys.stderr)
@@ -405,6 +436,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "rows": [report.to_dict() for report in reports],
             },
         )
+    if args.metrics_json is not None:
+        write_metrics_json(
+            args.metrics_json,
+            {
+                "schema": OBS_SCHEMA,
+                "command": "serve-metrics",
+                "scenario": args.scenario,
+                "profile": args.profile,
+                "scale": args.scale,
+                "lookups": args.lookups,
+                "updates": args.updates,
+                "seed": args.seed,
+                "shards": args.shards,
+                "workers": args.workers,
+                "transport": args.transport if pooled else None,
+                "rows": [
+                    {
+                        "name": report.name,
+                        "plane": report.plane,
+                        "lookup_latency_p50": report.lookup_latency_p50,
+                        "lookup_latency_p99": report.lookup_latency_p99,
+                        "visibility_p99": report.visibility_p99,
+                        "snapshot": report.obs,
+                    }
+                    for report in reports
+                ],
+            },
+        )
+        print(f"metrics snapshot written to {args.metrics_json}", file=sys.stderr)
+    if exporter is not None:
+        exporter.close()
     print("serve parity OK" if status == 0 else "SERVE PARITY BROKEN", file=sys.stderr)
     return status
 
@@ -651,6 +713,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the rows as JSON to PATH ('-' for stdout)",
+    )
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="instrument the runs and write a repro.obs/v1 telemetry "
+        "snapshot per representation to PATH",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=count_arg,
+        default=None,
+        metavar="PORT",
+        help="instrument the runs and expose live Prometheus-text metrics "
+        "on http://127.0.0.1:PORT/metrics for the process lifetime "
+        "(0 picks a free port)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -1,0 +1,57 @@
+"""repro.obs — the live telemetry plane.
+
+In-process instruments (:mod:`repro.obs.core`), the cross-process
+update-visibility trace (:mod:`repro.obs.trace`), and snapshot
+exposition (:mod:`repro.obs.expose`). Every serving layer takes an
+optional ``obs=Registry(...)``; the default :data:`NULL_REGISTRY`
+makes all instrumentation no-op-cheap. See ``docs/observability.md``
+for the full metric catalogue.
+"""
+
+from .core import (
+    DEFAULT_MAX_SERIES,
+    NULL_REGISTRY,
+    OVERFLOW_LABELS,
+    SCHEMA,
+    ZERO_BUCKET,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    bucket_bounds,
+    bucket_index,
+    snapshot_count,
+    snapshot_quantile,
+    snapshot_value,
+)
+from .expose import (
+    MetricsExporter,
+    to_prometheus,
+    validate_metrics_payload,
+    write_json,
+)
+from .trace import VISIBILITY_METRIC, VisibilityTracker, now_ns
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "MetricsExporter",
+    "VisibilityTracker",
+    "NULL_REGISTRY",
+    "OVERFLOW_LABELS",
+    "DEFAULT_MAX_SERIES",
+    "SCHEMA",
+    "VISIBILITY_METRIC",
+    "ZERO_BUCKET",
+    "bucket_bounds",
+    "bucket_index",
+    "now_ns",
+    "snapshot_count",
+    "snapshot_quantile",
+    "snapshot_value",
+    "to_prometheus",
+    "validate_metrics_payload",
+    "write_json",
+]

@@ -1,0 +1,506 @@
+"""repro.obs.core — instruments, registry, snapshot/merge semantics.
+
+The telemetry substrate every serving layer threads through
+(:mod:`repro.serve.server` per-batch latency histograms,
+:mod:`repro.serve.cluster` fan-out clocks and shard gauges,
+:mod:`repro.serve.workers` ring counters and the cross-process
+update-visibility trace). Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (``inc``);
+* :class:`Gauge` — last-written point-in-time values (``set``/``add``);
+* :class:`Histogram` — **log2-bucketed** distributions: an observation
+  ``v > 0`` lands in the bucket keyed by its binary exponent ``e``
+  (``math.frexp``), covering ``[2**(e-1), 2**e)``; non-positive
+  observations land in the reserved :data:`ZERO_BUCKET`. Two to three
+  orders of magnitude of latency fit in ~10 integer buckets with no
+  edge configuration, and merging is pure bucket-count addition.
+
+Every instrument supports **labels**: declare ``labelnames`` at
+registration and address one series with ``labels(*values)`` (children
+are cached — hot paths bind them once). A per-instrument **cardinality
+guard** folds label sets beyond ``max_series`` into one
+``"__overflow__"`` series instead of growing without bound.
+
+A :class:`Registry` owns the instruments of one process (or one
+serving layer). ``snapshot()`` produces a JSON-ready dict and
+``merge()`` folds another registry's snapshot in — counters and
+histogram buckets add, gauges add (across workers the label sets are
+disjoint, so the sum is a union), histogram min/max take the extremes.
+Merge is associative and commutative, which is what lets worker-side
+registries ship over the control channel in any order and land in the
+frontend registry equal to an in-process run.
+
+**Disabled mode is free.** ``Registry(enabled=False)`` (or the shared
+:data:`NULL_REGISTRY`) hands out no-op singletons: every ``inc`` /
+``observe`` / ``set`` / ``time`` is one attribute fetch and an empty
+call, so instrumented hot paths stay honest when nobody is watching.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Snapshot schema tag (bumped on incompatible layout changes).
+SCHEMA = "repro.obs/v1"
+
+#: Bucket key for non-positive histogram observations. Real exponents
+#: from ``math.frexp`` live in [-1073, 1024]; this can never collide.
+ZERO_BUCKET = -2048
+
+#: Default per-instrument label-set cap (the cardinality guard).
+DEFAULT_MAX_SERIES = 64
+
+#: The label tuple runaway label sets are folded into.
+OVERFLOW_LABELS = ("__overflow__",)
+
+
+def bucket_index(value: float) -> int:
+    """The log2 bucket of one observation: the binary exponent ``e``
+    with ``2**(e-1) <= value < 2**e`` (:data:`ZERO_BUCKET` for
+    ``value <= 0``)."""
+    if value <= 0:
+        return ZERO_BUCKET
+    return math.frexp(value)[1]
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """The ``[lo, hi)`` value range of one bucket key."""
+    if index == ZERO_BUCKET:
+        return 0.0, 0.0
+    return math.ldexp(1.0, index - 1), math.ldexp(1.0, index)
+
+
+# ------------------------------------------------------------------ children
+
+
+class _CounterSeries:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class _GaugeSeries:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class _Timer:
+    """``with hist.time(): ...`` — observes elapsed ``perf_counter``."""
+
+    __slots__ = ("_series", "_started")
+
+    def __init__(self, series: "_HistogramSeries"):
+        self._series = series
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._series.observe(time.perf_counter() - self._started)
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = ZERO_BUCKET if value <= 0 else math.frexp(value)[1]
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def time(self) -> _Timer:
+        return _Timer(self)
+
+    def quantile(self, q: float) -> float:
+        """Estimate one quantile from the buckets (linear interpolation
+        inside the holding bucket, clamped to the observed extremes)."""
+        if not self.count:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 1:
+            return self.max
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            here = self.buckets[index]
+            if seen + here >= rank:
+                lo, hi = bucket_bounds(index)
+                estimate = lo + (hi - lo) * ((rank - seen) / here)
+                return min(max(estimate, self.min), self.max)
+            seen += here
+        return self.max  # pragma: no cover - rank <= count always lands
+
+
+# -------------------------------------------------------------- instruments
+
+
+class _Instrument:
+    """Shared label-series machinery of one named instrument."""
+
+    kind = "untyped"
+    _series_cls = _CounterSeries
+
+    __slots__ = ("name", "help", "labelnames", "max_series", "_series", "_default")
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                 max_series: int = DEFAULT_MAX_SERIES):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.max_series = max_series
+        self._series: Dict[Tuple[str, ...], object] = {}
+        # The unlabeled instrument *is* its sole series, bound once.
+        self._default = None if self.labelnames else self._child(())
+
+    def _child(self, key: Tuple[str, ...]):
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series and key != OVERFLOW_LABELS:
+                # Cardinality guard: runaway label sets share one bin
+                # instead of growing the registry without bound.
+                return self._child(OVERFLOW_LABELS)
+            series = self._series_cls()
+            self._series[key] = series
+        return series
+
+    def labels(self, *values):
+        """The series for one label-value tuple (cached; bind once on
+        hot paths). Values are stringified for snapshot stability."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, got {values!r}"
+            )
+        return self._child(tuple(str(value) for value in values))
+
+    def _require_default(self):
+        if self._default is None:
+            raise ValueError(
+                f"{self.name} is labeled {self.labelnames}; use .labels(...)"
+            )
+        return self._default
+
+
+class Counter(_Instrument):
+    kind = "counter"
+    _series_cls = _CounterSeries
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        self._require_default().inc(amount)
+
+    @property
+    def value(self):
+        return self._require_default().value
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+    _series_cls = _GaugeSeries
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        self._require_default().set(value)
+
+    def add(self, amount: float) -> None:
+        self._require_default().add(amount)
+
+    @property
+    def value(self):
+        return self._require_default().value
+
+
+class Histogram(_Instrument):
+    kind = "histogram"
+    _series_cls = _HistogramSeries
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        self._require_default().observe(value)
+
+    def time(self) -> _Timer:
+        return self._require_default().time()
+
+    def quantile(self, q: float) -> float:
+        return self._require_default().quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self._require_default().count
+
+    @property
+    def sum(self) -> float:
+        return self._require_default().sum
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+# ------------------------------------------------------------- null objects
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _NullInstrument:
+    """Absorbs every instrument call at one-attribute-fetch cost."""
+
+    __slots__ = ()
+    count = 0
+    sum = 0.0
+    value = 0
+
+    def labels(self, *values) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def add(self, amount: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def time(self) -> _NullTimer:
+        return _NULL_TIMER
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+# ---------------------------------------------------------------- registry
+
+
+class Registry:
+    """One process's (or one serving layer's) instrument namespace.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create by name (the
+    same name must keep the same kind and labelnames). When the
+    registry is disabled every accessor returns the shared no-op
+    instrument and ``snapshot()`` is empty.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_series: int = DEFAULT_MAX_SERIES):
+        self.enabled = enabled
+        self.max_series = max_series
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # ------------------------------------------------------------ factories
+
+    def _get(self, cls, name: str, help: str, labelnames: Sequence[str]):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help, labelnames, self.max_series)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"{name} already registered as {instrument.kind}, "
+                f"not {cls.kind}"
+            )
+        if tuple(labelnames) != instrument.labelnames:
+            raise ValueError(
+                f"{name} already registered with labels "
+                f"{instrument.labelnames}, not {tuple(labelnames)}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = ()) -> Histogram:
+        return self._get(Histogram, name, help, labelnames)
+
+    def span(self, name: str, help: str = "") -> _Timer:
+        """``with registry.span("serve_rebuild_seconds"): ...`` — time a
+        region on ``perf_counter`` into the named histogram."""
+        return self.histogram(name, help).time()
+
+    # timer() is span()'s instrument-first twin, for pre-bound histograms.
+    @staticmethod
+    def timer(histogram) -> _Timer:
+        return histogram.time()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every instrument (empty when disabled)."""
+        metrics = {}
+        for name, instrument in sorted(self._instruments.items()):
+            series_out = []
+            for key, series in sorted(instrument._series.items()):
+                record: dict = {"labels": list(key)}
+                if instrument.kind == "histogram":
+                    record.update(
+                        count=series.count,
+                        sum=series.sum,
+                        min=series.min if series.count else 0.0,
+                        max=series.max if series.count else 0.0,
+                        buckets={
+                            str(index): count
+                            for index, count in sorted(series.buckets.items())
+                        },
+                    )
+                else:
+                    record["value"] = series.value
+                series_out.append(record)
+            metrics[name] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "labels": list(instrument.labelnames),
+                "series": series_out,
+            }
+        return {"schema": SCHEMA, "metrics": metrics}
+
+    # ---------------------------------------------------------------- merge
+
+    def merge(self, other) -> "Registry":
+        """Fold another registry (or its snapshot dict) into this one.
+
+        Counters and histogram buckets add; gauges add (worker label
+        sets are disjoint, so the sum is a union); histogram min/max
+        take the extremes. Associative and commutative — worker
+        snapshots can arrive over the control channel in any order.
+        """
+        if isinstance(other, Registry):
+            other = other.snapshot()
+        if not self.enabled:
+            return self
+        for name, payload in other.get("metrics", {}).items():
+            cls = _KINDS.get(payload.get("type"))
+            if cls is None:
+                raise ValueError(
+                    f"cannot merge {name}: unknown type {payload.get('type')!r}"
+                )
+            instrument = self._get(
+                cls, name, payload.get("help", ""), payload.get("labels", ())
+            )
+            for record in payload.get("series", ()):
+                series = instrument._child(tuple(record.get("labels", ())))
+                if cls is Histogram:
+                    count = record.get("count", 0)
+                    if not count:
+                        continue
+                    series.count += count
+                    series.sum += record.get("sum", 0.0)
+                    series.min = min(series.min, record.get("min", math.inf))
+                    series.max = max(series.max, record.get("max", -math.inf))
+                    for index, bucket_count in record.get("buckets", {}).items():
+                        index = int(index)
+                        series.buckets[index] = (
+                            series.buckets.get(index, 0) + bucket_count
+                        )
+                else:  # counter and gauge both fold by addition
+                    series.value += record.get("value", 0)
+        return self
+
+
+#: The shared disabled registry instrumented layers default to.
+NULL_REGISTRY = Registry(enabled=False)
+
+
+# ------------------------------------------------------- snapshot accessors
+
+
+def _snapshot_series(snapshot: Optional[dict], name: str,
+                     labels: Optional[Sequence[str]] = None) -> Iterable[dict]:
+    if not snapshot:
+        return ()
+    payload = snapshot.get("metrics", {}).get(name)
+    if payload is None:
+        return ()
+    records = payload.get("series", ())
+    if labels is None:
+        return records
+    wanted = [str(value) for value in labels]
+    return (r for r in records if r.get("labels") == wanted)
+
+
+def snapshot_value(snapshot: Optional[dict], name: str,
+                   labels: Optional[Sequence[str]] = None) -> float:
+    """Summed counter/gauge value of one metric in a snapshot dict."""
+    return sum(r.get("value", 0) for r in _snapshot_series(snapshot, name, labels))
+
+
+def snapshot_count(snapshot: Optional[dict], name: str,
+                   labels: Optional[Sequence[str]] = None) -> int:
+    """Summed histogram observation count of one metric in a snapshot."""
+    return sum(r.get("count", 0) for r in _snapshot_series(snapshot, name, labels))
+
+
+def snapshot_quantile(snapshot: Optional[dict], name: str, q: float,
+                      labels: Optional[Sequence[str]] = None) -> Optional[float]:
+    """Estimate one quantile of a histogram metric in a snapshot dict,
+    merging the matching series first. None when the metric is absent
+    or empty — table renderers print ``-`` for it."""
+    merged = _HistogramSeries()
+    for record in _snapshot_series(snapshot, name, labels):
+        count = record.get("count", 0)
+        if not count:
+            continue
+        merged.count += count
+        merged.sum += record.get("sum", 0.0)
+        merged.min = min(merged.min, record.get("min", math.inf))
+        merged.max = max(merged.max, record.get("max", -math.inf))
+        for index, bucket_count in record.get("buckets", {}).items():
+            index = int(index)
+            merged.buckets[index] = merged.buckets.get(index, 0) + bucket_count
+    if not merged.count:
+        return None
+    return merged.quantile(q)

@@ -1,0 +1,77 @@
+"""repro.obs.trace — cross-process update-visibility tracing.
+
+The question the trace answers: *how long after an update enters the
+frontend does a lookup actually see the new route?* Four stamps:
+
+1. **ingress** — ``apply_update`` accepts the op (frontend or server);
+2. **publish** — the rebuild/publish cycle that carries it completes
+   (epoch plane) or the op is applied in place (incremental plane);
+3. **adoption** — a shm worker's ``OP_ATTACH`` swaps in the generation
+   that contains it;
+4. **first lookup** — the first batch served at (or after) that
+   generation.
+
+The histogram ``update_visibility_seconds`` records (4) − (1). Stamps
+cross the process boundary, so they use :func:`now_ns` —
+``time.monotonic_ns``, which on Linux reads ``CLOCK_MONOTONIC``: the
+same clock in every process of the machine, unaffected by wall-clock
+steps. ``perf_counter`` would *not* work here: its origin is
+per-process.
+
+The tracker is deliberately one-slot: under churn only the *oldest*
+unserved update matters (later ones are younger by construction), so
+``stamp()`` keeps the first ingress time until ``observe()`` drains
+it. That keeps the hot path at two attribute checks and makes the
+histogram an honest worst-of-window, not an average diluted by
+back-to-back updates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+#: Metric name shared by every layer that records visibility.
+VISIBILITY_METRIC = "update_visibility_seconds"
+
+
+def now_ns() -> int:
+    """Monotonic nanoseconds on a clock shared across local processes."""
+    return time.monotonic_ns()
+
+
+class VisibilityTracker:
+    """One-slot ingress→first-lookup stopwatch feeding a histogram."""
+
+    __slots__ = ("_histogram", "_ingress_ns")
+
+    def __init__(self, histogram):
+        self._histogram = histogram
+        self._ingress_ns: Optional[int] = None
+
+    @property
+    def pending(self) -> bool:
+        return self._ingress_ns is not None
+
+    def stamp(self, ingress_ns: Optional[int] = None) -> None:
+        """Record the oldest unserved update's ingress time. Later
+        stamps are ignored until :meth:`observe` drains the slot."""
+        if self._ingress_ns is None:
+            self._ingress_ns = now_ns() if ingress_ns is None else ingress_ns
+
+    def observe(self, served_ns: Optional[int] = None) -> Optional[float]:
+        """Close the window at first-lookup time; returns the observed
+        latency in seconds, or None when nothing was pending."""
+        if self._ingress_ns is None:
+            return None
+        if served_ns is None:
+            served_ns = now_ns()
+        elapsed = (served_ns - self._ingress_ns) / 1e9
+        self._ingress_ns = None
+        if elapsed < 0:  # clock confusion across hosts; never record it
+            return None
+        self._histogram.observe(elapsed)
+        return elapsed
+
+    def clear(self) -> None:
+        self._ingress_ns = None

@@ -64,6 +64,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.fib import Fib
 from repro.core.trie import BinaryTrie, TrieNode
 from repro.datasets.updates import UpdateOp
+from repro.obs import NULL_REGISTRY, Registry
 from repro.pipeline import registry
 from repro.pipeline.flat import have_numpy
 from repro.pipeline.shard import (
@@ -467,6 +468,7 @@ class FibCluster:
         batched: bool = True,
         measure_staleness: bool = True,
         granularity: Optional[int] = None,
+        obs: Registry = NULL_REGISTRY,
     ):
         self._plan = plan_cluster(fib, shards, mode=partition, granularity=granularity)
         self._spec = registry.get(name)
@@ -482,11 +484,28 @@ class FibCluster:
                 batched=batched,
                 measure_staleness=measure_staleness,
                 auto_rebuild=False,  # the coordinator owns epoch swaps
+                # One shared registry: shard servers are threads of the
+                # same process, so their serve_* series aggregate.
+                obs=obs,
             )
             self._shards.append(
                 ClusterShard(spec.index, spec.lo, spec.hi, spec.routes, server)
             )
         self._coordinator = EpochCoordinator(self._shards, rebuild_every)
+        self._obs = obs
+        self._obs_fanout = obs.histogram(
+            "cluster_fanout_seconds",
+            "whole-batch fan-out + merge wall time (critical path and "
+            "frontend merge work included)",
+        )
+        self._obs_shard_busy = [
+            obs.gauge(
+                "cluster_shard_busy_seconds",
+                "cumulative per-shard lookup busy time",
+                labelnames=("shard",),
+            ).labels(shard.index)
+            for shard in self._shards
+        ]
         self._lookups = 0
         self._batches = 0
         self._updates_applied = 0
@@ -557,6 +576,7 @@ class FibCluster:
         self._batches += 1
         if not len(addresses):
             return []
+        fanout_started = time.perf_counter()
         out: List[Optional[int]] = [None] * len(addresses)
         critical = 0.0
         for index, (positions, slice_) in self._plan.group(addresses).items():
@@ -568,12 +588,14 @@ class FibCluster:
             # Patch-log drains inside the shard are churn-induced work.
             self._update_seconds += server.update_seconds - update_before
             self._busy_lookup_seconds += spent
+            self._obs_shard_busy[index].add(spent)
             if spent > critical:
                 critical = spent
             for position, label in zip(positions, labels):
                 out[position] = label
         self._lookup_seconds += critical
         self._lookups += len(addresses)
+        self._obs_fanout.observe(time.perf_counter() - fanout_started)
         return out
 
     # ---------------------------------------------------------------- updates
@@ -753,6 +775,7 @@ class FibCluster:
             busy_lookup_seconds=self._busy_lookup_seconds,
             coordinator_swaps=self._coordinator.swaps,
             shard_rows=tuple(shard_rows),
+            obs=self._obs.snapshot() if self._obs.enabled else None,
         )
 
 
@@ -770,6 +793,7 @@ def serve_cluster_scenario(
     measure_staleness: bool = True,
     parity_probes: Sequence[int] = (),
     granularity: Optional[int] = None,
+    obs: Registry = NULL_REGISTRY,
 ) -> ClusterReport:
     """Replay one script through one sharded cluster, end to end.
 
@@ -787,6 +811,7 @@ def serve_cluster_scenario(
         batched=batched,
         measure_staleness=measure_staleness,
         granularity=granularity,
+        obs=obs,
     )
     cluster.replay(events)
     cluster.quiesce()

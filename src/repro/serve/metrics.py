@@ -48,6 +48,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Optional, Tuple
 
+from repro.obs import snapshot_quantile
+
 
 @dataclass
 class ServeReport:
@@ -73,6 +75,31 @@ class ServeReport:
     peak_size_bits: int
     rebuild_cycles: float
     final_parity: Optional[float] = None
+    #: Telemetry snapshot (``repro.obs/v1`` dict) when the run was
+    #: instrumented; None otherwise. On the multi-process plane this is
+    #: the frontend registry with every worker registry merged in.
+    obs: Optional[dict] = None
+
+    def obs_quantile(self, metric: str, q: float) -> Optional[float]:
+        """One quantile of a histogram in the attached obs snapshot
+        (None when uninstrumented or the histogram is empty)."""
+        return snapshot_quantile(self.obs, metric, q)
+
+    @property
+    def lookup_latency_p50(self) -> Optional[float]:
+        """Median per-batch lookup latency, seconds (obs runs only)."""
+        return self.obs_quantile("serve_lookup_latency_seconds", 0.50)
+
+    @property
+    def lookup_latency_p99(self) -> Optional[float]:
+        """p99 per-batch lookup latency, seconds (obs runs only)."""
+        return self.obs_quantile("serve_lookup_latency_seconds", 0.99)
+
+    @property
+    def visibility_p99(self) -> Optional[float]:
+        """p99 update-visibility latency — ingress to first lookup
+        served with the update visible, seconds (obs runs only)."""
+        return self.obs_quantile("update_visibility_seconds", 0.99)
 
     @property
     def plane(self) -> str:
@@ -128,6 +155,9 @@ class ServeReport:
             events_per_second=self.events_per_second,
             staleness=self.staleness,
             peak_size_kbytes=self.peak_size_kbytes,
+            lookup_latency_p50=self.lookup_latency_p50,
+            lookup_latency_p99=self.lookup_latency_p99,
+            visibility_p99=self.visibility_p99,
         )
         return record
 
@@ -256,11 +286,11 @@ class WorkerReport(ClusterReport):
 
     @property
     def model_agreement(self) -> float:
-        """Measured over predicted throughput, capped at 1.0 from
-        neither side: the fraction below 1.0 is fan-out overhead the
-        critical-path model does not price (serialization, pipes, the
-        frontend's merge); above 1.0 means pipelining overlapped more
-        than the model assumed."""
+        """Measured over predicted throughput, deliberately uncapped in
+        both directions: below 1.0 the shortfall is fan-out overhead
+        the critical-path model does not price (serialization, pipes,
+        the frontend's merge); above 1.0 means pipelining overlapped
+        more than the model assumed."""
         predicted = self.predicted_lookup_mlps
         measured = self.measured_lookup_mlps
         if not predicted or not measured:

@@ -68,6 +68,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.fib import Fib
 from repro.datasets.updates import UpdateOp
+from repro.obs import NULL_REGISTRY, Registry, VisibilityTracker
 from repro.pipeline import registry
 from repro.pipeline.base import flat_program, supports_updates
 from repro.serve.metrics import ServeReport
@@ -106,6 +107,13 @@ class FibServer:
         coordinator passes False and calls :meth:`rebuild` itself, so
         shard generations swap one at a time instead of all servers
         pausing on the same update tick.
+    obs:
+        Telemetry registry (:mod:`repro.obs`). Defaults to the shared
+        disabled registry, which makes every instrument call a no-op;
+        pass ``Registry()`` to record per-batch latency/batch-size
+        histograms, patch-drain and rebuild spans, and the
+        update-visibility histogram (ingress → first batch served with
+        no pending epoch lag).
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class FibServer:
         batched: bool = True,
         measure_staleness: bool = True,
         auto_rebuild: bool = True,
+        obs: Registry = NULL_REGISTRY,
     ):
         if rebuild_every < 1:
             raise ValueError(f"rebuild_every must be positive, got {rebuild_every}")
@@ -147,6 +156,39 @@ class FibServer:
         self._rebuild_seconds = 0.0
         self._rebuild_cycles = 0.0
         self._peak_size_bits = self._representation.size_bits()
+
+        # Telemetry: instruments are bound once here so the hot path
+        # pays one method call per event (no registry lookups).
+        self._obs = obs
+        self._obs_latency = obs.histogram(
+            "serve_lookup_latency_seconds",
+            "batched lookup latency (representation call only)",
+        )
+        self._obs_batch_size = obs.histogram(
+            "serve_batch_size", "addresses per served batch"
+        )
+        self._obs_lookups = obs.counter(
+            "serve_lookups_total", "addresses served"
+        )
+        self._obs_updates = obs.counter(
+            "serve_updates_total", "update operations by outcome",
+            labelnames=("outcome",),
+        )
+        self._obs_updates_applied = self._obs_updates.labels("applied")
+        self._obs_updates_skipped = self._obs_updates.labels("skipped")
+        self._obs_drain = obs.histogram(
+            "serve_patch_drain_seconds",
+            "patch-log replay into the compiled program (update clock)",
+        )
+        self._obs_rebuild = obs.histogram(
+            "serve_rebuild_seconds", "epoch rebuild + recompile spans"
+        )
+        self._visibility = VisibilityTracker(
+            obs.histogram(
+                "update_visibility_seconds",
+                "update ingress to first batch served with it visible",
+            )
+        )
 
     # ------------------------------------------------------------- properties
 
@@ -214,7 +256,9 @@ class FibServer:
             return None
         started = time.perf_counter()
         program = flat_program(self._representation)
-        self._update_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._update_seconds += elapsed
+        self._obs_drain.observe(elapsed)
         return program
 
     def serving_program(self):
@@ -234,7 +278,13 @@ class FibServer:
         audit (packed answers encode no-route as 0, decoded as None)."""
         self._lookups += len(addresses)
         self._batches += 1
+        self._obs_batch_size.observe(len(addresses))
+        self._obs_lookups.inc(len(addresses))
         if not self.pending:
+            # No epoch lag: whatever was last accepted is visible to
+            # this batch, so a pending ingress stamp closes here.
+            if self._visibility.pending:
+                self._visibility.observe()
             return
         self._stale_lookups += len(addresses)
         if not self._measure_staleness:
@@ -268,7 +318,9 @@ class FibServer:
         else:
             scalar = self._representation.lookup
             labels = [scalar(address) for address in addresses]
-        self._lookup_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._lookup_seconds += elapsed
+        self._obs_latency.observe(elapsed)
         self._note_batch(addresses, labels, packed=False)
         return labels
 
@@ -293,7 +345,9 @@ class FibServer:
                 else [self._representation.lookup(a) for a in addresses]
             )
             payload = array("q", [label or 0 for label in labels]).tobytes()
-        self._lookup_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._lookup_seconds += elapsed
+        self._obs_latency.observe(elapsed)
         served: Sequence[int] = ()
         if self.pending and self._measure_staleness:
             served = array("q")  # decode only when the audit will read it
@@ -317,7 +371,13 @@ class FibServer:
         except KeyError:
             self._updates_skipped += 1
             self._update_seconds += time.perf_counter() - started
+            self._obs_updates_skipped.inc()
             return False
+        # Visibility window opens at ingress of the *oldest* unserved
+        # update; it closes at the first batch served with no epoch lag
+        # (see _note_batch). Incremental plane: the very next batch.
+        self._visibility.stamp()
+        self._obs_updates_applied.inc()
         if self._incremental:
             self._representation.apply_update(op)
             self._updates_applied += 1
@@ -346,7 +406,9 @@ class FibServer:
         if self._batched:
             flat_program(fresh)  # recompile the flat plane off the lookup path
         self._representation = fresh  # the atomic generation swap
-        self._rebuild_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._rebuild_seconds += elapsed
+        self._obs_rebuild.observe(elapsed)
         self._rebuild_cycles += rebuild_cycles(len(self._control))
         self._rebuilds += 1
         self.generation += 1
@@ -416,7 +478,14 @@ class FibServer:
             peak_size_bits=self._peak_size_bits,
             rebuild_cycles=self._rebuild_cycles,
             final_parity=final_parity,
+            obs=self._obs.snapshot() if self._obs.enabled else None,
         )
+
+    @property
+    def obs(self) -> Registry:
+        """The server's telemetry registry (the shared disabled one
+        unless a live registry was passed at construction)."""
+        return self._obs
 
 
 def serve_scenario(
@@ -430,6 +499,7 @@ def serve_scenario(
     batched: bool = True,
     measure_staleness: bool = True,
     parity_probes: Sequence[int] = (),
+    obs: Registry = NULL_REGISTRY,
 ) -> ServeReport:
     """Replay one script through one representation, end to end.
 
@@ -443,6 +513,7 @@ def serve_scenario(
         rebuild_every=rebuild_every,
         batched=batched,
         measure_staleness=measure_staleness,
+        obs=obs,
     )
     server.replay(events)
     server.quiesce()

@@ -174,6 +174,15 @@ class ShmRing:
         self._pending_slots = 0
         self._reserved = (0, 0)
         self._closed = False
+        # Plain-int telemetry counters (repro.obs samples them into a
+        # registry at report time; the data path never touches an
+        # instrument object). Producer-side only: a full ring stalling
+        # `send` is backpressure worth counting, an idle consumer is not.
+        self.stat_pads = 0            # PAD records written at wraparound
+        self.stat_spin_stalls = 0     # sends that found the ring full
+        self.stat_sleep_stalls = 0    # ... and spun long enough to sleep
+        self.stat_overflows = 0       # records larger than the ring
+        self.stat_bytes = 0           # payload bytes sent
 
     # ---------------------------------------------------------- construction
 
@@ -195,6 +204,13 @@ class ShmRing:
     @property
     def capacity_slots(self) -> int:
         return self._nslots
+
+    def used_slots(self) -> int:
+        """Slots currently occupied (produced minus consumed) — the
+        ring-occupancy gauge's sample."""
+        if self._closed:
+            return 0
+        return self._ctrl[0] - self._ctrl[1]
 
     def __repr__(self) -> str:
         return (
@@ -228,6 +244,7 @@ class ShmRing:
         if nbytes:
             view[:nbytes] = payload
         self._commit(op, nbytes, seq, generation, aux1, aux2)
+        self.stat_bytes += nbytes
         return nbytes
 
     def send_into(
@@ -252,11 +269,13 @@ class ShmRing:
         view = self._reserve(nbytes, alive, timeout)
         aux1, aux2 = fill(view[:nbytes] if nbytes else view[:0])
         self._commit(op, nbytes, seq, generation, aux1, aux2)
+        self.stat_bytes += nbytes
         return nbytes
 
     def _reserve(self, nbytes: int, alive, timeout) -> memoryview:
         needed = 1 + ((nbytes + SLOT_BYTES - 1) // SLOT_BYTES)
         if needed > self._nslots:
+            self.stat_overflows += 1
             raise RingOverflow(
                 f"record of {nbytes} payload bytes needs {needed} slots; "
                 f"ring holds {self._nslots} (raise ring_bytes)"
@@ -266,6 +285,7 @@ class ShmRing:
         pad = 0 if contig >= needed else contig
         self._wait_free(pad + needed, alive, timeout)
         if pad:
+            self.stat_pads += 1
             HEADER.pack_into(
                 self._data, pos * SLOT_BYTES,
                 0, OP_PAD, (pad - 1) * SLOT_BYTES, 0, 0, 0, 0, 0,
@@ -294,6 +314,8 @@ class ShmRing:
         sleep = _SLEEP_MIN
         while self._nslots - (self._produced - self._ctrl[1]) < slots:
             spins += 1
+            if spins == 1:  # one stall event per wait, however long
+                self.stat_spin_stalls += 1
             if spins < _SPIN_ROUNDS:
                 continue
             if alive is not None and not alive():
@@ -302,6 +324,8 @@ class ShmRing:
                 raise RingPeerDied(
                     f"ring full for {timeout:.0f}s (consumer stalled)"
                 )
+            if spins == _SPIN_ROUNDS:  # ditto for the backoff escalation
+                self.stat_sleep_stalls += 1
             time.sleep(sleep)
             sleep = min(sleep * 2, _SLEEP_MAX)
 

@@ -100,6 +100,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.fib import Fib
 from repro.datasets.updates import UpdateOp
+from repro.obs import NULL_REGISTRY, Registry, VisibilityTracker, now_ns
 from repro.pipeline import registry
 from repro.serve.cluster import (
     ClusterShard,
@@ -257,6 +258,7 @@ def worker_main(
     rebuild_every: int,
     batched: bool,
     filter_spec=None,
+    obs_enabled: bool = False,
 ) -> None:
     """The worker-process entry point: one FibServer behind a pipe.
 
@@ -265,7 +267,9 @@ def worker_main(
     builds its representation and compiled program *here*, from the
     pickled shard FIB — the shared-nothing guarantee — then acks
     readiness (seq 0) and serves the message loop until shutdown or a
-    closed pipe.
+    closed pipe. With ``obs_enabled`` the server records into a local
+    registry whose snapshot rides home inside the ``report`` reply's
+    :class:`~repro.serve.metrics.ServeReport` (the frontend merges it).
     """
     try:
         server = FibServer(
@@ -276,6 +280,7 @@ def worker_main(
             batched=batched,
             measure_staleness=False,
             auto_rebuild=False,  # the frontend's coordinator owns swaps
+            obs=Registry() if obs_enabled else NULL_REGISTRY,
         )
     except Exception:  # noqa: BLE001 - report the build failure, then exit
         try:
@@ -411,6 +416,27 @@ def shm_worker_main(conn, spec) -> None:
     alive = parent.is_alive if parent is not None else (lambda: True)
     lookups = batches = lookup_ns = 0
     spent = [0]  # written by the fill closures below
+    # Worker-side telemetry: a local registry whose snapshot rides home
+    # in the report reply; the frontend merges every worker's into its
+    # own (associative, so arrival order does not matter).
+    obs = Registry() if spec.get("obs") else NULL_REGISTRY
+    obs_latency = obs.histogram(
+        "serve_lookup_latency_seconds",
+        "batched lookup latency (in-place ring resolve only)",
+    )
+    obs_batch_size = obs.histogram(
+        "serve_batch_size", "addresses per served batch"
+    )
+    obs_lookups = obs.counter("serve_lookups_total", "addresses served")
+    # OP_ATTACH carries the frontend's update-ingress stamp (monotonic
+    # ns — the one clock every local process shares) in aux1; the
+    # window closes at the first batch served off the adopted image.
+    visibility = VisibilityTracker(
+        obs.histogram(
+            "update_visibility_seconds",
+            "update ingress to first batch served with it visible",
+        )
+    )
     try:
         while True:
             try:
@@ -429,6 +455,17 @@ def shm_worker_main(conn, spec) -> None:
                             "size_bits": program.size_in_bits(),
                             "generation": generation,
                             "attach_seconds": attach_seconds,
+                            "obs": obs.snapshot() if obs.enabled else None,
+                            # The worker is the response ring's producer,
+                            # so its backpressure counters live here.
+                            "ring": {
+                                "pads": res.stat_pads,
+                                "spin_stalls": res.stat_spin_stalls,
+                                "sleep_stalls": res.stat_sleep_stalls,
+                                "overflows": res.stat_overflows,
+                                "bytes": res.stat_bytes,
+                                "occupancy": res.used_slots(),
+                            },
                         }))
                     elif message[0] == "shutdown":
                         return
@@ -452,6 +489,11 @@ def shm_worker_main(conn, spec) -> None:
                         lookups += len(addresses)
                         batches += 1
                         lookup_ns += spent[0]
+                        obs_latency.observe(spent[0] / 1e9)
+                        obs_batch_size.observe(len(addresses))
+                        obs_lookups.inc(len(addresses))
+                        if visibility.pending:
+                            visibility.observe()
                 elif op == OP_BCAST:
                     positions, owned = _owned_slice(record.payload, filter_spec)
 
@@ -471,6 +513,11 @@ def shm_worker_main(conn, spec) -> None:
                     lookups += len(owned)
                     batches += 1
                     lookup_ns += spent[0]
+                    obs_latency.observe(spent[0] / 1e9)
+                    obs_batch_size.observe(len(owned))
+                    obs_lookups.inc(len(owned))
+                    if visibility.pending:
+                        visibility.observe()
                 elif op == OP_ATTACH:
                     name = bytes(record.payload).decode()
                     t0 = time.perf_counter()
@@ -480,6 +527,8 @@ def shm_worker_main(conn, spec) -> None:
                     detach_program(stale, stale_segment)
                     adopted = time.perf_counter() - t0
                     attach_seconds = max(attach_seconds, adopted)
+                    if record.aux1:  # frontend ingress stamp (monotonic ns)
+                        visibility.stamp(record.aux1)
                     res.send(
                         OP_ATTACHED, seq=record.seq, generation=generation,
                         aux1=int(adopted * 1e9), alive=alive,
@@ -668,6 +717,12 @@ class WorkerPool:
         pickled-tuple wire protocol.
     ring_bytes:
         Per-direction, per-worker ring data capacity (shm transport).
+    obs:
+        Telemetry registry (:mod:`repro.obs`). When enabled, every
+        worker records into a process-local registry that ships home
+        over the control channel and merges into this one at
+        :meth:`report`; ring backpressure counters and occupancy are
+        sampled there too. Disabled (the default) costs nothing.
     """
 
     def __init__(
@@ -686,6 +741,7 @@ class WorkerPool:
         timeout: float = DEFAULT_TIMEOUT,
         transport: str = DEFAULT_TRANSPORT,
         ring_bytes: int = DEFAULT_RING_BYTES,
+        obs: Registry = NULL_REGISTRY,
     ):
         if fib.width > 63:
             # The pipe wire format packs addresses and labels as signed
@@ -715,6 +771,8 @@ class WorkerPool:
             or (fanout == "auto" and _np is not None and self._plan.vectorized)
         )
         self._closed = False
+        self._obs = obs
+        self._vis_ingress_ns: Optional[int] = None  # oldest unpublished update
         # shm-plane state exists in every mode so close() is always safe.
         self._publisher: Optional[FibServer] = None
         self._publish_proxy: Optional[_PublishProxy] = None
@@ -740,6 +798,7 @@ class WorkerPool:
                     batched=True,
                     measure_staleness=False,
                     auto_rebuild=False,  # the pool's coordinator paces publishes
+                    obs=obs,  # frontend-side: shares the pool registry
                 )
             except Exception:  # noqa: BLE001 - same surface as a worker build
                 raise WorkerError(
@@ -780,6 +839,8 @@ class WorkerPool:
                                 "response": res_ring.name,
                                 "program": self._program_segment.name,
                                 "filter": filter_spec,
+                                "index": index,
+                                "obs": obs.enabled,
                             },
                         ),
                         daemon=True,
@@ -817,6 +878,7 @@ class WorkerPool:
                             rebuild_every,
                             batched,
                             filter_spec,
+                            obs.enabled,
                         ),
                         daemon=True,
                         name=f"repro-fib-worker-{spec.index}",
@@ -968,7 +1030,8 @@ class WorkerPool:
         return future
 
     def _submit_ring(
-        self, handle: _WorkerHandle, op: int, payload, generation: int = 0
+        self, handle: _WorkerHandle, op: int, payload, generation: int = 0,
+        aux1: int = 0,
     ) -> Future:
         """Ring twin of :meth:`_submit`: register the reply future, then
         write the record into the worker's request ring — blocking under
@@ -987,6 +1050,7 @@ class WorkerPool:
                 payload,
                 seq=seq,
                 generation=generation,
+                aux1=aux1,
                 alive=lambda: not handle.dead and handle.process.is_alive(),
                 timeout=self._timeout,
             )
@@ -1313,6 +1377,11 @@ class WorkerPool:
                     )
             self._publisher.apply_update(op)
             self._publish_proxy.pending.append(op)
+            if self._vis_ingress_ns is None:
+                # The oldest unpublished update's ingress stamp; rides
+                # the next OP_ATTACH so the workers can close the
+                # cross-process visibility window.
+                self._vis_ingress_ns = now_ns()
         else:
             for index in owners:
                 self._send_update(self._handles[index], op)
@@ -1361,6 +1430,8 @@ class WorkerPool:
         segment = publish_program(publisher.serving_program(), generation)
         self._segments.append(segment)
         name = segment.name.encode()
+        ingress_ns = self._vis_ingress_ns or 0
+        self._vis_ingress_ns = None
         submitted = []
         for handle in self._handles:
             if handle.dead:
@@ -1368,7 +1439,8 @@ class WorkerPool:
             try:
                 submitted.append(
                     (handle, self._submit_ring(
-                        handle, OP_ATTACH, name, generation=generation
+                        handle, OP_ATTACH, name, generation=generation,
+                        aux1=ingress_ns,
                     ))
                 )
             except WorkerError:
@@ -1463,6 +1535,7 @@ class WorkerPool:
             self._submit(handle, "report", scenario) for handle in self._handles
         ]
         records = [self._await(future) for future in futures]
+        worker_snaps: List[Optional[dict]] = []
         shard_rows: List[dict] = []
         stale = mismatches = rebuilds = generation = pending = size = peak = 0
         worker_update = rebuild_seconds = rebuild_cycles = 0.0
@@ -1488,6 +1561,7 @@ class WorkerPool:
             pool_staleness = stale / self._lookups if self._lookups else 0.0
             for handle, record in zip(self._handles, records):
                 generation += record["generation"]
+                worker_snaps.append(record.get("obs"))
                 shard_rows.append(
                     {
                         "shard": handle.index,
@@ -1506,6 +1580,7 @@ class WorkerPool:
                 )
         else:
             for handle, record in zip(self._handles, records):
+                worker_snaps.append(getattr(record, "obs", None))
                 stale += record.stale_lookups
                 mismatches += record.label_mismatches
                 rebuilds += record.rebuilds
@@ -1531,6 +1606,18 @@ class WorkerPool:
                         "peak_size_bits": record.peak_size_bits,
                     }
                 )
+        obs_snapshot = None
+        if self._obs.enabled:
+            # Merge into a throwaway registry, never the live one, so
+            # report() stays idempotent (worker snapshots are cumulative
+            # — folding them into self._obs twice would double-count).
+            merged = Registry()
+            merged.merge(self._obs)
+            for snap in worker_snaps:
+                if snap:
+                    merged.merge(snap)
+            self._sample_ring_obs(merged, records)
+            obs_snapshot = merged.snapshot()
         applied = self._updates_applied
         return WorkerReport(
             name=self.name,
@@ -1569,7 +1656,57 @@ class WorkerPool:
             publishes=self._publishes,
             bytes_tx=self._bytes_tx,
             bytes_rx=self._bytes_rx,
+            obs=obs_snapshot,
         )
+
+    def _sample_ring_obs(self, target: Registry, records) -> None:
+        """Sample ring occupancy and backpressure counters into one
+        registry (set semantics — the rings hold the running totals, so
+        re-sampling is idempotent). Request rings are frontend-produced
+        and sampled here; response-ring producer counters live in the
+        workers and arrive inside their report dicts."""
+        if self._transport != "shm" or not target.enabled:
+            return
+        labelnames = ("ring",)
+        occupancy = target.gauge(
+            "ring_occupancy_slots", "slots in use at sample time", labelnames
+        )
+        stats = {
+            "pads": target.counter(
+                "ring_pads_total", "PAD records written at wraparound",
+                labelnames,
+            ),
+            "spin_stalls": target.counter(
+                "ring_spin_stalls_total", "sends that found the ring full",
+                labelnames,
+            ),
+            "sleep_stalls": target.counter(
+                "ring_sleep_stalls_total",
+                "full-ring sends that outspun the spin budget and slept",
+                labelnames,
+            ),
+            "overflows": target.counter(
+                "ring_overflows_total", "records larger than the ring",
+                labelnames,
+            ),
+            "bytes": target.counter(
+                "ring_bytes_total", "payload bytes produced into the ring",
+                labelnames,
+            ),
+        }
+        for handle, record in zip(self._handles, records):
+            if handle.req_ring is not None:
+                ring = handle.req_ring
+                key = f"req:{handle.index}"
+                occupancy.labels(key).set(ring.used_slots())
+                for stat, instrument in stats.items():
+                    instrument.labels(key).value = getattr(ring, f"stat_{stat}")
+            shipped = record.get("ring") if isinstance(record, dict) else None
+            if shipped:
+                key = f"res:{handle.index}"
+                occupancy.labels(key).set(shipped.get("occupancy", 0))
+                for stat, instrument in stats.items():
+                    instrument.labels(key).value = shipped.get(stat, 0)
 
     def _replicated_routes(self) -> int:
         from repro.pipeline.shard import boundary_routes
@@ -1718,6 +1855,7 @@ def serve_worker_scenario(
     timeout: float = DEFAULT_TIMEOUT,
     transport: str = DEFAULT_TRANSPORT,
     ring_bytes: int = DEFAULT_RING_BYTES,
+    obs: Registry = NULL_REGISTRY,
 ) -> WorkerReport:
     """Replay one script through a real multi-process worker pool.
 
@@ -1740,6 +1878,7 @@ def serve_worker_scenario(
         timeout=timeout,
         transport=transport,
         ring_bytes=ring_bytes,
+        obs=obs,
     )
     try:
         frontend = AsyncFibFrontend(pool, window=window)

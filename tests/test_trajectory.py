@@ -269,3 +269,76 @@ class TestDegeneratePoint:
         )
         assert failures == []
         assert any("1-prefix" in warning for warning in warnings)
+
+
+class TestEmptyBaseline:
+    def test_empty_list_baseline_warns_not_crashes(self, tmp_path):
+        # A seeded-but-never-run trajectory is committed as `[]`.
+        _write(tmp_path / "base", "BENCH_serve.json", [])
+        _write(tmp_path / "new", "BENCH_serve.json", {"rows": []})
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new"
+        )
+        assert failures == []
+        assert any("not a trajectory object" in warning for warning in warnings)
+
+    def test_empty_rows_baseline_warns_not_vacuous(self, tmp_path):
+        # Zero comparable metrics must be announced, not silently passed.
+        _write(tmp_path / "base", "BENCH_serve.json", {"rows": []})
+        _write(tmp_path / "new", "BENCH_serve.json", {"rows": []})
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new"
+        )
+        assert failures == []
+        assert any("no comparable metrics" in warning for warning in warnings)
+
+    def test_unreadable_baseline_warns_not_crashes(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "base" / "BENCH_serve.json").write_text("{not json")
+        _write(tmp_path / "new", "BENCH_serve.json", {"rows": []})
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new"
+        )
+        assert failures == []
+        assert any("unreadable baseline" in warning for warning in warnings)
+
+
+class TestSeedMissing:
+    def test_seed_missing_copies_fresh_to_baseline(self, tmp_path):
+        fresh = _pipeline(80.0, 4.0)
+        _write(tmp_path / "new", "BENCH_pipeline.json", fresh)
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new", seed_missing=True
+        )
+        assert failures == []
+        assert any("seeded from the fresh run" in warning for warning in warnings)
+        seeded = json.loads((tmp_path / "base" / "BENCH_pipeline.json").read_text())
+        assert seeded == fresh
+        # Armed from the next run on: a later regression now fails.
+        _write(tmp_path / "new", "BENCH_pipeline.json", _pipeline(40.0, 4.0))
+        failures, _ = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new", seed_missing=True
+        )
+        assert len(failures) == 1
+
+    def test_seed_missing_replaces_unreadable_baseline(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "base" / "BENCH_workers.json").write_text("")
+        fresh = _workers(2.5)
+        _write(tmp_path / "new", "BENCH_workers.json", fresh)
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new", seed_missing=True
+        )
+        assert failures == []
+        assert any("seeded" in warning for warning in warnings)
+        seeded = json.loads((tmp_path / "base" / "BENCH_workers.json").read_text())
+        assert seeded == fresh
+
+    def test_without_flag_missing_baseline_only_skips(self, tmp_path):
+        _write(tmp_path / "new", "BENCH_pipeline.json", _pipeline(80.0, 4.0))
+        failures, warnings = check_trajectory.check(
+            tmp_path / "base", tmp_path / "new"
+        )
+        assert failures == []
+        assert any("no committed baseline; skipped" in w for w in warnings)
+        assert not (tmp_path / "base" / "BENCH_pipeline.json").exists()
