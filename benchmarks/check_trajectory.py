@@ -58,6 +58,7 @@ TRAJECTORIES = (
     "BENCH_serve.json",
     "BENCH_cluster.json",
     "BENCH_workers.json",
+    "BENCH_faults.json",
 )
 
 #: Default allowed relative drop of a gated ratio metric.
@@ -138,11 +139,30 @@ def _workers_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:
         yield "baseline_mlps", payload["baseline_mlps"], False
 
 
+def _faults_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:
+    # Availability and post-recovery parity are machine-independent
+    # correctness ratios — gated. MTTR is wall-clock (dominated by the
+    # respawned interpreter's boot, i.e. runner lottery) and the
+    # degraded/retry split depends on failure-vs-respawn timing: both
+    # warn-only.
+    for case, row in sorted(payload.get("cases", {}).items()):
+        for field, gate in (
+            ("availability", True),
+            ("final_parity", True),
+            ("mttr_seconds", False),
+            ("restarts", False),
+        ):
+            value = row.get(field)
+            if isinstance(value, (int, float)):
+                yield f"{case}.{field}", value, gate
+
+
 _EXTRACTORS = {
     "BENCH_pipeline.json": _pipeline_metrics,
     "BENCH_serve.json": _serve_metrics,
     "BENCH_cluster.json": _cluster_metrics,
     "BENCH_workers.json": _workers_metrics,
+    "BENCH_faults.json": _faults_metrics,
 }
 
 #: Workload knobs that must agree before two runs of a file compare.
@@ -159,6 +179,10 @@ _CONFIG_KEYS = {
     "BENCH_workers.json": (
         "profile", "scale", "lookups", "updates", "batch_size", "seed",
         "representation",
+    ),
+    "BENCH_faults.json": (
+        "profile", "scale", "lookups", "updates", "batch_size", "seed",
+        "workers", "max_restarts", "representation",
     ),
 }
 

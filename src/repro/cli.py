@@ -298,6 +298,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    chaotic = bool(args.chaos) or args.max_restarts > 0
+    if chaotic and args.workers <= 0:
+        print(
+            "--chaos and --max-restarts supervise real worker processes; "
+            "add --workers N",
+            file=sys.stderr,
+        )
+        return 2
+    faults = None
+    if args.chaos:
+        try:
+            faults = serve.FaultPlan.parse(args.chaos, seed=args.seed)
+        except ValueError as error:
+            print(f"bad --chaos spec: {error}", file=sys.stderr)
+            return 2
     prof = profile(args.profile)
     fib = build_profile_fib(prof, scale=args.scale)
     scenario = serve.scenario(args.scenario)
@@ -353,6 +368,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     window=args.window,
                     transport=args.transport,
                     obs=obs_registry,
+                    max_restarts=args.max_restarts,
+                    restart_window=args.restart_window,
+                    faults=faults,
                 )
             )
         elif sharded:
@@ -433,6 +451,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "start_method": args.start_method if pooled else None,
                 "transport": args.transport if pooled else None,
                 "partition": args.partition if (sharded or pooled) else None,
+                "max_restarts": args.max_restarts if pooled else None,
+                "chaos": args.chaos,
                 "rows": [report.to_dict() for report in reports],
             },
         )
@@ -695,6 +715,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="prefix",
         help="cluster partition: prefix ranges balanced by trie leaf "
         "counts, or splitmix64 flow hashing (default prefix)",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=count_arg,
+        default=0,
+        metavar="N",
+        help="supervise the worker pool: respawn a failed shard up to N "
+        "times per restart window, serving its range degraded from the "
+        "frontend meanwhile (0 = off, a worker death is terminal)",
+    )
+    p.add_argument(
+        "--restart-window",
+        type=float,
+        default=serve.DEFAULT_RESTART_WINDOW,
+        metavar="SECONDS",
+        help="sliding window the restart budget counts within "
+        f"(default {serve.DEFAULT_RESTART_WINDOW:.0f}s)",
+    )
+    p.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject a scripted fault (repeatable): "
+        "kind[:worker]@trigger=N[,key=value...], e.g. "
+        "kill-worker:2@batch=50, delay-reply:0@batch=10,seconds=3, "
+        "fail-attach:1@attach=2, corrupt-segment@publish=1; '*' picks "
+        "the victim with --seed; requires --workers",
     )
     p.add_argument(
         "--barrier",

@@ -41,13 +41,25 @@ from repro.serve.cluster import (
     plan_cluster,
     serve_cluster_scenario,
 )
+from repro.serve.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+)
 from repro.serve.shm import (
     DEFAULT_RING_BYTES,
     ShmRing,
     leaked_segments,
     shm_available,
 )
+from repro.serve.supervisor import (
+    DEFAULT_RESTART_WINDOW,
+    RestartBudget,
+    Supervisor,
+)
 from repro.serve.workers import (
+    DEFAULT_CONTROL_TIMEOUT,
     DEFAULT_START_METHOD,
     DEFAULT_TRANSPORT,
     DEFAULT_WINDOW,
@@ -60,20 +72,28 @@ from repro.serve.workers import (
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CONTROL_TIMEOUT",
     "DEFAULT_GRANULARITY_BITS",
     "DEFAULT_REBUILD_EVERY",
+    "DEFAULT_RESTART_WINDOW",
     "DEFAULT_RING_BYTES",
     "DEFAULT_START_METHOD",
     "DEFAULT_TRANSPORT",
     "DEFAULT_WINDOW",
+    "FAULT_KINDS",
     "PARTITION_MODES",
     "SCENARIOS",
     "TRANSPORTS",
     "AsyncFibFrontend",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "RestartBudget",
     "Scenario",
     "ServeEvent",
     "ServeReport",
     "ClusterReport",
+    "Supervisor",
     "WorkerError",
     "WorkerPool",
     "WorkerReport",

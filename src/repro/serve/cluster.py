@@ -417,6 +417,20 @@ class EpochCoordinator:
     def rebuild_every(self) -> int:
         return self._rebuild_every
 
+    def replace_server(self, index: int, server) -> None:
+        """Swap in a fresh server behind shard ``index`` (same range and
+        route count). The worker plane's supervisor calls this after a
+        respawn: the replacement was just rebuilt from the current
+        oracle, so its pending backlog starts empty and the coordinator
+        simply stops seeing the dead proxy."""
+        for position, shard in enumerate(self._shards):
+            if shard.index == index:
+                self._shards[position] = ClusterShard(
+                    shard.index, shard.lo, shard.hi, shard.routes, server
+                )
+                return
+        raise KeyError(f"no shard with index {index}")
+
     def due(self) -> List[int]:
         """Shards whose backlog reached the epoch threshold."""
         return [

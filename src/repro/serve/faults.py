@@ -1,0 +1,301 @@
+"""repro.serve.faults — deterministic, seedable fault injection.
+
+Robustness claims are only as good as the failures they were tested
+against, and "kill -9 a worker by hand" reproduces nothing. This module
+scripts failures the way :mod:`repro.serve.scenarios` scripts workloads:
+a :class:`FaultPlan` is parsed from compact specs, resolved against a
+seed, and threaded through :class:`~repro.serve.workers.WorkerPool` and
+:class:`~repro.serve.shm.ShmRing` behind no-op defaults — a pool built
+without a plan executes exactly the code it executed before this module
+existed.
+
+**Spec grammar.** One fault per spec string::
+
+    kind[:worker]@trigger=N[,key=value...]
+
+    kill-worker:2@batch=50          worker 2 exits hard (os._exit) just
+                                    before serving its 50th batch
+    delay-reply:0@batch=10,seconds=3
+                                    worker 0 sleeps 3s before serving
+                                    its 10th batch (a hung-alive worker)
+    stall-ring:1@batch=20,seconds=3 worker 1's response-ring producer
+                                    stalls 3s inside the send of its
+                                    20th batch's reply
+    fail-attach:0@attach=2          worker 0's 2nd OP_ATTACH adoption
+                                    raises (crash mid-adoption)
+    corrupt-segment@publish=1       the frontend corrupts the header of
+                                    the 1st mid-stream published
+                                    generation, so every adoption fails
+    kill-worker:*@batch=50          ``*`` picks the victim with the
+                                    plan's seed — deterministic per
+                                    (seed, worker count), varied across
+                                    seeds
+
+``incarnation=K`` (default 0) arms a worker-side fault only in the
+shard's K-th process incarnation, so a respawned worker does not
+re-trigger the fault that killed its predecessor — and a budget test
+can script the *second* crash explicitly with ``incarnation=1``.
+
+Worker-side faults ride the picklable spawn spec into the child, where
+:class:`WorkerFaultState` replays them; frontend-side faults
+(``corrupt-segment``) fire inside the pool's publish path. Batch and
+attach counts are 1-based and deterministic on each worker's own
+request stream, so a plan plus a scenario seed reproduces the same
+failure at the same point every run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Fault kinds injected inside a worker process.
+WORKER_FAULT_KINDS = ("kill-worker", "delay-reply", "stall-ring", "fail-attach")
+
+#: Fault kinds injected on the frontend.
+FRONTEND_FAULT_KINDS = ("corrupt-segment",)
+
+#: Every kind :meth:`FaultPlan.parse` accepts.
+FAULT_KINDS = WORKER_FAULT_KINDS + FRONTEND_FAULT_KINDS
+
+#: Exit status of a ``kill-worker`` fault — distinguishable from both a
+#: clean exit and a signal death in the test logs.
+KILL_EXIT_CODE = 17
+
+#: Default sleep of ``delay-reply`` / ``stall-ring`` when no
+#: ``seconds=`` is given: long enough to trip a tightened reply
+#: deadline in tests, short enough not to dominate a chaos run.
+DEFAULT_FAULT_SECONDS = 3.0
+
+#: Trigger key each kind counts on (all 1-based).
+_TRIGGER_KEYS = {
+    "kill-worker": "batch",
+    "delay-reply": "batch",
+    "stall-ring": "batch",
+    "fail-attach": "attach",
+    "corrupt-segment": "publish",
+}
+
+
+class FaultInjected(RuntimeError):
+    """An injected failure (never raised unless a plan scripted it)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure; ``worker`` is None for frontend faults and
+    -1 for an unresolved ``*`` wildcard."""
+
+    kind: str
+    worker: Optional[int]
+    at: int
+    seconds: float = DEFAULT_FAULT_SECONDS
+    incarnation: int = 0
+
+    def payload(self) -> dict:
+        """The picklable form shipped in a worker's spawn spec."""
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "seconds": self.seconds,
+        }
+
+
+def _parse_one(spec: str) -> Fault:
+    head, sep, tail = spec.partition("@")
+    if not sep:
+        raise ValueError(
+            f"fault spec {spec!r} has no trigger; expected "
+            f"kind[:worker]@{'{batch,attach,publish}'}=N"
+        )
+    kind, _, target = head.partition(":")
+    kind = kind.strip()
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; choose one of {', '.join(FAULT_KINDS)}"
+        )
+    worker: Optional[int]
+    if kind in FRONTEND_FAULT_KINDS:
+        if target:
+            raise ValueError(f"{kind} targets the frontend, not worker {target!r}")
+        worker = None
+    elif not target or target.strip() == "*":
+        worker = -1  # wildcard; resolved against the plan seed
+    else:
+        try:
+            worker = int(target)
+        except ValueError:
+            raise ValueError(
+                f"fault spec {spec!r}: worker must be an index or '*', "
+                f"got {target!r}"
+            ) from None
+        if worker < 0:
+            raise ValueError(f"fault spec {spec!r}: worker index must be >= 0")
+    keys: Dict[str, float] = {}
+    for pair in tail.split(","):
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"fault spec {spec!r}: malformed trigger {pair!r}")
+        try:
+            keys[key] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"fault spec {spec!r}: {key}={value!r} is not a number"
+            ) from None
+    trigger = _TRIGGER_KEYS[kind]
+    if trigger not in keys:
+        raise ValueError(f"fault spec {spec!r}: {kind} needs {trigger}=N")
+    at = int(keys.pop(trigger))
+    if at < 1:
+        raise ValueError(f"fault spec {spec!r}: {trigger} is 1-based, got {at}")
+    seconds = float(keys.pop("seconds", DEFAULT_FAULT_SECONDS))
+    incarnation = int(keys.pop("incarnation", 0))
+    if keys:
+        raise ValueError(
+            f"fault spec {spec!r}: unknown key(s) {', '.join(sorted(keys))}"
+        )
+    return Fault(
+        kind=kind, worker=worker, at=at, seconds=seconds,
+        incarnation=incarnation,
+    )
+
+
+class FaultPlan:
+    """A deterministic script of failures for one pool run.
+
+    Build one with :meth:`parse` (the CLI's ``--chaos`` form) or from
+    :class:`Fault` instances directly. ``*`` victims stay unresolved
+    until :meth:`resolve` binds the plan to a worker count — the pool
+    does this with its shard count, seeding ``random.Random(seed)`` so
+    the same (plan, seed, workers) triple always picks the same victim.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = (), seed: int = 0):
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        self.seed = seed
+
+    @classmethod
+    def parse(
+        cls, specs: Union[str, Sequence[str]], seed: int = 0
+    ) -> "FaultPlan":
+        """Parse one spec or a sequence of specs into a plan."""
+        if isinstance(specs, str):
+            specs = [specs]
+        return cls([_parse_one(spec) for spec in specs], seed=seed)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.faults)!r}, seed={self.seed})"
+
+    def resolve(self, workers: int) -> "FaultPlan":
+        """Bind every ``*`` victim to a concrete worker index."""
+        rng = random.Random(self.seed)
+        resolved = [
+            Fault(
+                kind=fault.kind,
+                worker=rng.randrange(workers) if fault.worker == -1 else fault.worker,
+                at=fault.at,
+                seconds=fault.seconds,
+                incarnation=fault.incarnation,
+            )
+            for fault in self.faults
+        ]
+        for fault in resolved:
+            if fault.worker is not None and fault.worker >= workers:
+                raise ValueError(
+                    f"fault {fault.kind}:{fault.worker} targets a worker the "
+                    f"pool does not have (workers={workers})"
+                )
+        return FaultPlan(resolved, seed=self.seed)
+
+    def worker_payload(self, index: int, incarnation: int = 0) -> List[dict]:
+        """The picklable fault list for one worker incarnation (what the
+        spawn spec carries; empty for the untargeted majority)."""
+        return [
+            fault.payload()
+            for fault in self.faults
+            if fault.worker == index
+            and fault.incarnation == incarnation
+            and fault.kind in WORKER_FAULT_KINDS
+        ]
+
+    def corrupts_publish(self, publish_index: int) -> bool:
+        """True when the ``publish_index``-th mid-stream publish (1-based)
+        is scripted to ship a corrupted segment header."""
+        return any(
+            fault.kind == "corrupt-segment" and fault.at == publish_index
+            for fault in self.faults
+        )
+
+
+class WorkerFaultState:
+    """Worker-process side of a plan: counts this process's own batches
+    and adoptions and fires the faults scripted for them.
+
+    Constructed inside the child from the spawn spec's payload dicts;
+    with an empty payload every hook is a no-op counter bump.
+    """
+
+    def __init__(self, payload: Sequence[dict] = ()):
+        self._batch_faults = [
+            dict(fault) for fault in payload
+            if fault["kind"] in ("kill-worker", "delay-reply", "stall-ring")
+        ]
+        self._attach_faults = [
+            dict(fault) for fault in payload if fault["kind"] == "fail-attach"
+        ]
+        self._batches = 0
+        self._attaches = 0
+
+    def on_batch(self, ring=None) -> None:
+        """Hook before serving one lookup/broadcast batch. May never
+        return (``kill-worker``), may sleep (``delay-reply``), or may
+        arm a one-shot producer stall on ``ring`` (``stall-ring``)."""
+        self._batches += 1
+        for fault in self._batch_faults:
+            if fault["at"] != self._batches:
+                continue
+            kind = fault["kind"]
+            if kind == "kill-worker":
+                # Hard death: no cleanup, no goodbye — exactly what a
+                # segfault or OOM kill looks like from the frontend.
+                os._exit(KILL_EXIT_CODE)
+            elif kind == "delay-reply":
+                time.sleep(fault["seconds"])
+            elif kind == "stall-ring":
+                if ring is None:
+                    time.sleep(fault["seconds"])
+                else:
+                    self._arm_stall(ring, fault["seconds"])
+
+    @staticmethod
+    def _arm_stall(ring, seconds: float) -> None:
+        def chaos(op: int) -> None:
+            ring.chaos = None  # one-shot: disarm before sleeping
+            time.sleep(seconds)
+
+        ring.chaos = chaos
+
+    def on_attach(self) -> None:
+        """Hook before adopting one ``OP_ATTACH`` generation; raises
+        :class:`FaultInjected` when this adoption is scripted to fail."""
+        self._attaches += 1
+        for fault in self._attach_faults:
+            if fault["at"] == self._attaches:
+                raise FaultInjected(
+                    f"injected OP_ATTACH failure (adoption #{self._attaches})"
+                )
+
+
+def corrupt_segment_header(segment) -> None:
+    """Scribble over a published program image's magic so every
+    subsequent :func:`~repro.serve.shm.attach_program` rejects it —
+    the torn-publish failure mode the supervisor must heal by
+    republishing a clean generation."""
+    segment.buf[:8] = b"\xde\xad\xbe\xef\xde\xad\xbe\xef"

@@ -265,6 +265,24 @@ class WorkerReport(ClusterReport):
     #: Data-plane payload bytes the workers moved back (labels and
     #: broadcast positions; probes excluded).
     bytes_rx: int = 0
+    #: Lookups the frontend answered itself (publisher on shm, control
+    #: oracle on pipe) while a supervised shard was down.
+    degraded_lookups: int = 0
+    #: Lookups lost to a worker failure with no recovery path (no
+    #: supervision, or the shard's restart budget was spent).
+    failed_lookups: int = 0
+    #: In-flight batch parts transparently re-served by a respawned
+    #: worker after its predecessor died mid-batch.
+    retried_batches: int = 0
+    #: Successful supervisor respawns over the pool's lifetime.
+    worker_restarts: int = 0
+    #: Shards the supervisor gave up on (restart budget exhausted).
+    workers_abandoned: int = 0
+    #: Summed seconds from each failure's detection to the respawned
+    #: worker's re-admission (MTTR = this / ``worker_restarts``).
+    recovery_seconds: float = 0.0
+    #: The pool's per-shard restart budget (0 = supervision off).
+    max_restarts: int = 0
 
     @property
     def workers(self) -> int:
@@ -297,6 +315,24 @@ class WorkerReport(ClusterReport):
             return 0.0
         return measured / predicted
 
+    @property
+    def availability(self) -> float:
+        """Fraction of offered lookups that were answered — by a
+        worker, a retry, or the degraded frontend path; only
+        ``failed_lookups`` count against it. 1.0 when nothing was
+        offered."""
+        if not self.lookups:
+            return 1.0
+        return (self.lookups - self.failed_lookups) / self.lookups
+
+    @property
+    def mean_recovery_seconds(self) -> float:
+        """Mean time to recovery: failure detection to re-admission,
+        averaged over the supervisor's successful respawns."""
+        if not self.worker_restarts:
+            return 0.0
+        return self.recovery_seconds / self.worker_restarts
+
     def to_dict(self) -> dict:
         record = super().to_dict()
         record.update(
@@ -304,5 +340,7 @@ class WorkerReport(ClusterReport):
             measured_lookup_mlps=self.measured_lookup_mlps,
             predicted_lookup_mlps=self.predicted_lookup_mlps,
             model_agreement=self.model_agreement,
+            availability=self.availability,
+            mean_recovery_seconds=self.mean_recovery_seconds,
         )
         return record

@@ -183,6 +183,10 @@ class ShmRing:
         self.stat_sleep_stalls = 0    # ... and spun long enough to sleep
         self.stat_overflows = 0       # records larger than the ring
         self.stat_bytes = 0           # payload bytes sent
+        # Fault-injection hook (repro.serve.faults): when set, called
+        # with the opcode before every producer send. None — always,
+        # outside a chaos run — costs one attribute load per send.
+        self.chaos: Optional[Callable[[int], None]] = None
 
     # ---------------------------------------------------------- construction
 
@@ -239,6 +243,8 @@ class ShmRing:
         :class:`RingPeerDied` instead of spinning forever on a consumer
         that will never drain.
         """
+        if self.chaos is not None:
+            self.chaos(op)
         nbytes = len(payload)
         view = self._reserve(nbytes, alive, timeout)
         if nbytes:
@@ -266,6 +272,8 @@ class ShmRing:
         publishes. This is the zero-copy reply path: labels go from the
         resolver straight into the mapped ring.
         """
+        if self.chaos is not None:
+            self.chaos(op)
         view = self._reserve(nbytes, alive, timeout)
         aux1, aux2 = fill(view[:nbytes] if nbytes else view[:0])
         self._commit(op, nbytes, seq, generation, aux1, aux2)
@@ -389,8 +397,10 @@ class ShmRing:
             sleep = min(sleep * 2, _SLEEP_MAX)
 
     def advance(self) -> None:
-        """Release the record last delivered (its payload view dies)."""
-        if not self._pending_slots:
+        """Release the record last delivered (its payload view dies).
+        A no-op after :meth:`close` — the pool's reply pump may lose the
+        race against a supervisor reaping the ring mid-sweep."""
+        if self._closed or not self._pending_slots:
             return
         self._consumed += self._pending_slots
         self._pending_slots = 0

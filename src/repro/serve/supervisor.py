@@ -1,0 +1,236 @@
+"""repro.serve.supervisor — the worker pool's self-healing control plane.
+
+A :class:`~repro.serve.workers.WorkerPool` without supervision treats a
+worker death as terminal: every in-flight future fails, the run ends.
+This module adds the recovery loop on top of the detection machinery
+that already exists (pipe-EOF reader threads, ring liveness callbacks,
+and the reply deadline that catches hung-but-alive workers):
+
+* :class:`RestartBudget` — bounded exponential backoff. Each shard may
+  be respawned at most ``max_restarts`` times inside a sliding
+  ``restart_window``; each consecutive restart of the same shard waits
+  ``backoff_base * 2^k`` seconds (capped) before respawning, so a
+  crash-looping shard cannot hog the supervisor. A shard that exhausts
+  its budget is **abandoned**: the pool stops degrading for it and
+  every subsequent use raises a clean structured
+  :class:`~repro.serve.workers.WorkerError`, exactly the unsupervised
+  behavior.
+
+* :class:`Supervisor` — one daemon thread fed by the pool's failure
+  callbacks. Per failed shard it: waits out the backoff, asks the pool
+  to respawn the shard (terminate-and-reap the old process, fresh
+  rings, re-attach the current published generation, replay the
+  post-crash update delta), and re-admits it. A failed respawn —
+  e.g. the published segment itself is corrupt — counts against the
+  same budget and is retried after the pool heals what it can
+  (republish a clean generation).
+
+While a shard is between failure and re-admission the pool serves its
+range *degraded* from the frontend-hosted publisher
+(:meth:`WorkerPool._serve_degraded`), so supervision trades a latency
+blip for availability instead of erroring. The state machine::
+
+    SERVING --failure detected--> RECOVERING --respawn ok--> SERVING
+       ^                             |  ^                       |
+       |                 budget gone |  | respawn failed        |
+       |                             v  | (heal + retry)        |
+       +------- close() ------- ABANDONED <---------------------+
+
+Everything here is pool-agnostic by duck type: the supervisor calls
+only ``pool._respawn(index, reason)``, ``pool._heal_publish()`` and
+``pool._note_restart(...)``, so it stays importable without the
+(heavier) workers module.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Default sliding window (seconds) the restart budget counts within.
+DEFAULT_RESTART_WINDOW = 30.0
+
+#: First-restart backoff; doubles per consecutive restart of a shard.
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Backoff ceiling — a crash-looping shard never waits longer than this.
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+class RestartBudget:
+    """Sliding-window restart accounting with exponential backoff."""
+
+    def __init__(
+        self,
+        max_restarts: int,
+        restart_window: float = DEFAULT_RESTART_WINDOW,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    ):
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if restart_window <= 0:
+            raise ValueError(
+                f"restart_window must be positive, got {restart_window}"
+            )
+        self.max_restarts = max_restarts
+        self.restart_window = restart_window
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._times: Dict[int, List[float]] = {}
+
+    def admit(self, index: int, now: Optional[float] = None) -> Optional[float]:
+        """Charge one restart of shard ``index`` against the budget.
+
+        Returns the backoff delay to wait before respawning, or None
+        when the shard's window is spent (the caller abandons it).
+        """
+        now = time.monotonic() if now is None else now
+        times = self._times.setdefault(index, [])
+        times[:] = [t for t in times if now - t < self.restart_window]
+        if len(times) >= self.max_restarts:
+            return None
+        delay = min(self.backoff_base * (2 ** len(times)), self.backoff_cap)
+        times.append(now)
+        return delay
+
+    def spent(self, index: int) -> int:
+        """Restarts charged to ``index`` inside the current window."""
+        now = time.monotonic()
+        return sum(
+            1 for t in self._times.get(index, ()) if now - t < self.restart_window
+        )
+
+
+class Supervisor:
+    """One daemon thread turning shard failures into respawns.
+
+    ``respawn`` is the pool's ``_respawn(index, reason)``; ``heal`` is
+    called (when provided) after a respawn *attempt* fails, before the
+    retry — the shm pool republishes a clean program generation there,
+    which is how a corrupted segment heals. ``on_restart`` receives
+    ``(index, kind, recovery_seconds)`` after each successful
+    re-admission, ``on_abandon`` receives ``(index, reason)`` when a
+    shard's budget is spent.
+    """
+
+    def __init__(
+        self,
+        respawn: Callable[[int, str], None],
+        budget: RestartBudget,
+        *,
+        heal: Optional[Callable[[], None]] = None,
+        on_restart: Optional[Callable[[int, str, float], None]] = None,
+        on_abandon: Optional[Callable[[int, str], None]] = None,
+    ):
+        self._respawn = respawn
+        self._budget = budget
+        self._heal = heal
+        self._on_restart = on_restart
+        self._on_abandon = on_abandon
+        self._cond = threading.Condition()
+        self._pending: Dict[int, Tuple[str, str, float]] = {}
+        self._abandoned: Dict[int, str] = {}
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+        self.restarts = 0
+        self.recovery_seconds = 0.0
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="repro-fib-supervisor"
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop accepting failures and join the loop (idempotent)."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+
+    # ------------------------------------------------------------- interface
+
+    def notify(self, index: int, reason: str, kind: str = "died") -> None:
+        """Queue one shard failure (called from the pool's failure
+        paths: reader-thread EOF, ring stalls, reply deadlines)."""
+        with self._cond:
+            if self._stopped or index in self._abandoned:
+                return
+            if index not in self._pending:
+                self._pending[index] = (reason, kind, time.monotonic())
+                self._cond.notify_all()
+
+    def recoverable(self, index: int) -> bool:
+        """True while the pool should degrade (not error) for ``index``:
+        supervision is live and the shard's budget is not spent."""
+        with self._cond:
+            return not self._stopped and index not in self._abandoned
+
+    def abandoned(self, index: int) -> Optional[str]:
+        """The reason shard ``index`` was given up on, or None."""
+        with self._cond:
+            return self._abandoned.get(index)
+
+    @property
+    def abandoned_count(self) -> int:
+        with self._cond:
+            return len(self._abandoned)
+
+    # ------------------------------------------------------------------ loop
+
+    def _take(self) -> Optional[Tuple[int, str, str, float]]:
+        with self._cond:
+            while not self._pending and not self._stopped:
+                self._cond.wait(0.5)
+            if self._stopped:
+                return None
+            index = next(iter(self._pending))
+            reason, kind, detected = self._pending.pop(index)
+            return index, reason, kind, detected
+
+    def _abandon(self, index: int, reason: str) -> None:
+        with self._cond:
+            self._abandoned[index] = reason
+        if self._on_abandon is not None:
+            self._on_abandon(index, reason)
+
+    def _loop(self) -> None:
+        while True:
+            item = self._take()
+            if item is None:
+                return
+            index, reason, kind, detected = item
+            delay = self._budget.admit(index)
+            if delay is None:
+                self._abandon(
+                    index,
+                    f"worker {index} exceeded {self._budget.max_restarts} "
+                    f"restart(s) in {self._budget.restart_window:.0f}s: {reason}",
+                )
+                continue
+            if delay:
+                time.sleep(delay)
+            with self._cond:
+                if self._stopped:
+                    return
+            try:
+                self._respawn(index, reason)
+            except Exception as error:  # noqa: BLE001 - retry within budget
+                if self._heal is not None:
+                    try:
+                        self._heal()
+                    except Exception:  # noqa: BLE001 - heal is best-effort
+                        pass
+                self.notify(index, f"respawn failed: {error}", kind="respawn")
+                continue
+            recovery = time.monotonic() - detected
+            self.restarts += 1
+            self.recovery_seconds += recovery
+            if self._on_restart is not None:
+                self._on_restart(index, kind, recovery)

@@ -109,7 +109,17 @@ from repro.serve.cluster import (
     _mix64_vector,
     plan_cluster,
 )
+from repro.serve.faults import (
+    FaultPlan,
+    WorkerFaultState,
+    corrupt_segment_header,
+)
 from repro.serve.metrics import WorkerReport
+from repro.serve.supervisor import (
+    DEFAULT_RESTART_WINDOW,
+    RestartBudget,
+    Supervisor,
+)
 from repro.serve.scenarios import ServeEvent
 from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
 from repro.serve.shm import (
@@ -144,6 +154,12 @@ DEFAULT_WINDOW = 8
 #: Default seconds the frontend waits on any single worker reply.
 DEFAULT_TIMEOUT = 120.0
 
+#: Default seconds the frontend waits on a *control* reply (report,
+#: swap/attach acks, readiness of a respawned worker). A hard deadline,
+#: deliberately tighter than the data-plane timeout: a hung-but-alive
+#: worker must never block shutdown or supervision.
+DEFAULT_CONTROL_TIMEOUT = 60.0
+
 #: Default process start method ("spawn" imports cleanly everywhere;
 #: pass "fork" where the platform offers it and boot cost matters).
 DEFAULT_START_METHOD = "spawn"
@@ -158,12 +174,41 @@ TRANSPORTS = ("shm", "pipe")
 #: Data-plane request opcodes by the pipe protocol's message kind.
 _RING_OPS = {"lookup": OP_LOOKUP, "bcast": OP_BCAST, "probe": OP_PROBE}
 
+#: Ring opcode -> the ``op`` name a structured :class:`WorkerError` carries.
+_OP_NAMES = {
+    OP_LOOKUP: "lookup",
+    OP_BCAST: "bcast",
+    OP_PROBE: "probe",
+    OP_ATTACH: "attach",
+}
+
 #: Seconds the frontend's ring pump sleeps between idle sweeps.
 _READER_SLEEP = 0.0002
 
 
 class WorkerError(RuntimeError):
-    """A worker process failed, died, or timed out."""
+    """A worker process failed, died, or timed out.
+
+    Carries the failure as structured fields — ``worker_index`` (which
+    shard), ``op`` (the operation in flight: ``"lookup"``, ``"bcast"``,
+    ``"attach"``, ``"swap"``, ``"report"``, ...) and ``generation``
+    (the program generation involved, shm transport) — so the
+    supervisor and tests never parse the message text. Any field is
+    None where the failure has no such context.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_index: Optional[int] = None,
+        op: Optional[str] = None,
+        generation: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.worker_index = worker_index
+        self.op = op
+        self.generation = generation
 
 
 def _pack_addresses(addresses: Sequence[int]) -> bytes:
@@ -259,6 +304,7 @@ def worker_main(
     batched: bool,
     filter_spec=None,
     obs_enabled: bool = False,
+    fault_payload: Sequence[dict] = (),
 ) -> None:
     """The worker-process entry point: one FibServer behind a pipe.
 
@@ -289,6 +335,7 @@ def worker_main(
             pass
         return
     conn.send(("ok", 0, ("ready", server.incremental, server.representation.size_bits())))
+    faults = WorkerFaultState(fault_payload)
     try:
         while True:
             message = conn.recv()
@@ -296,6 +343,7 @@ def worker_main(
             if kind == "lookup":
                 seq, payload = message[1], message[2]
                 try:
+                    faults.on_batch()
                     addresses = _unpack(payload)
                     lookup_before = server.lookup_seconds
                     update_before = server.update_seconds
@@ -319,6 +367,7 @@ def worker_main(
                 # with their input positions alongside the labels.
                 seq, payload = message[1], message[2]
                 try:
+                    faults.on_batch()
                     positions, owned = _owned_slice(payload, filter_spec)
                     lookup_before = server.lookup_seconds
                     update_before = server.update_seconds
@@ -420,6 +469,7 @@ def shm_worker_main(conn, spec) -> None:
     # in the report reply; the frontend merges every worker's into its
     # own (associative, so arrival order does not matter).
     obs = Registry() if spec.get("obs") else NULL_REGISTRY
+    faults = WorkerFaultState(spec.get("faults") or ())
     obs_latency = obs.histogram(
         "serve_lookup_latency_seconds",
         "batched lookup latency (in-place ring resolve only)",
@@ -473,6 +523,8 @@ def shm_worker_main(conn, spec) -> None:
             op = record.op
             try:
                 if op == OP_LOOKUP or op == OP_PROBE:
+                    if op == OP_LOOKUP:
+                        faults.on_batch(res)
                     addresses = record.payload.cast("q")
 
                     def fill(view, addresses=addresses):
@@ -495,6 +547,7 @@ def shm_worker_main(conn, spec) -> None:
                         if visibility.pending:
                             visibility.observe()
                 elif op == OP_BCAST:
+                    faults.on_batch(res)
                     positions, owned = _owned_slice(record.payload, filter_spec)
 
                     def fill(view, positions=positions, owned=owned):
@@ -519,6 +572,7 @@ def shm_worker_main(conn, spec) -> None:
                     if visibility.pending:
                         visibility.observe()
                 elif op == OP_ATTACH:
+                    faults.on_attach()
                     name = bytes(record.payload).decode()
                     t0 = time.perf_counter()
                     fresh, generation, fresh_segment = attach_program(name)
@@ -579,13 +633,18 @@ class _WorkerHandle:
         "conn",
         "pending",
         "lock",
+        "send_lock",
         "seq",
         "dead",
         "reason",
+        "fail_op",
         "reader",
         "req_ring",
         "res_ring",
         "attach_seconds",
+        "incarnation",
+        "reaped",
+        "on_fail",
     )
 
     def __init__(self, index: int, lo: int, hi: int, routes: int, process, conn):
@@ -597,23 +656,52 @@ class _WorkerHandle:
         self.conn = conn
         self.pending: Dict[int, Future] = {}
         self.lock = threading.Lock()
+        # Serializes producers onto the worker's pipe/request ring: the
+        # replay thread, the supervisor's publish walk and the merge
+        # path's transparent retry may all submit — the ring's SPSC
+        # contract needs exactly one producer at a time.
+        self.send_lock = threading.Lock()
         self.seq = 0
         self.dead = False
         self.reason = ""
+        self.fail_op: Optional[str] = None
         self.req_ring: Optional[ShmRing] = None  # shm transport only
         self.res_ring: Optional[ShmRing] = None
         self.attach_seconds = 0.0
+        self.incarnation = 0   # bumped per supervisor respawn
+        self.reaped = False    # OS resources retired exactly once
+        self.on_fail = None    # supervisor notification hook
 
-    def fail(self, reason: str) -> None:
-        """Mark dead and fail every in-flight future (reader thread)."""
+    def error(self, op: Optional[str] = None) -> WorkerError:
+        """A structured error for using this handle while it is dead."""
+        return WorkerError(
+            self.reason or f"worker {self.index} is gone",
+            worker_index=self.index,
+            op=op or self.fail_op,
+        )
+
+    def fail(self, reason: str, *, op: Optional[str] = None) -> None:
+        """Mark dead, fail every in-flight future, wake the supervisor.
+
+        Called from reader threads (EOF), ring stalls, reply deadlines
+        and teardown; only the first call records the reason and fires
+        the ``on_fail`` hook.
+        """
         with self.lock:
+            already = self.dead
             self.dead = True
-            self.reason = reason
+            if not already:
+                self.reason = reason
+                self.fail_op = op
             drained = list(self.pending.values())
             self.pending.clear()
         for future in drained:
             if not future.done():
-                future.set_exception(WorkerError(reason))
+                future.set_exception(
+                    WorkerError(reason, worker_index=self.index, op=op)
+                )
+        if not already and self.on_fail is not None:
+            self.on_fail(self.index, reason, op or "died")
 
 
 def _reader_loop(handle: _WorkerHandle) -> None:
@@ -708,6 +796,27 @@ class WorkerPool:
     timeout:
         Seconds to wait on any single worker reply before declaring the
         worker lost (belt under the reader thread's EOF detection).
+    control_timeout:
+        Hard deadline (seconds) on control-plane replies — report,
+        swap/attach acks, respawn readiness — so a hung-but-alive
+        worker can never block shutdown or supervision.
+    max_restarts:
+        Restart budget per shard inside ``restart_window`` seconds.
+        0 (the default) disables supervision entirely: a worker death
+        is terminal, exactly the pre-supervision behavior. Positive
+        values start a :class:`~repro.serve.supervisor.Supervisor`
+        that respawns failed shards with bounded exponential backoff,
+        re-attaches the current published generation, replays the
+        post-crash update delta, transparently retries in-flight
+        batches, and serves a down shard's range *degraded* from the
+        frontend (publisher on shm, control oracle on pipe) so
+        availability never drops to zero.
+    restart_window:
+        Sliding window (seconds) the restart budget counts within.
+    faults:
+        A :class:`~repro.serve.faults.FaultPlan` scripting
+        deterministic failures into this run (chaos testing). None —
+        the default — injects nothing and costs nothing.
     transport:
         ``"shm"`` (default) serves over shared-memory rings with the
         compiled program in a published segment the workers attach;
@@ -739,9 +848,13 @@ class WorkerPool:
         start_method: str = DEFAULT_START_METHOD,
         fanout: str = "auto",
         timeout: float = DEFAULT_TIMEOUT,
+        control_timeout: float = DEFAULT_CONTROL_TIMEOUT,
         transport: str = DEFAULT_TRANSPORT,
         ring_bytes: int = DEFAULT_RING_BYTES,
         obs: Registry = NULL_REGISTRY,
+        max_restarts: int = 0,
+        restart_window: float = DEFAULT_RESTART_WINDOW,
+        faults: Optional[FaultPlan] = None,
     ):
         if fib.width > 63:
             # The pipe wire format packs addresses and labels as signed
@@ -758,10 +871,30 @@ class WorkerPool:
             )
         self._plan = plan_cluster(fib, workers, mode=partition, granularity=granularity)
         self._spec = registry.get(name)
+        self._rep_name = name
         self._options = dict(options or {})
         self._control = fib.copy()
         self._timeout = timeout
+        if control_timeout <= 0:
+            raise ValueError(
+                f"control_timeout must be positive, got {control_timeout}"
+            )
+        self._control_timeout = control_timeout
         self._start_method = start_method
+        self._rebuild_every = rebuild_every
+        self._batched = batched
+        self._ring_bytes = ring_bytes
+        self._faults = (
+            faults.resolve(self._plan.shards) if faults is not None and faults
+            else None
+        )
+        self._max_restarts = max_restarts
+        self._restart_window = restart_window
+        self._supervisor: Optional[Supervisor] = None
+        # Serializes topology changes — publishes, respawns, updates,
+        # degraded serving and close — against each other. Re-entrant:
+        # a respawn replays the update delta by publishing.
+        self._pool_lock = threading.RLock()
         if fanout not in ("auto", "split", "broadcast"):
             raise ValueError(
                 f"unknown fanout {fanout!r}; choose auto, split or broadcast"
@@ -820,87 +953,26 @@ class WorkerPool:
                 )
                 self._segments.append(self._program_segment)
                 for index in range(self._plan.shards):
-                    lo, hi = self._plan.shard_range(index)
-                    if self._plan.mode == "hash":
-                        filter_spec = ("hash", self._plan.shards, index)
-                    else:
-                        filter_spec = ("prefix", lo, hi)
-                    req_ring = ShmRing.create(ring_bytes)
-                    self._rings.append(req_ring)
-                    res_ring = ShmRing.create(ring_bytes)
-                    self._rings.append(res_ring)
-                    parent_conn, child_conn = context.Pipe(duplex=True)
-                    process = context.Process(
-                        target=shm_worker_main,
-                        args=(
-                            child_conn,
-                            {
-                                "request": req_ring.name,
-                                "response": res_ring.name,
-                                "program": self._program_segment.name,
-                                "filter": filter_spec,
-                                "index": index,
-                                "obs": obs.enabled,
-                            },
-                        ),
-                        daemon=True,
-                        name=f"repro-fib-worker-{index}",
+                    handle = self._spawn_shm_worker(
+                        context, index, len(fib), incarnation=0
                     )
-                    process.start()
-                    child_conn.close()  # the child owns its end now
-                    handle = _WorkerHandle(
-                        index, lo, hi, len(fib), process, parent_conn
-                    )
-                    handle.req_ring = req_ring
-                    handle.res_ring = res_ring
-                    future: Future = Future()
-                    handle.pending[0] = future  # the readiness ack (seq 0)
-                    ready.append(future)
-                    handle.reader = threading.Thread(
-                        target=_reader_loop, args=(handle,), daemon=True
-                    )
-                    handle.reader.start()
+                    ready.append(handle.pending[0])
                     self._handles.append(handle)
             else:
                 for spec in self._plan.materialize(fib):
-                    if self._plan.mode == "hash":
-                        filter_spec = ("hash", self._plan.shards, spec.index)
-                    else:
-                        filter_spec = ("prefix", spec.lo, spec.hi)
-                    parent_conn, child_conn = context.Pipe(duplex=True)
-                    process = context.Process(
-                        target=worker_main,
-                        args=(
-                            child_conn,
-                            name,
-                            spec.fib,
-                            self._options,
-                            rebuild_every,
-                            batched,
-                            filter_spec,
-                            obs.enabled,
-                        ),
-                        daemon=True,
-                        name=f"repro-fib-worker-{spec.index}",
+                    handle = self._spawn_pipe_worker(
+                        context, spec, incarnation=0
                     )
-                    process.start()
-                    child_conn.close()  # the child owns its end now
-                    handle = _WorkerHandle(
-                        spec.index, spec.lo, spec.hi, spec.routes, process, parent_conn
-                    )
-                    future = Future()
-                    handle.pending[0] = future  # the readiness ack (seq 0)
-                    ready.append(future)
-                    handle.reader = threading.Thread(
-                        target=_reader_loop, args=(handle,), daemon=True
-                    )
-                    handle.reader.start()
+                    ready.append(handle.pending[0])
                     self._handles.append(handle)
             if self._transport == "shm":
                 self._proxies = []
             else:
                 self._proxies = [_ProxyServer(self, h) for h in self._handles]
-            acks = [self._await(future) for future in ready]
+            acks = [
+                self._await(future, handle=handle, op="ready")
+                for handle, future in zip(self._handles, ready)
+            ]
         except Exception:
             self.close()
             raise
@@ -950,6 +1022,33 @@ class WorkerPool:
         # Merges may run on executor threads concurrently (the async
         # front-end's window), so clock folding takes this lock.
         self._account_lock = threading.Lock()
+        # --------------------------------------------------- supervision
+        self._restarts = 0
+        self._degraded_lookups = 0
+        self._failed_lookups = 0
+        self._retried_batches = 0
+        self._recovery_seconds = 0.0
+        self._obs_restarts = obs.counter(
+            "worker_restarts_total", "supervisor respawns by failure kind",
+            ("reason",),
+        )
+        self._obs_degraded = obs.counter(
+            "degraded_lookups_total",
+            "lookups the frontend answered itself while a shard was down",
+        )
+        self._obs_recovery = obs.histogram(
+            "recovery_seconds", "shard failure detection to re-admission"
+        )
+        if max_restarts > 0:
+            self._supervisor = Supervisor(
+                self._respawn,
+                RestartBudget(max_restarts, restart_window),
+                heal=self._heal_publish if self._transport == "shm" else None,
+                on_restart=self._note_restart,
+            )
+            self._supervisor.start()
+            for handle in self._handles:
+                handle.on_fail = self._supervisor.notify
 
     # ------------------------------------------------------------- properties
 
@@ -1009,6 +1108,221 @@ class WorkerPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # --------------------------------------------------------------- spawning
+
+    def _filter_spec(self, index: int):
+        """The broadcast ownership filter of one shard."""
+        if self._plan.mode == "hash":
+            return ("hash", self._plan.shards, index)
+        lo, hi = self._plan.shard_range(index)
+        return ("prefix", lo, hi)
+
+    def _fault_payload(self, index: int, incarnation: int):
+        if self._faults is None:
+            return ()
+        return self._faults.worker_payload(index, incarnation)
+
+    def _spawn_shm_worker(
+        self, context, index: int, routes: int, incarnation: int
+    ) -> _WorkerHandle:
+        """Start one shm-transport worker process against the currently
+        published program segment; its readiness ack is pending[0]."""
+        lo, hi = self._plan.shard_range(index)
+        req_ring = ShmRing.create(self._ring_bytes)
+        self._rings.append(req_ring)
+        res_ring = ShmRing.create(self._ring_bytes)
+        self._rings.append(res_ring)
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=shm_worker_main,
+            args=(
+                child_conn,
+                {
+                    "request": req_ring.name,
+                    "response": res_ring.name,
+                    "program": self._program_segment.name,
+                    "filter": self._filter_spec(index),
+                    "index": index,
+                    "obs": self._obs.enabled,
+                    "faults": self._fault_payload(index, incarnation),
+                },
+            ),
+            daemon=True,
+            name=f"repro-fib-worker-{index}",
+        )
+        process.start()
+        child_conn.close()  # the child owns its end now
+        handle = _WorkerHandle(index, lo, hi, routes, process, parent_conn)
+        handle.incarnation = incarnation
+        handle.req_ring = req_ring
+        handle.res_ring = res_ring
+        handle.pending[0] = Future()  # the readiness ack (seq 0)
+        handle.reader = threading.Thread(
+            target=_reader_loop, args=(handle,), daemon=True
+        )
+        handle.reader.start()
+        return handle
+
+    def _spawn_pipe_worker(self, context, spec, incarnation: int) -> _WorkerHandle:
+        """Start one pipe-transport worker process from a shard spec
+        (the pickled restricted FIB); its readiness ack is pending[0]."""
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                self._rep_name,
+                spec.fib,
+                self._options,
+                self._rebuild_every,
+                self._batched,
+                self._filter_spec(spec.index),
+                self._obs.enabled,
+                self._fault_payload(spec.index, incarnation),
+            ),
+            daemon=True,
+            name=f"repro-fib-worker-{spec.index}",
+        )
+        process.start()
+        child_conn.close()  # the child owns its end now
+        handle = _WorkerHandle(
+            spec.index, spec.lo, spec.hi, spec.routes, process, parent_conn
+        )
+        handle.incarnation = incarnation
+        handle.pending[0] = Future()  # the readiness ack (seq 0)
+        handle.reader = threading.Thread(
+            target=_reader_loop, args=(handle,), daemon=True
+        )
+        handle.reader.start()
+        return handle
+
+    # ------------------------------------------------------------ supervision
+
+    def _recoverable(self, index: int) -> bool:
+        """True while the pool should degrade (not error) for shard
+        ``index``: supervision is on and its restart budget remains."""
+        supervisor = self._supervisor
+        return (
+            supervisor is not None
+            and not self._closed
+            and supervisor.recoverable(index)
+        )
+
+    def settle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no shard is down-but-recoverable: every pending
+        respawn has landed (or its budget is spent and the shard is
+        abandoned). Returns ``True`` when fully settled within the
+        deadline (default: the control timeout). A no-op pool — no
+        supervisor, nothing dead — settles immediately."""
+        deadline = time.monotonic() + (
+            self._control_timeout if timeout is None else timeout
+        )
+        while True:
+            pending = any(
+                handle.dead and self._recoverable(handle.index)
+                for handle in self._handles
+            )
+            if not pending:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    def _note_restart(self, index: int, kind: str, recovery: float) -> None:
+        with self._account_lock:
+            self._restarts += 1
+            self._recovery_seconds += recovery
+        self._obs_restarts.labels(kind).inc()
+        self._obs_recovery.observe(recovery)
+
+    def _heal_publish(self) -> None:
+        """Republish a clean current generation (supervisor hook, after
+        a failed respawn attempt): when the published segment itself is
+        the failure — a corrupted header — the retry must have a fresh
+        image to attach."""
+        if self._transport != "shm" or self._closed:
+            return
+        with self._pool_lock:
+            self._publish()
+
+    def _reap(self, handle: _WorkerHandle, join_timeout: float = 5.0) -> None:
+        """Retire one handle's OS resources exactly once (idempotent):
+        mark it dead, terminate-and-join the process, close its pipe,
+        close+unlink its rings. Both the respawn path (the old
+        incarnation) and :meth:`close` (whatever is current) funnel
+        through here, so a respawned-then-crashed child can never be
+        reaped twice — or leak."""
+        if handle.reaped:
+            return
+        handle.reaped = True
+        if not handle.dead:
+            handle.fail(f"worker {handle.index} shut down")
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+        process.join(join_timeout)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        for ring in (handle.req_ring, handle.res_ring):
+            if ring is None:
+                continue
+            if ring in self._rings:
+                self._rings.remove(ring)
+            ring.close()  # owner side: unlinks the segment
+        handle.req_ring = handle.res_ring = None
+
+    def _respawn(self, index: int, reason: str) -> None:
+        """Replace one dead/hung shard with a fresh incarnation
+        (supervisor thread). Reaps the old process and rings exactly
+        once, spawns against the current state — the published program
+        segment on shm, the control oracle on pipe — awaits readiness
+        on the control deadline, replays the post-crash update delta,
+        and installs the new handle. Runs under the pool lock, so it
+        is serialized against publishes, updates and close."""
+        with self._pool_lock:
+            if self._closed:
+                raise WorkerError("pool is closed", worker_index=index)
+            old = self._handles[index]
+            self._reap(old)
+            incarnation = old.incarnation + 1
+            context = multiprocessing.get_context(self._start_method)
+            if self._transport == "shm":
+                handle = self._spawn_shm_worker(
+                    context, index, old.routes, incarnation
+                )
+            else:
+                spec = self._plan.materialize(self._control)[index]
+                handle = self._spawn_pipe_worker(context, spec, incarnation)
+            try:
+                ack = self._await(
+                    handle.pending[0], handle=handle, op="ready",
+                    timeout=self._control_timeout,
+                )
+            except WorkerError:
+                self._reap(handle)
+                raise
+            if self._transport == "shm":
+                handle.attach_seconds = ack[1]
+            if self._supervisor is not None:
+                handle.on_fail = self._supervisor.notify
+            self._handles[index] = handle
+            if self._transport == "shm":
+                if self._publish_proxy.pending:
+                    # Replay the delta: the fresh worker attached the
+                    # last *published* generation; everything newer
+                    # lives only in the publisher until the next
+                    # publish — which is now.
+                    self._publish()
+            else:
+                # The worker was rebuilt from the control oracle, which
+                # already carries every accepted update — its backlog
+                # is empty by construction.
+                proxy = _ProxyServer(self, handle)
+                self._proxies[index] = proxy
+                self._coordinator.replace_server(index, proxy)
+
     # -------------------------------------------------------------- messaging
 
     def _submit(self, handle: _WorkerHandle, kind: str, *payload) -> Future:
@@ -1016,17 +1330,20 @@ class WorkerPool:
         against the reader thread declaring the worker dead)."""
         with handle.lock:
             if handle.dead:
-                raise WorkerError(handle.reason or f"worker {handle.index} is gone")
+                raise handle.error(op=kind)
             handle.seq += 1
             seq = handle.seq
             future: Future = Future()
             handle.pending[seq] = future
         try:
-            handle.conn.send((kind,) + (seq,) + payload)
+            with handle.send_lock:
+                handle.conn.send((kind,) + (seq,) + payload)
         except (OSError, ValueError) as error:
             reason = f"worker {handle.index} pipe broke: {error}"
-            handle.fail(reason)
-            raise WorkerError(reason) from None
+            handle.fail(reason, op=kind)
+            raise WorkerError(
+                reason, worker_index=handle.index, op=kind
+            ) from None
         return future
 
     def _submit_ring(
@@ -1037,33 +1354,45 @@ class WorkerPool:
         write the record into the worker's request ring — blocking under
         backpressure with the worker's liveness as the escape hatch, so
         a dead consumer is a :class:`WorkerError`, never a hang."""
+        op_name = _OP_NAMES.get(op, str(op))
         with handle.lock:
             if handle.dead:
-                raise WorkerError(handle.reason or f"worker {handle.index} is gone")
+                raise handle.error(op=op_name)
             handle.seq += 1
             seq = handle.seq
             future: Future = Future()
             handle.pending[seq] = future
         try:
-            handle.req_ring.send(
-                op,
-                payload,
-                seq=seq,
-                generation=generation,
-                aux1=aux1,
-                alive=lambda: not handle.dead and handle.process.is_alive(),
-                timeout=self._timeout,
-            )
+            with handle.send_lock:
+                handle.req_ring.send(
+                    op,
+                    payload,
+                    seq=seq,
+                    generation=generation,
+                    aux1=aux1,
+                    alive=lambda: not handle.dead and handle.process.is_alive(),
+                    timeout=self._timeout,
+                )
         except RingOverflow as error:
             # The batch can never fit; the worker is fine — fail only
             # this request.
             with handle.lock:
                 handle.pending.pop(seq, None)
-            raise WorkerError(str(error)) from None
+            raise WorkerError(
+                str(error), worker_index=handle.index, op=op_name,
+                generation=generation or None,
+            ) from None
         except RingPeerDied as error:
             reason = f"worker {handle.index} ring stalled: {error}"
-            handle.fail(reason)
-            raise WorkerError(reason) from None
+            handle.fail(reason, op=op_name)
+            raise WorkerError(
+                reason, worker_index=handle.index, op=op_name,
+                generation=generation or None,
+            ) from None
+        except (RingClosed, ValueError, AttributeError):
+            # The ring was reaped under us (handle declared dead by the
+            # supervisor between our liveness check and the send).
+            raise handle.error(op=op_name) from None
         return future
 
     def _request(self, handle: _WorkerHandle, kind: str, packed) -> Future:
@@ -1072,24 +1401,61 @@ class WorkerPool:
             return self._submit_ring(handle, _RING_OPS[kind], packed)
         return self._submit(handle, kind, packed)
 
+    def _request_or_defer(self, handle: _WorkerHandle, kind: str, packed) -> Future:
+        """Submit, or — when the worker is down but recoverable — defer
+        the failure into the returned future so the merge path recovers
+        it there (retry against the respawned worker, or serve the part
+        degraded from the frontend)."""
+        try:
+            return self._request(handle, kind, packed)
+        except WorkerError as error:
+            if not self._recoverable(handle.index):
+                raise
+            future: Future = Future()
+            future.set_exception(error)
+            return future
+
     def _send_update(self, handle: _WorkerHandle, op: UpdateOp) -> None:
         if handle.dead:
-            raise WorkerError(handle.reason or f"worker {handle.index} is gone")
+            raise handle.error(op="update")
         try:
-            handle.conn.send(("update", op.prefix, op.length, op.label))
+            with handle.send_lock:
+                handle.conn.send(("update", op.prefix, op.length, op.label))
         except (OSError, ValueError) as error:
             reason = f"worker {handle.index} pipe broke: {error}"
-            handle.fail(reason)
-            raise WorkerError(reason) from None
-
-    def _await(self, future: Future):
-        """Block on one reply with the pool timeout (never hangs: the
-        reader thread fails the future the moment the pipe closes)."""
-        try:
-            return future.result(self._timeout)
-        except (TimeoutError, _FutureTimeout):
+            handle.fail(reason, op="update")
             raise WorkerError(
-                f"no worker reply within {self._timeout:.0f}s"
+                reason, worker_index=handle.index, op="update"
+            ) from None
+
+    def _await(
+        self,
+        future: Future,
+        *,
+        handle: Optional[_WorkerHandle] = None,
+        op: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Block on one reply with a deadline (never hangs: the reader
+        thread fails the future the moment the pipe closes, and the
+        deadline catches what EOF detection cannot — a hung-but-alive
+        worker). A timed-out ``handle`` is *declared failed*, which is
+        detection, not just an error: supervision sees hung workers
+        through exactly the same path as dead ones."""
+        deadline = self._timeout if timeout is None else timeout
+        try:
+            return future.result(deadline)
+        except (TimeoutError, _FutureTimeout):
+            if handle is not None and not handle.dead:
+                handle.fail(
+                    f"worker {handle.index} hung: no reply to "
+                    f"{op or 'request'} within {deadline:.0f}s",
+                    op=op,
+                )
+            raise WorkerError(
+                f"no worker reply to {op or 'request'} within {deadline:.0f}s",
+                worker_index=handle.index if handle is not None else None,
+                op=op,
             ) from None
 
     def _shm_reader_loop(self) -> None:
@@ -1226,16 +1592,33 @@ class WorkerPool:
                 packed = _pack_addresses(addresses)
                 sent = len(packed) * len(self._handles)
                 parts = [
-                    (handle, None, self._request(handle, "bcast", packed))
+                    (
+                        handle, None,
+                        self._request_or_defer(handle, "bcast", packed),
+                        "bcast", packed,
+                    )
                     for handle in self._handles
                 ]
             else:
                 split = self._split(addresses)
                 sent = sum(len(packed) for _, _, packed in split)
                 parts = [
-                    (handle, positions, self._request(handle, "lookup", packed))
+                    (
+                        handle, positions,
+                        self._request_or_defer(handle, "lookup", packed),
+                        "lookup", packed,
+                    )
                     for handle, positions, packed in split
                 ]
+        except WorkerError:
+            # Rejected up front (the shard is dead with no budget left):
+            # the whole batch is offered-but-unanswered, which is what
+            # ``availability`` measures.
+            self._leave_flight()
+            self._lookups += count
+            with self._account_lock:
+                self._failed_lookups += count
+            raise
         except Exception:
             # Any failure here (dead worker, malformed batch) must not
             # leak the in-flight counter, or the wall clock never folds
@@ -1289,9 +1672,13 @@ class WorkerPool:
             self._leave_flight()
 
     def _merge_replies(self, parts, count: int, decode: bool):
-        replies = [
-            (self._await(future), positions) for _, positions, future in parts
-        ]
+        replies = []
+        for handle, positions, future, kind, packed in parts:
+            try:
+                payload = self._await(future, handle=handle, op=kind)
+            except WorkerError as error:
+                payload = self._recover_part(handle, kind, packed, error)
+            replies.append((payload, positions))
         if self._broadcast:
             # Reply shape (positions, labels, lookup_s, update_s): the
             # workers already did the owner split; adopt their positions.
@@ -1334,6 +1721,71 @@ class WorkerPool:
             return merged
         return [label if label else None for label in merged.tolist()]
 
+    def _recover_part(self, handle: _WorkerHandle, kind: str, packed, error):
+        """One in-flight batch part died with its worker. Lookups are
+        idempotent, so retry the part transparently against the already
+        respawned shard when there is one; otherwise serve it degraded
+        from the frontend while the shard is down. Without supervision
+        — or past the restart budget — the original failure propagates,
+        exactly the unsupervised contract."""
+        index = handle.index
+        if not self._recoverable(index):
+            if kind in ("lookup", "bcast"):
+                with self._account_lock:
+                    self._failed_lookups += len(packed) // 8
+            raise error
+        current = self._handles[index]
+        if current is not handle and not current.dead:
+            try:
+                payload = self._await(
+                    self._request(current, kind, packed),
+                    handle=current, op=kind,
+                )
+            except WorkerError:
+                pass  # fell again; degrade below
+            else:
+                with self._account_lock:
+                    self._retried_batches += 1
+                return payload
+        return self._serve_degraded(index, kind, packed)
+
+    def _serve_degraded(self, index: int, kind: str, packed):
+        """Answer one batch part from the frontend while shard ``index``
+        is down: the publisher (shm) or the control oracle (pipe)
+        already absorbed every accepted update, so degraded answers are
+        never *staler* than the dead worker's would have been — the
+        price is frontend CPU, and every address served this way is
+        counted in ``degraded_lookups``."""
+        with self._pool_lock:
+            if kind == "bcast":
+                positions, owned = _owned_slice(
+                    packed, self._filter_spec(index)
+                )
+                payload = (positions, self._frontend_labels(owned), 0.0, 0.0)
+                served = len(owned)
+            elif kind == "lookup":
+                owned = _unpack(packed)
+                payload = (self._frontend_labels(owned), 0.0, 0.0)
+                served = len(owned)
+            else:
+                raise WorkerError(
+                    f"worker {index} is down; no degraded path for {kind!r}",
+                    worker_index=index, op=kind,
+                )
+        with self._account_lock:
+            self._degraded_lookups += served
+        self._obs_degraded.inc(served)
+        return payload
+
+    def _frontend_labels(self, owned) -> bytes:
+        """Resolve one owned slice on the frontend (degraded path)."""
+        if self._transport == "shm":
+            return self._publisher.lookup_batch_packed(owned)
+        oracle = self._control.lookup
+        return array(
+            "q", [oracle(address) or 0 for address in owned]
+        ).tobytes()
+
     def lookup_batch(self, addresses: Sequence[int]) -> List[Optional[int]]:
         """Serve one batch synchronously (fan out, wait, merge)."""
         parts, count = self.submit_batch(addresses)
@@ -1353,40 +1805,53 @@ class WorkerPool:
         frontend-side so the coordinator knows which workers are due.
         """
         started = time.perf_counter()
-        try:
-            self._control.update(op.prefix, op.length, op.label)
-        except KeyError:
-            self._updates_skipped += 1
-            with self._account_lock:
-                self._update_seconds += time.perf_counter() - started
-            return False
-        owners = self._plan.owners(op.prefix, op.length)
-        if self._transport == "shm":
-            # The update never crosses a process boundary per-op: the
-            # frontend-hosted publisher absorbs it (a patch on the
-            # incremental plane, a backlog entry on the rebuild plane)
-            # and the workers adopt it wholesale at the next published
-            # generation. A dead owner still surfaces here — accepting
-            # an update no live worker can ever adopt would serve the
-            # stale generation silently.
-            for index in owners:
-                handle = self._handles[index]
-                if handle.dead:
-                    raise WorkerError(
-                        handle.reason or f"worker {handle.index} is gone"
-                    )
-            self._publisher.apply_update(op)
-            self._publish_proxy.pending.append(op)
-            if self._vis_ingress_ns is None:
-                # The oldest unpublished update's ingress stamp; rides
-                # the next OP_ATTACH so the workers can close the
-                # cross-process visibility window.
-                self._vis_ingress_ns = now_ns()
-        else:
-            for index in owners:
-                self._send_update(self._handles[index], op)
-                if not self._incremental:
-                    self._proxies[index].pending.append(op)
+        # Under the pool lock the feed cannot interleave with a respawn:
+        # either the update lands before the snapshot/publish the fresh
+        # worker boots from (so replay carries it) or after the new
+        # handle is installed (so it is routed normally) — never both.
+        with self._pool_lock:
+            try:
+                self._control.update(op.prefix, op.length, op.label)
+            except KeyError:
+                self._updates_skipped += 1
+                with self._account_lock:
+                    self._update_seconds += time.perf_counter() - started
+                return False
+            owners = self._plan.owners(op.prefix, op.length)
+            if self._transport == "shm":
+                # The update never crosses a process boundary per-op: the
+                # frontend-hosted publisher absorbs it (a patch on the
+                # incremental plane, a backlog entry on the rebuild plane)
+                # and the workers adopt it wholesale at the next published
+                # generation. A dead owner that will never be respawned
+                # still surfaces here — accepting an update no live worker
+                # can ever adopt would serve the stale generation silently.
+                for index in owners:
+                    handle = self._handles[index]
+                    if handle.dead and not self._recoverable(index):
+                        raise handle.error(op="update")
+                self._publisher.apply_update(op)
+                self._publish_proxy.pending.append(op)
+                if self._vis_ingress_ns is None:
+                    # The oldest unpublished update's ingress stamp; rides
+                    # the next OP_ATTACH so the workers can close the
+                    # cross-process visibility window.
+                    self._vis_ingress_ns = now_ns()
+            else:
+                for index in owners:
+                    handle = self._handles[index]
+                    if handle.dead and self._recoverable(index):
+                        # The respawn rebuilds this shard from the control
+                        # oracle, which already carries this update.
+                        continue
+                    try:
+                        self._send_update(handle, op)
+                    except WorkerError:
+                        if self._recoverable(index):
+                            continue
+                        raise
+                    if not self._incremental:
+                        self._proxies[index].pending.append(op)
         with self._account_lock:
             self._update_seconds += time.perf_counter() - started
         self._updates_applied += 1
@@ -1405,7 +1870,10 @@ class WorkerPool:
         """One synchronous epoch swap over the control channel: send,
         block on the ack (which the pipe orders after every update
         already fed to the worker), clear the tracked backlog."""
-        _, rebuild_spent, _ = self._await(self._submit(handle, "swap"))
+        _, rebuild_spent, _ = self._await(
+            self._submit(handle, "swap"), handle=handle, op="swap",
+            timeout=self._control_timeout,
+        )
         self._rebuild_seconds += rebuild_spent
         self._swaps += 1
         proxy.pending.clear()
@@ -1422,71 +1890,84 @@ class WorkerPool:
         unlinked; a worker that fails to adopt is declared dead rather
         than silently left serving a stale image.
         """
-        started = time.perf_counter()
-        publisher = self._publisher
-        if publisher.pending:
-            publisher.rebuild()
-        generation = self._generation + 1
-        segment = publish_program(publisher.serving_program(), generation)
-        self._segments.append(segment)
-        name = segment.name.encode()
-        ingress_ns = self._vis_ingress_ns or 0
-        self._vis_ingress_ns = None
-        submitted = []
-        for handle in self._handles:
-            if handle.dead:
-                continue
-            try:
-                submitted.append(
-                    (handle, self._submit_ring(
-                        handle, OP_ATTACH, name, generation=generation,
-                        aux1=ingress_ns,
-                    ))
-                )
-            except WorkerError:
-                continue  # already failed; its in-flight futures are drained
-        for handle, future in submitted:
-            try:
-                adopted = self._await(future)
-            except WorkerError as error:
-                if not handle.dead:
-                    # Alive but refusing the fresh generation: serving
-                    # stale data silently is worse than losing the worker.
-                    handle.fail(
-                        f"worker {handle.index} failed to adopt "
-                        f"generation {generation}: {error}"
+        with self._pool_lock:
+            started = time.perf_counter()
+            publisher = self._publisher
+            if publisher.pending:
+                publisher.rebuild()
+            generation = self._generation + 1
+            segment = publish_program(publisher.serving_program(), generation)
+            if self._faults is not None and self._faults.corrupts_publish(
+                self._publishes + 1
+            ):
+                corrupt_segment_header(segment)
+            self._segments.append(segment)
+            name = segment.name.encode()
+            ingress_ns = self._vis_ingress_ns or 0
+            self._vis_ingress_ns = None
+            submitted = []
+            for handle in self._handles:
+                if handle.dead:
+                    continue
+                try:
+                    submitted.append(
+                        (handle, self._submit_ring(
+                            handle, OP_ATTACH, name, generation=generation,
+                            aux1=ingress_ns,
+                        ))
                     )
-                continue
-            handle.attach_seconds = max(handle.attach_seconds, adopted)
-            self._attach_seconds = max(self._attach_seconds, adopted)
-        old = self._program_segment
-        self._program_segment = segment
-        self._generation = generation
-        if old is not None:
-            self._segments.remove(old)
-            try:
-                old.close()
-            except BufferError:  # pragma: no cover - a view escaped
-                pass
-            try:
-                old.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._publishes += 1
-        self._swaps += 1
-        self._rebuild_seconds += time.perf_counter() - started
-        self._publish_proxy.pending.clear()
+                except WorkerError:
+                    continue  # already failed; in-flight futures are drained
+            for handle, future in submitted:
+                try:
+                    adopted = self._await(
+                        future, handle=handle, op="attach",
+                        timeout=self._control_timeout,
+                    )
+                except WorkerError as error:
+                    if not handle.dead:
+                        # Alive but refusing the fresh generation: serving
+                        # stale data silently is worse than losing the worker.
+                        handle.fail(
+                            f"worker {handle.index} failed to adopt "
+                            f"generation {generation}: {error}",
+                            op="attach",
+                        )
+                    continue
+                handle.attach_seconds = max(handle.attach_seconds, adopted)
+                self._attach_seconds = max(self._attach_seconds, adopted)
+            old = self._program_segment
+            self._program_segment = segment
+            self._generation = generation
+            if old is not None:
+                self._segments.remove(old)
+                try:
+                    old.close()
+                except BufferError:  # pragma: no cover - a view escaped
+                    pass
+                try:
+                    old.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._publishes += 1
+            self._swaps += 1
+            self._rebuild_seconds += time.perf_counter() - started
+            self._publish_proxy.pending.clear()
 
     def quiesce(self) -> None:
         """Drain the update plane: publish the backlog's generation on
         the shm transport, else swap each due worker (one at a time)."""
+        self.settle()
         if self._transport == "shm":
             if self._publish_proxy.pending:
                 self._publish()
             return
-        for handle, proxy in zip(self._handles, self._proxies):
-            if proxy.pending:
-                self._swap(handle, proxy)
+        with self._pool_lock:
+            for handle, proxy in zip(self._handles, self._proxies):
+                if proxy.pending:
+                    if handle.dead and self._recoverable(handle.index):
+                        continue  # the respawn rebuilds it fresh
+                    self._swap(handle, proxy)
 
     # ----------------------------------------------------------------- replay
 
@@ -1504,11 +1985,17 @@ class WorkerPool:
         (served over the uncounted probe channel)."""
         if not addresses:
             return 1.0
+        self.settle()
         oracle = self._control.lookup
         agreed = 0
         for handle, _, packed in self._split(addresses):
             probe = _unpack(packed)
-            served = _unpack(self._await(self._request(handle, "probe", packed)))
+            served = _unpack(
+                self._await(
+                    self._request(handle, "probe", packed),
+                    handle=handle, op="probe",
+                )
+            )
             agreed += sum(
                 1
                 for address, label in zip(probe, served)
@@ -1531,10 +2018,35 @@ class WorkerPool:
         frontend-hosted publisher, plus the published image segment the
         workers share (counted once: it is physically one mapping).
         """
-        futures = [
-            self._submit(handle, "report", scenario) for handle in self._handles
-        ]
-        records = [self._await(future) for future in futures]
+        futures: List[Optional[Future]] = []
+        for handle in self._handles:
+            if handle.dead:
+                if self._supervisor is None:
+                    raise handle.error(op="report")
+                futures.append(None)  # down mid-recovery (or abandoned)
+                continue
+            try:
+                futures.append(self._submit(handle, "report", scenario))
+            except WorkerError:
+                if self._supervisor is None:
+                    raise
+                futures.append(None)
+        records: List[Any] = []
+        for handle, future in zip(self._handles, futures):
+            if future is None:
+                records.append(None)
+                continue
+            try:
+                records.append(
+                    self._await(
+                        future, handle=handle, op="report",
+                        timeout=self._control_timeout,
+                    )
+                )
+            except WorkerError:
+                if self._supervisor is None:
+                    raise
+                records.append(None)
         worker_snaps: List[Optional[dict]] = []
         shard_rows: List[dict] = []
         stale = mismatches = rebuilds = generation = pending = size = peak = 0
@@ -1560,6 +2072,10 @@ class WorkerPool:
             # worker lags the same unpublished backlog identically).
             pool_staleness = stale / self._lookups if self._lookups else 0.0
             for handle, record in zip(self._handles, records):
+                if record is None:
+                    shard_rows.append(self._down_row(handle))
+                    worker_snaps.append(None)
+                    continue
                 generation += record["generation"]
                 worker_snaps.append(record.get("obs"))
                 shard_rows.append(
@@ -1580,6 +2096,10 @@ class WorkerPool:
                 )
         else:
             for handle, record in zip(self._handles, records):
+                if record is None:
+                    shard_rows.append(self._down_row(handle))
+                    worker_snaps.append(None)
+                    continue
                 worker_snaps.append(getattr(record, "obs", None))
                 stale += record.stale_lookups
                 mismatches += record.label_mismatches
@@ -1656,8 +2176,39 @@ class WorkerPool:
             publishes=self._publishes,
             bytes_tx=self._bytes_tx,
             bytes_rx=self._bytes_rx,
+            degraded_lookups=self._degraded_lookups,
+            failed_lookups=self._failed_lookups,
+            retried_batches=self._retried_batches,
+            worker_restarts=self._restarts,
+            workers_abandoned=(
+                self._supervisor.abandoned_count
+                if self._supervisor is not None
+                else 0
+            ),
+            recovery_seconds=self._recovery_seconds,
+            max_restarts=self._max_restarts,
             obs=obs_snapshot,
         )
+
+    @staticmethod
+    def _down_row(handle: _WorkerHandle) -> dict:
+        """A shard row for a worker that is down at report time (its
+        served-so-far counters died with the process; the pool-level
+        degraded/restart counters carry the story instead)."""
+        return {
+            "shard": handle.index,
+            "lo": handle.lo,
+            "hi": handle.hi,
+            "routes": handle.routes,
+            "lookups": 0,
+            "lookup_seconds": 0.0,
+            "staleness": 0.0,
+            "rebuilds": 0,
+            "generation": 0,
+            "size_bits": 0,
+            "peak_size_bits": 0,
+            "down": True,
+        }
 
     def _sample_ring_obs(self, target: Registry, records) -> None:
         """Sample ring occupancy and backpressure counters into one
@@ -1731,39 +2282,43 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
-        for handle in self._handles:
-            if not handle.dead:
-                try:
-                    handle.conn.send(("shutdown",))
-                except (OSError, ValueError):
-                    pass
-        for handle in self._handles:
-            handle.process.join(join_timeout)
-            if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(join_timeout)
-            handle.fail(f"worker {handle.index} shut down")
-            try:
-                handle.conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+        if self._supervisor is not None:
+            # Stop before taking the pool lock: an in-flight respawn
+            # holds it, and stop() joins the supervisor thread — after
+            # this no new respawn can start.
+            self._supervisor.stop()
         if self._ring_reader is not None:
             self._ring_reader.join(2.0)  # sees _closed within one sweep
             self._ring_reader = None
-        for ring in self._rings:
-            ring.close()  # owner side: unlinks the segment
-        self._rings.clear()
-        for segment in self._segments:
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - a view escaped
-                pass
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._segments.clear()
-        self._program_segment = None
+        with self._pool_lock:
+            for handle in self._handles:
+                if not handle.dead:
+                    try:
+                        with handle.send_lock:
+                            handle.conn.send(("shutdown",))
+                    except (OSError, ValueError):
+                        pass
+            for handle in self._handles:
+                if not handle.reaped:
+                    handle.process.join(join_timeout)
+                self._reap(handle, join_timeout)
+            # Rings not owned by any current handle (a respawn raced
+            # close, or spawn itself failed) unlink here; _reap already
+            # removed every handle-owned ring from the list.
+            for ring in self._rings:
+                ring.close()  # owner side: unlinks the segment
+            self._rings.clear()
+            for segment in self._segments:
+                try:
+                    segment.close()
+                except BufferError:  # pragma: no cover - a view escaped
+                    pass
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._segments.clear()
+            self._program_segment = None
 
 
 class AsyncFibFrontend:
@@ -1853,9 +2408,13 @@ def serve_worker_scenario(
     start_method: str = DEFAULT_START_METHOD,
     window: int = DEFAULT_WINDOW,
     timeout: float = DEFAULT_TIMEOUT,
+    control_timeout: float = DEFAULT_CONTROL_TIMEOUT,
     transport: str = DEFAULT_TRANSPORT,
     ring_bytes: int = DEFAULT_RING_BYTES,
     obs: Registry = NULL_REGISTRY,
+    max_restarts: int = 0,
+    restart_window: float = DEFAULT_RESTART_WINDOW,
+    faults: Optional[FaultPlan] = None,
 ) -> WorkerReport:
     """Replay one script through a real multi-process worker pool.
 
@@ -1863,7 +2422,8 @@ def serve_worker_scenario(
     spawn the pool, replay the script through the pipelining async
     front-end, quiesce every worker, probe post-quiescence parity
     against the pool oracle, report (with the whole-replay wall clock),
-    and always tear the processes down.
+    and always tear the processes down. ``max_restarts``/``faults``
+    turn the run into a supervised (and optionally chaos-injected) one.
     """
     pool = WorkerPool(
         name,
@@ -1876,9 +2436,13 @@ def serve_worker_scenario(
         granularity=granularity,
         start_method=start_method,
         timeout=timeout,
+        control_timeout=control_timeout,
         transport=transport,
         ring_bytes=ring_bytes,
         obs=obs,
+        max_restarts=max_restarts,
+        restart_window=restart_window,
+        faults=faults,
     )
     try:
         frontend = AsyncFibFrontend(pool, window=window)

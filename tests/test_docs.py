@@ -80,6 +80,7 @@ def test_benchmarks_doc_covers_every_trajectory():
         "BENCH_serve.json",
         "BENCH_cluster.json",
         "BENCH_workers.json",
+        "BENCH_faults.json",
     ):
         assert trajectory in text, f"docs/benchmarks.md misses {trajectory}"
         assert (REPO / trajectory).is_file(), f"{trajectory} baseline not committed"

@@ -233,3 +233,30 @@ class TestPoolLifecycle:
         finally:
             pool.close()
         assert leaked_segments() == []
+
+    def test_kill_respawn_close_cycle_leaks_nothing(self, small_fib):
+        # The full supervised lifecycle: a shard dies, its respawn gets
+        # fresh rings, the respawn dies too, close reaps whatever is
+        # current — every incarnation's rings and every published
+        # segment must be reaped exactly once, with nothing left in
+        # /dev/shm.
+        from repro.serve.faults import FaultPlan
+
+        plan = FaultPlan.parse(
+            ["kill-worker:1@batch=1",
+             "kill-worker:1@batch=1,incarnation=1"]
+        ).resolve(2)
+        pool = WorkerPool(
+            "prefix-dag", small_fib, workers=2, transport="shm",
+            max_restarts=2, faults=plan, timeout=30.0,
+        )
+        try:
+            rng = random.Random(3)
+            for _ in range(6):
+                pool.lookup_batch([rng.getrandbits(32) for _ in range(64)])
+                pool.settle(timeout=10.0)
+            assert pool.report(scenario="unit").worker_restarts == 2
+        finally:
+            pool.close()
+            pool.close()  # reaping stays idempotent
+        assert leaked_segments() == []

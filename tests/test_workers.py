@@ -209,12 +209,13 @@ class TestWorkerCrash:
             victim = pool._handles[0]
             victim.process.kill()
             victim.process.join(10.0)
-            with pytest.raises(WorkerError, match="worker 0"):
+            with pytest.raises(WorkerError, match="worker 0") as excinfo:
                 # Either the submit sees the dead pipe or the reader
                 # thread fails the in-flight future — both surface as
                 # WorkerError well before the timeout.
                 for _ in range(3):
                     pool.lookup_batch(list(range(64)))
+            assert excinfo.value.worker_index == 0
         finally:
             pool.close()
 
@@ -225,8 +226,10 @@ class TestWorkerCrash:
             victim.process.kill()
             victim.process.join(10.0)
             victim.reader.join(10.0)  # EOF marks the handle dead
-            with pytest.raises(WorkerError):
+            with pytest.raises(WorkerError) as excinfo:
                 pool.apply_update(UpdateOp(0, 0, 1))
+            assert excinfo.value.worker_index == 1
+            assert excinfo.value.op == "update"
         finally:
             pool.close()
 
