@@ -93,14 +93,28 @@ def _scaling_point(key: str) -> bool:
 
 
 def _serve_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:
-    """All warn-only: serve rows hold absolute rates (runner lottery)
-    and final_parity, whose hard gate is the producing command's."""
+    """Rows are warn-only: they hold absolute rates (runner lottery)
+    and final_parity, whose hard gate is the producing command's. The
+    ``patch_cost`` record's bounded ratio (naive region slots over
+    write operations actually issued by the worst-case /2 patch) is a
+    deterministic counter ratio — machine independent, higher is
+    better — so it gates; its wall-clock and events/sec ride warn-only.
+    """
     for row in payload.get("rows", ()):
         name = row.get("name", "?")
         for field in ("lookup_mlps", "update_kops", "final_parity"):
             value = row.get(field)
             if isinstance(value, (int, float)):
                 yield f"{name}.{field}", value, False
+    patch = payload.get("patch_cost")
+    if isinstance(patch, dict):
+        ratio = patch.get("bounded_ratio")
+        if isinstance(ratio, (int, float)):
+            yield "patch_cost.bounded_ratio", ratio, True
+        for field in ("slots_touched", "seconds", "events_per_second"):
+            value = patch.get(field)
+            if isinstance(value, (int, float)):
+                yield f"patch_cost.{field}", value, False
 
 
 def _cluster_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:

@@ -97,6 +97,13 @@ class RepresentationAdapter:
 
     name = "?"  # overwritten by @register
 
+    #: Label semantics of the structure the patch log replays from:
+    #: True when labels may be leaf-pushed copies of shorter routes
+    #: (disables the patch compiler's longer-prefix prune — see
+    #: :meth:`FlatProgram.patch_many`). Adapters whose patch source is
+    #: a plain route trie override this to False.
+    _flat_leaf_pushed = True
+
     def __init__(
         self,
         fib: Fib,
@@ -152,13 +159,20 @@ class RepresentationAdapter:
             program = self._flat
             root = self._flat_source_root()
             try:
-                for prefix, length in self._flat_log:
-                    program.patch(prefix, length, root)
+                program.patch_many(
+                    self._flat_log, root, leaf_pushed=self._flat_leaf_pushed
+                )
             except FlatCompileError:
                 self._flat = None  # patch hit the ceiling: recompile below
             self._flat_log.clear()
-            if self._flat is not None and program.bloated:
-                self._flat = None  # recompile below, from the live state
+            if self._flat is not None:
+                if program.bloated:
+                    self._flat = None  # recompile below, from the live state
+                elif program.overlay_bloated:
+                    # Enough side-table entries to slow the per-lookup
+                    # probe: fold them into the base image (a handful of
+                    # slice writes, still off the per-update clock).
+                    program.merge_overlay()
         if self._flat is None:
             try:
                 self._flat = self._compile_flat()
@@ -276,6 +290,8 @@ class _FallbackBatchAdapter(RepresentationAdapter):
     supports_flat=True,
 )
 class TabularAdapter(_FallbackBatchAdapter):
+    _flat_leaf_pushed = False  # patch source is the plain control trie
+
     def __init__(
         self,
         fib: Fib,
@@ -323,6 +339,8 @@ class TabularAdapter(_FallbackBatchAdapter):
     supports_flat=True,
 )
 class BinaryTrieAdapter(RepresentationAdapter):
+    _flat_leaf_pushed = False  # labels are the routes themselves
+
     def __init__(
         self,
         fib: Fib,

@@ -259,6 +259,10 @@ class WorkerReport(ClusterReport):
     #: Program-segment generations published over the pool's lifetime
     #: (shm transport; 0 on pipe).
     publishes: int = 0
+    #: Updates that rode to the workers as terminal patch deltas
+    #: (``OP_DELTA`` into each worker's process-local overlay) instead
+    #: of forcing a full segment re-image (shm transport; 0 on pipe).
+    delta_publishes: int = 0
     #: Data-plane payload bytes the frontend moved to the workers
     #: (request rings / lookup pipes; probes excluded).
     bytes_tx: int = 0

@@ -183,6 +183,21 @@ class FibServer:
         self._obs_rebuild = obs.histogram(
             "serve_rebuild_seconds", "epoch rebuild + recompile spans"
         )
+        self._obs_patch_slots = obs.counter(
+            "flat_patch_slots_total",
+            "root-slot write operations by the flat patch compiler "
+            "(a contiguous span written at once counts one)",
+        )
+        self._obs_patch_seconds = obs.histogram(
+            "flat_patch_seconds",
+            "drain spans in which the patch compiler rewrote slots",
+        )
+        self._obs_overlay = obs.gauge(
+            "flat_overlay_entries",
+            "pending delta-overlay intervals on the serving program",
+        )
+        self._patch_program = None
+        self._patch_slots_seen = 0
         self._visibility = VisibilityTracker(
             obs.histogram(
                 "update_visibility_seconds",
@@ -259,6 +274,18 @@ class FibServer:
         elapsed = time.perf_counter() - started
         self._update_seconds += elapsed
         self._obs_drain.observe(elapsed)
+        if program is not None:
+            if program is not self._patch_program:
+                # New program (first compile or epoch recompile): the
+                # slot counter baselines from it, not the old one.
+                self._patch_program = program
+                self._patch_slots_seen = program.patch_slots_total
+            slots = program.patch_slots_total
+            if slots != self._patch_slots_seen:
+                self._obs_patch_slots.inc(slots - self._patch_slots_seen)
+                self._patch_slots_seen = slots
+                self._obs_patch_seconds.observe(elapsed)
+            self._obs_overlay.set(program.overlay_len)
         return program
 
     def serving_program(self):

@@ -89,6 +89,8 @@ OP_POSITIONS = 6     #: reply: positions + labels (aux2 = owned count)
 OP_PROBED = 7        #: reply: packed labels for a probe
 OP_ATTACHED = 8      #: reply: generation adopted (aux1 = attach ns)
 OP_ERROR = 9         #: reply: utf-8 traceback for the request's seq
+OP_DELTA = 10        #: request: packed (start, end, val) int64 patch runs
+OP_DELTAED = 11      #: reply: delta adopted (aux1 = ingest ns)
 
 
 class RingClosed(RuntimeError):
@@ -456,6 +458,10 @@ def publish_program(program: FlatProgram, generation: int, prefix: str = "repro"
     eventually unlinks it. The segment is immutable once this returns:
     epoch swaps publish a new segment instead of editing a mapped one.
     """
+    if not program.frozen and program.overlay_len:
+        # A pending delta overlay is part of the answer function but
+        # not of the four rows; fold it in so the image is complete.
+        program.merge_overlay()
     root_len = len(program.root_ptr)
     cell_len = len(program.cell_ptr)
     size = _IMAGE_HEADER_BYTES + 8 * (2 * root_len + 2 * cell_len)
@@ -516,6 +522,7 @@ def attach_program(name: str):
 def detach_program(program: FlatProgram, segment) -> None:
     """Release an attached program's views so the segment can unmap."""
     program._views = None  # numpy views export the rows; drop them first
+    program._ov_views = None
     for row in (program.root_ptr, program.root_val,
                 program.cell_ptr, program.cell_val):
         if isinstance(row, memoryview):

@@ -127,6 +127,8 @@ from repro.serve.shm import (
     OP_ATTACH,
     OP_ATTACHED,
     OP_BCAST,
+    OP_DELTA,
+    OP_DELTAED,
     OP_ERROR,
     OP_LABELS,
     OP_LOOKUP,
@@ -180,6 +182,7 @@ _OP_NAMES = {
     OP_BCAST: "bcast",
     OP_PROBE: "probe",
     OP_ATTACH: "attach",
+    OP_DELTA: "delta",
 }
 
 #: Seconds the frontend's ring pump sleeps between idle sweeps.
@@ -587,6 +590,28 @@ def shm_worker_main(conn, spec) -> None:
                         OP_ATTACHED, seq=record.seq, generation=generation,
                         aux1=int(adopted * 1e9), alive=alive,
                     )
+                elif op == OP_DELTA:
+                    # Terminal patch runs riding an update instead of a
+                    # full re-image: land them in the attached program's
+                    # process-local overlay (the mapped rows stay
+                    # untouched). FIFO with lookups, so adoption falls
+                    # exactly between batches, like an attach.
+                    t0 = time.perf_counter()
+                    triples = record.payload.cast("q")
+                    program.overlay_ingest(
+                        [
+                            (triples[i], triples[i + 1], triples[i + 2])
+                            for i in range(0, len(triples), 3)
+                        ]
+                    )
+                    adopted = time.perf_counter() - t0
+                    if record.aux1:  # frontend ingress stamp (monotonic ns)
+                        visibility.stamp(record.aux1)
+                    res.send(
+                        OP_DELTAED, seq=record.seq,
+                        generation=record.generation,
+                        aux1=int(adopted * 1e9), alive=alive,
+                    )
                 else:
                     raise ValueError(f"unknown request opcode {op}")
             except RingPeerDied:
@@ -915,6 +940,13 @@ class WorkerPool:
         self._ring_reader: Optional[threading.Thread] = None
         self._generation = 0
         self._publishes = 0
+        self._delta_publishes = 0
+        #: The program object behind the live segment, plus how many
+        #: delta publishes have ridden since it was last re-imaged —
+        #: a light publish is only sound while the publisher still
+        #: serves the *same* program the workers attached.
+        self._published_program = None
+        self._deltas_since_image = 0
         self._attach_seconds = 0.0
         self._stale_lookups = 0
         self._bytes_tx = 0
@@ -948,9 +980,12 @@ class WorkerPool:
         try:
             if self._transport == "shm":
                 self._generation = 1
+                program = self._publisher.serving_program()
                 self._program_segment = publish_program(
-                    self._publisher.serving_program(), self._generation
+                    program, self._generation
                 )
+                self._published_program = program
+                program.take_patch_delta()  # image is current: drop journal
                 self._segments.append(self._program_segment)
                 for index in range(self._plan.shards):
                     handle = self._spawn_shm_worker(
@@ -1243,7 +1278,7 @@ class WorkerPool:
         if self._transport != "shm" or self._closed:
             return
         with self._pool_lock:
-            self._publish()
+            self._publish(force_full=True)
 
     def _reap(self, handle: _WorkerHandle, join_timeout: float = 5.0) -> None:
         """Retire one handle's OS resources exactly once (idempotent):
@@ -1309,12 +1344,13 @@ class WorkerPool:
                 handle.on_fail = self._supervisor.notify
             self._handles[index] = handle
             if self._transport == "shm":
-                if self._publish_proxy.pending:
+                if self._publish_proxy.pending or self._deltas_since_image:
                     # Replay the delta: the fresh worker attached the
-                    # last *published* generation; everything newer
-                    # lives only in the publisher until the next
-                    # publish — which is now.
-                    self._publish()
+                    # last *imaged* generation; everything newer lives
+                    # in the publisher (pending updates) or rode past
+                    # as delta publishes the dead incarnation consumed
+                    # — either way, only a full publish catches it up.
+                    self._publish(force_full=True)
             else:
                 # The worker was rebuilt from the control oracle, which
                 # already carries every accepted update — its backlog
@@ -1522,6 +1558,8 @@ class WorkerPool:
         elif op == OP_PROBED:
             future.set_result(payload)
         elif op == OP_ATTACHED:
+            future.set_result(record.aux1 / 1e9)
+        elif op == OP_DELTAED:
             future.set_result(record.aux1 / 1e9)
         else:  # pragma: no cover - protocol drift
             future.set_exception(
@@ -1878,25 +1916,47 @@ class WorkerPool:
         self._swaps += 1
         proxy.pending.clear()
 
-    def _publish(self) -> None:
-        """Roll one fresh program generation through the pool (shm).
+    def _publish(self, force_full: bool = False) -> None:
+        """Roll one program generation through the pool (shm).
 
-        Rebuild the publisher if its backlog requires it (the
-        incremental plane has already patched itself), copy the
-        compiled image into a new segment, and walk every live worker
-        onto it through its *request ring* — FIFO with the data plane,
-        so a worker adopts the generation exactly between the batches
-        around it. Only after every ack is the outgoing segment
-        unlinked; a worker that fails to adopt is declared dead rather
-        than silently left serving a stale image.
+        Two cadences. When the drained program is still the very object
+        the live segment was imaged from and its patch journal is
+        *clean* (terminal root-runs only — see
+        :meth:`FlatProgram.take_patch_delta`), the update **rides as a
+        delta**: the runs go down each worker's request ring
+        (``OP_DELTA``, FIFO with the data plane) and land in the
+        workers' process-local overlays — no segment copy, no re-image.
+        Otherwise — block structure changed, the adapter recompiled,
+        ``force_full`` (respawn/heal), or the journal overflowed — the
+        full path copies the compiled image into a new segment and
+        walks every live worker onto it (``OP_ATTACH``). Either way a
+        worker that fails to adopt is declared dead rather than
+        silently left serving stale answers.
         """
         with self._pool_lock:
             started = time.perf_counter()
             publisher = self._publisher
+            rebuilt = False
             if publisher.pending:
                 publisher.rebuild()
+                rebuilt = True
+            program = publisher.serving_program()
+            entries, clean = (
+                program.take_patch_delta() if program is not None else ([], False)
+            )
+            if (
+                not force_full
+                and not rebuilt
+                and clean
+                and program is self._published_program
+                and len(entries) * 24 < DEFAULT_RING_BYTES // 2
+            ):
+                self._publish_delta(entries, started)
+                return
             generation = self._generation + 1
-            segment = publish_program(publisher.serving_program(), generation)
+            segment = publish_program(program, generation)
+            self._published_program = program
+            self._deltas_since_image = 0
             if self._faults is not None and self._faults.corrupts_publish(
                 self._publishes + 1
             ):
@@ -1953,6 +2013,60 @@ class WorkerPool:
             self._swaps += 1
             self._rebuild_seconds += time.perf_counter() - started
             self._publish_proxy.pending.clear()
+
+    def _publish_delta(self, entries, started: float) -> None:
+        """Ride a clean terminal patch delta to every live worker.
+
+        Called from :meth:`_publish` under the pool lock once the
+        journal is verified clean and the published program unchanged.
+        An empty delta still rolls (it closes the visibility window of
+        updates that did not move the compiled plane). Workers that
+        fail to adopt are failed exactly like a refused attach.
+        """
+        if entries:
+            flat = array("q")
+            for start, end, val in entries:
+                flat.extend((start, end, val))
+            payload = flat.tobytes()
+        else:
+            payload = b""
+        ingress_ns = self._vis_ingress_ns or 0
+        self._vis_ingress_ns = None
+        generation = self._generation
+        submitted = []
+        for handle in self._handles:
+            if handle.dead:
+                continue
+            try:
+                submitted.append(
+                    (handle, self._submit_ring(
+                        handle, OP_DELTA, payload, generation=generation,
+                        aux1=ingress_ns,
+                    ))
+                )
+            except WorkerError:
+                continue  # already failed; in-flight futures are drained
+        for handle, future in submitted:
+            try:
+                self._await(
+                    future, handle=handle, op="delta",
+                    timeout=self._control_timeout,
+                )
+            except WorkerError as error:
+                if not handle.dead:
+                    # Alive but refusing the delta: serving stale
+                    # answers silently is worse than losing the worker.
+                    handle.fail(
+                        f"worker {handle.index} failed to adopt the "
+                        f"generation {generation} delta: {error}",
+                        op="delta",
+                    )
+                continue
+        self._delta_publishes += 1
+        self._deltas_since_image += 1
+        self._swaps += 1
+        self._rebuild_seconds += time.perf_counter() - started
+        self._publish_proxy.pending.clear()
 
     def quiesce(self) -> None:
         """Drain the update plane: publish the backlog's generation on
@@ -2174,6 +2288,7 @@ class WorkerPool:
             transport=self._transport,
             attach_seconds=self._attach_seconds,
             publishes=self._publishes,
+            delta_publishes=self._delta_publishes,
             bytes_tx=self._bytes_tx,
             bytes_rx=self._bytes_rx,
             degraded_lookups=self._degraded_lookups,

@@ -1,0 +1,296 @@
+"""Differential update-fuzz suite for the flat plane's patch compiler.
+
+The tentpole check: random announce/withdraw streams driven through
+:meth:`FlatProgram.patch` must stay bit-identical to (a) the tabular
+oracle (``Fib.lookup``), and (b) a from-scratch recompile of the same
+trie — on every walk the program exposes: the scalar loop, the NumPy
+gather (when available), the pure-Python batch fallback, and the packed
+wire format. The hypothesis state machine shrinks failing update
+sequences to minimal counterexamples; ``derandomize=True`` keeps CI
+runs reproducible at a fixed seed.
+
+``REPRO_FUZZ_EXAMPLES`` scales the example count (CI runs 200; the
+default keeps tier-1 cheap). Deterministic satellites cover the overlay
+edge cases: frozen programs refusing patches, overlay pickling and
+image round-trips, merge idempotence, the empty-overlay fast path, and
+the bounded-growth regression for repeated same-slot patches.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from tests.conftest import random_fib
+from repro import pipeline
+from repro.core.fib import Fib
+from repro.core.trie import BinaryTrie
+from repro.datasets import random_update_sequence
+from repro.datasets.updates import UpdateOp
+from repro.pipeline.flat import (
+    FlatCompileError,
+    compile_binary,
+    have_numpy,
+)
+
+WIDTH = 8
+DOMAIN = list(range(1 << WIDTH))
+STRIDE = 6
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+UPDATABLE = ["binary-trie", "prefix-dag", "tabular"]
+
+
+def unpack(blob: bytes):
+    """Decode the packed wire format back into optional labels."""
+    return [label or None for label in array("q", blob)]
+
+
+class PatchDifferential(RuleBasedStateMachine):
+    """Width-8 FIB so every step checks the *entire* address domain.
+
+    ``overlay_span_min`` is forced tiny so even narrow terminal runs
+    land in the delta overlay — the fuzzer then exercises the overlay
+    probe on every walk, plus ``merge_overlay`` folding it away
+    mid-stream. Both ``leaf_pushed`` modes run: ``True`` (prune
+    disabled, always sound) and ``False`` (longer-prefix prune enabled,
+    sound for the binary trie whose labels are the routes themselves).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.fib = Fib(WIDTH)
+        self.trie = BinaryTrie(WIDTH)
+        self.program = compile_binary(self.trie.root, WIDTH, STRIDE)
+        self.program.overlay_span_min = 2
+
+    @rule(
+        bits=st.integers(0, (1 << WIDTH) - 1),
+        length=st.integers(0, WIDTH),
+        label=st.integers(1, 5),
+        leaf_pushed=st.booleans(),
+    )
+    def announce(self, bits, length, label, leaf_pushed):
+        prefix = bits >> (WIDTH - length) if length else 0
+        self.fib.update(prefix, length, label)
+        self.trie.insert(prefix, length, label)
+        self.program.patch(prefix, length, self.trie.root,
+                           leaf_pushed=leaf_pushed)
+
+    @rule(data=st.data(), leaf_pushed=st.booleans())
+    def withdraw(self, data, leaf_pushed):
+        routes = [(route.prefix, route.length) for route in self.fib]
+        if not routes:
+            return
+        prefix, length = data.draw(st.sampled_from(routes))
+        self.fib.update(prefix, length, None)
+        self.trie.delete(prefix, length)
+        self.program.patch(prefix, length, self.trie.root,
+                           leaf_pushed=leaf_pushed)
+
+    @rule()
+    def merge(self):
+        self.program.merge_overlay()
+        assert self.program.overlay_len == 0
+
+    @invariant()
+    def every_walk_tracks_the_oracle(self):
+        want = [self.fib.lookup(address) for address in DOMAIN]
+        program = self.program
+        assert [program.lookup(address) for address in DOMAIN] == want
+        assert program._batch_python(DOMAIN) == want
+        assert unpack(program.lookup_batch_packed(DOMAIN)) == want
+        if have_numpy():
+            assert program._batch_vector(DOMAIN) == want
+        fresh = compile_binary(self.trie.root, WIDTH, STRIDE)
+        assert fresh.lookup_batch(DOMAIN) == want
+
+
+PatchDifferential.TestCase.settings = settings(
+    max_examples=FUZZ_EXAMPLES, deadline=None, derandomize=True
+)
+TestPatchDifferential = PatchDifferential.TestCase
+
+
+class TestAdapterFuzz:
+    """Dispatch-plane parity under fuzzed churn, per updatable adapter.
+
+    Drives the real serve path — ``apply_update`` into the adapter's
+    patch log, drained by ``flat_plane`` on the next batch — including
+    bloat-triggered recompiles and the adapter's overlay-merge policy.
+    """
+
+    @pytest.mark.parametrize("name", UPDATABLE)
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=max(5, FUZZ_EXAMPLES // 5), deadline=None,
+              derandomize=True)
+    def test_dispatch_parity_under_fuzzed_churn(self, name, seed):
+        rng = random.Random(seed)
+        fib = random_fib(rng, 60, 4, max_length=16)
+        representation = pipeline.build(name, fib)
+        probes = [rng.getrandbits(32) for _ in range(128)]
+        representation.lookup_batch(probes)  # compile before the churn
+        mirror = fib.copy()
+        ops = random_update_sequence(
+            mirror, 24, seed=seed ^ 0x9E3779B9, withdraw_fraction=0.3
+        )
+        for op in ops:
+            try:
+                mirror.update(op.prefix, op.length, op.label)
+            except KeyError:
+                continue
+            representation.apply_update(op)
+            want = [mirror.lookup(address) for address in probes]
+            assert representation.lookup_batch(probes) == want
+        program = pipeline.flat_program(representation)
+        if program is not None:
+            assert unpack(program.lookup_batch_packed(probes)) == [
+                mirror.lookup(address) for address in probes
+            ]
+
+
+def overlay_program():
+    """A 32-bit program with a live overlay: routes only under 0/1,
+    then a /1 announce across the empty upper half lands as one wide
+    terminal run in the side table."""
+    fib = Fib(32)
+    fib.add(0b0001, 4, 1)
+    fib.add(0b00000001, 8, 2)
+    fib.add(0x0ABCD, 20, 3)
+    trie = BinaryTrie.from_fib(fib)
+    program = compile_binary(trie.root, 32, 8)
+    program.overlay_span_min = 4
+    trie.insert(1, 1, 7)
+    fib.add(1, 1, 7)
+    program.patch(1, 1, trie.root, leaf_pushed=False)
+    assert program.overlay_len >= 1
+    return fib, trie, program
+
+
+class TestOverlayEdgeCases:
+    def test_frozen_program_refuses_patch_and_merge(self):
+        shm = pytest.importorskip("multiprocessing.shared_memory")
+        del shm
+        from repro.serve.shm import (
+            attach_program, detach_program, publish_program,
+        )
+        fib, trie, program = overlay_program()
+        segment = publish_program(program, 1)
+        try:
+            attached, _, mapped = attach_program(segment.name)
+            with pytest.raises(FlatCompileError, match="immutable"):
+                attached.patch(0, 0, trie.root)
+            with pytest.raises(FlatCompileError, match="immutable"):
+                attached.patch_many([(0, 0)], trie.root)
+            with pytest.raises(FlatCompileError, match="immutable"):
+                attached.merge_overlay()
+            # ...but delta ingest only touches the process-local side
+            # table, so it is allowed on frozen images.
+            attached.overlay_ingest([(0, 2, 9)])
+            assert attached.lookup(0) == 9
+            detach_program(attached, mapped)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_overlay_survives_pickle_round_trip(self):
+        fib, trie, program = overlay_program()
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.overlay_len == program.overlay_len
+        rng = random.Random(11)
+        probes = [rng.getrandbits(32) for _ in range(400)]
+        assert clone.lookup_batch(probes) == program.lookup_batch(probes)
+        assert clone.lookup_batch(probes) == [
+            fib.lookup(address) for address in probes
+        ]
+
+    def test_publish_folds_overlay_into_the_image(self):
+        from repro.serve.shm import (
+            attach_program, detach_program, publish_program,
+        )
+        fib, trie, program = overlay_program()
+        segment = publish_program(program, 3)
+        try:
+            assert program.overlay_len == 0  # merged before imaging
+            attached, _, mapped = attach_program(segment.name)
+            rng = random.Random(23)
+            probes = [rng.getrandbits(32) for _ in range(400)]
+            assert attached.lookup_batch(probes) == [
+                fib.lookup(address) for address in probes
+            ]
+            detach_program(attached, mapped)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_merge_overlay_is_idempotent(self):
+        fib, trie, program = overlay_program()
+        rng = random.Random(5)
+        probes = [rng.getrandbits(32) for _ in range(400)]
+        before = program.lookup_batch(probes)
+        assert program.merge_overlay() >= 1
+        assert program._overlay is None
+        assert program.merge_overlay() == 0
+        assert program.lookup_batch(probes) == before
+        assert before == [fib.lookup(address) for address in probes]
+
+    def test_empty_overlay_fast_path_is_free(self, paper_fib):
+        program = compile_binary(BinaryTrie.from_fib(paper_fib).root, 32, 8)
+        assert program._overlay is None  # compile never allocates one
+        assert program.merge_overlay() == 0
+        assert program._overlay is None
+
+    def test_repeated_identical_patches_do_not_grow_arrays(self):
+        # Regression: re-announcing an unchanged route below the bloat
+        # threshold must not append fresh cell blocks every time. The
+        # per-slot source cache certifies the subtree is already
+        # compiled and skips the re-emit.
+        fib = Fib(32)
+        fib.add(0xAB, 8, 1)
+        fib.add(0xABCD, 16, 2)
+        trie = BinaryTrie.from_fib(fib)
+        program = compile_binary(trie.root, 32, 8)
+        trie.insert(0xAB, 8, 1)
+        program.patch(0xAB, 8, trie.root, leaf_pushed=False)
+        settled = len(program.cell_ptr)
+        for _ in range(100):
+            trie.insert(0xAB, 8, 1)
+            program.patch(0xAB, 8, trie.root, leaf_pushed=False)
+        assert len(program.cell_ptr) == settled
+        assert program.patch_skips_total >= 100
+        assert not program.bloated
+        assert program.lookup(0xABCD0000) == 2
+        assert program.lookup(0xAB000000) == 1
+
+
+class TestDeltaPublish:
+    def test_terminal_updates_ride_delta_to_workers(self):
+        from repro.serve.workers import WorkerPool
+
+        rng = random.Random(42)
+        fib = Fib(32)
+        for _ in range(40):  # routes only under 0/1: upper half empty
+            length = rng.randint(4, 14)
+            fib.add(rng.getrandbits(length - 1), length, rng.randint(1, 4))
+        with WorkerPool(
+            "prefix-dag", fib, workers=2, transport="shm"
+        ) as pool:
+            if pool.transport != "shm":
+                pytest.skip("shared memory unavailable on this host")
+            assert pool.apply_update(UpdateOp(1, 1, 7)) is True
+            pool.quiesce()
+            assert pool.lookup(0xF0F0F0F0) == 7
+            report = pool.report()
+            assert report.delta_publishes >= 1
+            probes = [rng.getrandbits(32) for _ in range(256)]
+            mirror = fib.copy()
+            mirror.update(1, 1, 7)
+            assert pool.lookup_batch(probes) == [
+                mirror.lookup(address) for address in probes
+            ]
