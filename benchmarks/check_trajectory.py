@@ -59,6 +59,7 @@ TRAJECTORIES = (
     "BENCH_cluster.json",
     "BENCH_workers.json",
     "BENCH_faults.json",
+    "BENCH_autoscale.json",
 )
 
 #: Default allowed relative drop of a gated ratio metric.
@@ -171,12 +172,38 @@ def _faults_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:
                 yield f"{case}.{field}", value, gate
 
 
+def _autoscale_metrics(payload: dict) -> Iterator[Tuple[str, float, bool]]:
+    # Window efficiency and parity are busy-time / agreement ratios —
+    # both sides of each came from the same host in the same run, so
+    # they gate. The flow-cache hit rate is a deterministic counter
+    # ratio (same trace, same capacity -> same hits), gated too. The
+    # drift-phase efficiency is *supposed* to be bad and the re-plan
+    # count depends on when the threshold trips: warn-only.
+    for field, gate in (
+        ("converged_efficiency", True),
+        ("final_parity", True),
+        ("skewed_efficiency", False),
+        ("replans", False),
+        ("lookups_during_replan", False),
+    ):
+        value = payload.get(field)
+        if isinstance(value, (int, float)):
+            yield field, value, gate
+    flow = payload.get("flow_cache")
+    if isinstance(flow, dict):
+        for field, gate in (("hit_rate", True), ("final_parity", True)):
+            value = flow.get(field)
+            if isinstance(value, (int, float)):
+                yield f"flow_cache.{field}", value, gate
+
+
 _EXTRACTORS = {
     "BENCH_pipeline.json": _pipeline_metrics,
     "BENCH_serve.json": _serve_metrics,
     "BENCH_cluster.json": _cluster_metrics,
     "BENCH_workers.json": _workers_metrics,
     "BENCH_faults.json": _faults_metrics,
+    "BENCH_autoscale.json": _autoscale_metrics,
 }
 
 #: Workload knobs that must agree before two runs of a file compare.
@@ -197,6 +224,10 @@ _CONFIG_KEYS = {
     "BENCH_faults.json": (
         "profile", "scale", "lookups", "updates", "batch_size", "seed",
         "workers", "max_restarts", "representation",
+    ),
+    "BENCH_autoscale.json": (
+        "profile", "scale", "lookups", "updates", "batch_size", "seed",
+        "representation", "shards", "granularity", "imbalance_threshold",
     ),
 }
 

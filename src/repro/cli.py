@@ -19,7 +19,10 @@ Subcommands regenerate the paper's experiments and operate on FIB files:
   server, and with ``--workers N`` through N *real* worker processes
   (shared-nothing shards behind pipes, asyncio-pipelined fan-out)
   reporting measured wall-clock throughput next to the critical-path
-  model's prediction.
+  model's prediction. Every shape is opened through the one
+  :func:`repro.serve.open_plane` front door; ``--autoscale`` arms the
+  traffic-adaptive control loop (live re-planning under skew, hot-range
+  replication, ``--flow-cache`` frontend caching) on any sharded plane.
 
 Example::
 
@@ -32,6 +35,7 @@ Example::
     repro-fib serve --scenario bgp-churn --updates 500 --lookups 5000
     repro-fib serve --shards 4 --partition prefix --scenario flap-storm
     repro-fib serve --workers 4 --scenario uniform --seed 7
+    repro-fib serve --shards 4 --autoscale --flow-cache 4096
 """
 
 from __future__ import annotations
@@ -313,6 +317,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"bad --chaos spec: {error}", file=sys.stderr)
             return 2
+    autoscaled = (
+        args.autoscale or args.flow_cache > 0 or args.hot_share < 1.0
+    )
+    policy = None
+    if autoscaled:
+        if args.shards <= 1 and args.workers <= 0:
+            print(
+                "--autoscale / --flow-cache / --hot-share need a sharded "
+                "plane; add --shards N or --workers N",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            policy = serve.AutoscalePolicy(
+                imbalance_threshold=args.imbalance_threshold,
+                hot_share=args.hot_share,
+                flow_cache=args.flow_cache,
+                spray_seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"bad autoscale policy: {error}", file=sys.stderr)
+            return 2
     prof = profile(args.profile)
     fib = build_profile_fib(prof, scale=args.scale)
     scenario = serve.scenario(args.scenario)
@@ -352,55 +378,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs_registry = Registry() if instrumented else NULL_REGISTRY
         if instrumented:
             registries[name] = obs_registry
-        if pooled:
-            reports.append(
-                serve.serve_worker_scenario(
-                    name,
-                    fib,
-                    events,
-                    scenario=args.scenario,
-                    workers=args.workers,
-                    partition=args.partition,
-                    options=overrides.get(name, {}),
-                    rebuild_every=args.rebuild_every,
-                    parity_probes=probes,
-                    start_method=args.start_method,
-                    window=args.window,
-                    transport=args.transport,
-                    obs=obs_registry,
-                    max_restarts=args.max_restarts,
-                    restart_window=args.restart_window,
-                    faults=faults,
-                )
+        # Every deployment shape goes through the one front door; the
+        # factory picks single server / in-process cluster / worker
+        # pool (+ async frontend) from the same argument record.
+        reports.append(
+            serve.serve_plane_scenario(
+                name,
+                fib,
+                events,
+                scenario=args.scenario,
+                parity_probes=probes,
+                shards=args.shards,
+                workers=args.workers,
+                window=args.window if pooled else 0,
+                transport=args.transport,
+                partition=args.partition,
+                options=overrides.get(name, {}),
+                rebuild_every=args.rebuild_every,
+                start_method=args.start_method,
+                autoscale=policy,
+                obs=obs_registry,
+                max_restarts=args.max_restarts,
+                restart_window=args.restart_window,
+                faults=faults,
             )
-        elif sharded:
-            reports.append(
-                serve.serve_cluster_scenario(
-                    name,
-                    fib,
-                    events,
-                    scenario=args.scenario,
-                    shards=args.shards,
-                    partition=args.partition,
-                    options=overrides.get(name, {}),
-                    rebuild_every=args.rebuild_every,
-                    parity_probes=probes,
-                    obs=obs_registry,
-                )
-            )
-        else:
-            reports.append(
-                serve.serve_scenario(
-                    name,
-                    fib,
-                    events,
-                    scenario=args.scenario,
-                    options=overrides.get(name, {}),
-                    rebuild_every=args.rebuild_every,
-                    parity_probes=probes,
-                    obs=obs_registry,
-                )
-            )
+        )
         print(f"served {name} ({reports[-1].plane} plane)", file=sys.stderr)
     if pooled:
         served_transports = sorted({report.transport for report in reports})
@@ -453,6 +455,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "partition": args.partition if (sharded or pooled) else None,
                 "max_restarts": args.max_restarts if pooled else None,
                 "chaos": args.chaos,
+                "autoscale": autoscaled,
+                "imbalance_threshold": (
+                    args.imbalance_threshold if autoscaled else None
+                ),
+                "flow_cache": args.flow_cache if autoscaled else None,
+                "hot_share": args.hot_share if autoscaled else None,
                 "rows": [report.to_dict() for report in reports],
             },
         )
@@ -743,6 +751,39 @@ def build_parser() -> argparse.ArgumentParser:
         "kill-worker:2@batch=50, delay-reply:0@batch=10,seconds=3, "
         "fail-attach:1@attach=2, corrupt-segment@publish=1; '*' picks "
         "the victim with --seed; requires --workers",
+    )
+    p.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="arm the traffic-adaptive control loop on a sharded plane: "
+        "observe per-range lookup load and re-plan the partition live "
+        "when the imbalance drifts past --imbalance-threshold",
+    )
+    p.add_argument(
+        "--imbalance-threshold",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="lookup_imbalance that triggers a live re-plan "
+        "(1.0 = perfect balance; default 1.5)",
+    )
+    p.add_argument(
+        "--flow-cache",
+        type=count_arg,
+        default=0,
+        metavar="N",
+        help="frontend LRU flow cache capacity in addresses, invalidated "
+        "on churn and generation swaps (0 = off; implies --autoscale; "
+        "in-process cluster plane)",
+    )
+    p.add_argument(
+        "--hot-share",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="traffic share above which a range is carved hot — "
+        "replicated to every shard and deterministically sprayed "
+        "(1.0 = off; implies --autoscale)",
     )
     p.add_argument(
         "--barrier",

@@ -30,10 +30,39 @@ materializes roughly 1/N of the program cells.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 from repro.core.fib import Fib, Route
+
+#: Default cut granularity: candidate shard boundaries are aligned to
+#: ``2^(width - DEFAULT_GRANULARITY_BITS)``-address slots (a /12 on the
+#: 32-bit space). Re-planning under skew may cut finer; both knobs are
+#: clamped to the FIB width so narrow/wide address spaces stay valid —
+#: this is what un-hard-codes the historical "/12" constant.
+DEFAULT_GRANULARITY_BITS = 12
+
+#: Granularity ceiling: finer cuts than this explode the weight vector
+#: (``2^bits`` slots) for no balancing gain at the profiled scales.
+MAX_GRANULARITY_BITS = 16
+
+
+def granularity_bits(
+    width: int, granularity: "int | None" = None, shards: int = 1
+) -> int:
+    """Resolve a cut granularity for a ``width``-bit plan.
+
+    At least ``ceil(log2(shards))`` bits are needed so every shard can
+    receive a distinct slot; the result is clamped to
+    [needed, :data:`MAX_GRANULARITY_BITS`] and never exceeds ``width``.
+    """
+    needed = max(1, (shards - 1).bit_length())
+    bits = max(granularity if granularity is not None else DEFAULT_GRANULARITY_BITS, needed)
+    if granularity is not None and not needed <= granularity <= MAX_GRANULARITY_BITS:
+        raise ValueError(
+            f"granularity {granularity} outside [{needed}, {MAX_GRANULARITY_BITS}]"
+        )
+    return min(bits, width)
 
 
 def prefix_span(prefix: int, length: int, width: int) -> Tuple[int, int]:
@@ -44,22 +73,31 @@ def prefix_span(prefix: int, length: int, width: int) -> Tuple[int, int]:
     return lo, lo + (1 << (width - length))
 
 
-def restrict_fib(fib: Fib, lo: int, hi: int) -> Fib:
+def restrict_fib(
+    fib: Fib, lo: int, hi: int, extra: Sequence[Tuple[int, int]] = ()
+) -> Fib:
     """The sub-FIB answering exactly like ``fib`` on addresses in ``[lo, hi)``.
 
     Keeps every route whose address interval intersects the range (so
     boundary-spanning prefixes are kept by every range they touch) and
-    carries the neighbor-table rows of the surviving labels.
+    carries the neighbor-table rows of the surviving labels. ``extra``
+    names additional half-open ranges the shard must also answer for —
+    the replication hook of hot-range spraying: a sprayed shard serves
+    its contiguous slice *plus* every hot range, so the restricted FIB
+    is the union intersection.
     """
     width = fib.width
-    if not 0 <= lo < hi <= (1 << width):
-        raise ValueError(
-            f"shard range [{lo:#x}, {hi:#x}) outside the {width}-bit space"
-        )
+    ranges = [(lo, hi), *extra]
+    for range_lo, range_hi in ranges:
+        if not 0 <= range_lo < range_hi <= (1 << width):
+            raise ValueError(
+                f"shard range [{range_lo:#x}, {range_hi:#x}) outside "
+                f"the {width}-bit space"
+            )
     restricted = Fib(width)
     for route in fib:
         span_lo, span_hi = prefix_span(route.prefix, route.length, width)
-        if span_lo < hi and lo < span_hi:
+        if any(span_lo < r_hi and r_lo < span_hi for r_lo, r_hi in ranges):
             restricted.add(route.prefix, route.length, route.label)
     for label in restricted.labels:
         neighbor = fib.neighbor(label)
@@ -83,6 +121,7 @@ class ShardSpec:
     lo: int
     hi: int
     fib: Fib
+    hot: Tuple[Tuple[int, int], ...] = field(default=())
 
     @property
     def routes(self) -> int:
@@ -90,18 +129,29 @@ class ShardSpec:
         return len(self.fib)
 
 
-def shard_specs(fib: Fib, bounds: Sequence[int]) -> List[ShardSpec]:
+def shard_specs(
+    fib: Fib,
+    bounds: Sequence[int],
+    replicate: Sequence[Tuple[int, int]] = (),
+) -> List[ShardSpec]:
     """One :class:`ShardSpec` per contiguous range of an ascending cut
     list (the spec form of :func:`shard_fibs`). A range covering the
     whole space gets a plain copy — the full-state replica of hash
-    partitioning and of the 1-shard degenerate plan."""
+    partitioning and of the 1-shard degenerate plan. ``replicate``
+    ranges (hot, sprayed ranges) land in *every* spec, so any shard can
+    answer for a sprayed address."""
     _check_bounds(fib.width, bounds)
     specs: List[ShardSpec] = []
     full = (0, 1 << fib.width)
+    hot = tuple((int(lo), int(hi)) for lo, hi in replicate)
     for index in range(len(bounds) - 1):
         lo, hi = bounds[index], bounds[index + 1]
-        restricted = fib.copy() if (lo, hi) == full else restrict_fib(fib, lo, hi)
-        specs.append(ShardSpec(index, lo, hi, restricted))
+        restricted = (
+            fib.copy()
+            if (lo, hi) == full
+            else restrict_fib(fib, lo, hi, extra=hot)
+        )
+        specs.append(ShardSpec(index, lo, hi, restricted, hot=hot))
     return specs
 
 

@@ -18,8 +18,22 @@ coordinator staggering epoch swaps (:mod:`repro.serve.cluster`):
 ...     "prefix-dag", fib, events, scenario="uniform")
 >>> report.lookups, report.staleness
 (64, 0.0)
+
+Every deployment shape — single server, in-process cluster,
+multi-process worker pool, pipelining async frontend — answers the
+same :class:`ServingPlane` contract, and :func:`open_plane` is the one
+front door that picks the shape from plain arguments:
+
+>>> with serve.open_plane("prefix-dag", fib, shards=2) as plane:
+...     plane.lookup_batch([0b1010_0000 << 24])
+[2]
 """
 
+from repro.serve.autoscale import (
+    AutoscalePolicy,
+    FlowCache,
+    TrafficStats,
+)
 from repro.serve.metrics import ClusterReport, ServeReport, WorkerReport
 from repro.serve.scenarios import (
     DEFAULT_BATCH_SIZE,
@@ -46,6 +60,11 @@ from repro.serve.faults import (
     Fault,
     FaultInjected,
     FaultPlan,
+)
+from repro.serve.plane import (
+    ServingPlane,
+    open_plane,
+    serve_plane_scenario,
 )
 from repro.serve.shm import (
     DEFAULT_RING_BYTES,
@@ -85,15 +104,19 @@ __all__ = [
     "SCENARIOS",
     "TRANSPORTS",
     "AsyncFibFrontend",
+    "AutoscalePolicy",
     "Fault",
     "FaultInjected",
     "FaultPlan",
+    "FlowCache",
     "RestartBudget",
     "Scenario",
     "ServeEvent",
     "ServeReport",
+    "ServingPlane",
     "ClusterReport",
     "Supervisor",
+    "TrafficStats",
     "WorkerError",
     "WorkerPool",
     "WorkerReport",
@@ -104,12 +127,14 @@ __all__ = [
     "ShmRing",
     "build_events",
     "leaked_segments",
+    "open_plane",
     "parity_probes",
     "plan_cluster",
     "scenario",
     "scenario_names",
     "shm_available",
     "serve_cluster_scenario",
+    "serve_plane_scenario",
     "serve_scenario",
     "serve_worker_scenario",
 ]

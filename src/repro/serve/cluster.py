@@ -68,11 +68,15 @@ from repro.obs import NULL_REGISTRY, Registry
 from repro.pipeline import registry
 from repro.pipeline.flat import have_numpy
 from repro.pipeline.shard import (
+    DEFAULT_GRANULARITY_BITS,
+    MAX_GRANULARITY_BITS,
     ShardSpec,
     boundary_routes,
     prefix_span,
+    restrict_fib,
     shard_specs,
 )
+from repro.serve.autoscale import MISS, AutoscalePolicy, FlowCache, TrafficStats
 from repro.serve.metrics import ClusterReport
 from repro.serve.scenarios import ServeEvent
 from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
@@ -80,15 +84,9 @@ from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
 #: Partition modes a plan understands.
 PARTITION_MODES = ("prefix", "hash")
 
-#: Default slot granularity (address bits) prefix-range cuts align to.
-#: /12 slots track real prefix tables' mass (concentrated inside a few
-#: /8s) far better than /8 cuts while still keeping the replicated
-#: boundary set tiny — only routes shorter than /12 can cross a cut.
-DEFAULT_GRANULARITY_BITS = 12
-
-#: Ceiling on the planning granularity: weights for 2^G slots are
-#: materialized, so G is kept small.
-MAX_GRANULARITY_BITS = 16
+# DEFAULT_GRANULARITY_BITS / MAX_GRANULARITY_BITS now live in
+# repro.pipeline.shard (they are properties of the cut machinery, not
+# of serving) and are re-exported here for compatibility.
 
 _MASK64 = (1 << 64) - 1
 
@@ -122,12 +120,22 @@ class ShardPlan:
     ``prefix`` mode stores the ascending cut list ``bounds`` (length
     ``shards + 1``, from 0 to ``2^width``); ``hash`` mode owns by a
     splitmix64 hash and every shard's range is the whole space.
+
+    ``hot`` names half-open address ranges replicated into *every*
+    shard (traffic-weighted planning marks slots whose observed load
+    would dominate any contiguous cut). Hot addresses have no single
+    owner — ownership becomes a deterministic *choice*: the frontend
+    **sprays** them with a seeded splitmix64 hash offset by the batch
+    position, so one ultra-hot flow spreads across all shards while
+    any fixed (seed, batch) pair replays identically.
     """
 
     mode: str
     width: int
     shards: int
     bounds: Tuple[int, ...] = ()
+    hot: Tuple[Tuple[int, int], ...] = ()
+    spray_seed: int = 0
 
     def __post_init__(self):
         if self.mode not in PARTITION_MODES:
@@ -150,11 +158,39 @@ class ShardPlan:
                 for i in range(len(self.bounds) - 1)
             ):
                 raise ValueError("prefix plan bounds must be strictly ascending")
+        elif self.hot:
+            raise ValueError("hash plans spread load already; hot ranges "
+                             "only apply to prefix partitioning")
+        space = 1 << self.width
+        flat: List[int] = []
+        for lo, hi in self.hot:
+            if not 0 <= lo < hi <= space:
+                raise ValueError(f"hot range [{lo:#x}, {hi:#x}) outside the space")
+            if flat and lo < flat[-1]:
+                raise ValueError("hot ranges must be ascending and disjoint")
+            flat.extend((lo, hi))
+        # Flattened hot bounds for O(log n) membership (frozen dataclass:
+        # a derived cache, not a field).
+        object.__setattr__(self, "_hot_flat", tuple(flat))
+
+    def is_hot(self, address: int) -> bool:
+        """True when ``address`` falls in a replicated hot range."""
+        flat = self._hot_flat
+        return bool(flat) and bool(bisect_right(flat, address) & 1)
+
+    def spray_owner(self, address: int, position: int = 0) -> int:
+        """The sprayed shard choice for a hot address at batch position
+        ``position`` — seeded splitmix64 plus the position, mod shards,
+        so repeats of one flow inside a batch fan across all shards
+        deterministically."""
+        return (_mix64((address ^ self.spray_seed) & _MASK64) + position) % self.shards
 
     def owner(self, address: int) -> int:
-        """The shard serving ``address``."""
+        """The shard serving ``address`` (position-0 spray when hot)."""
         if self.mode == "hash":
             return _mix64(address) % self.shards
+        if self.is_hot(address):
+            return self.spray_owner(address)
         return bisect_right(self.bounds, address) - 1
 
     def shard_range(self, index: int) -> Tuple[int, int]:
@@ -166,10 +202,14 @@ class ShardPlan:
     def owners(self, prefix: int, length: int) -> Tuple[int, ...]:
         """Every shard whose range intersects the prefix's interval —
         the shards a route for ``prefix/length`` must live on (more
-        than one exactly when the prefix spans a cut)."""
+        than one exactly when the prefix spans a cut, all of them when
+        it touches a replicated hot range, since sprayed addresses can
+        land anywhere)."""
         if self.mode == "hash":
             return tuple(range(self.shards))
         lo, hi = prefix_span(prefix, length, self.width)
+        if any(lo < hot_hi and hot_lo < hi for hot_lo, hot_hi in self.hot):
+            return tuple(range(self.shards))
         first = bisect_right(self.bounds, lo) - 1
         last = bisect_left(self.bounds, hi) - 1
         return tuple(range(first, last + 1))
@@ -191,8 +231,12 @@ class ShardPlan:
                 entry[1].append(address)
             return groups
         bounds = self.bounds
+        hot_flat = self._hot_flat
         for position, address in enumerate(addresses):
-            slot = bisect_right(bounds, address) - 1
+            if hot_flat and bisect_right(hot_flat, address) & 1:
+                slot = self.spray_owner(address, position)
+            else:
+                slot = bisect_right(bounds, address) - 1
             entry = groups.get(slot)
             if entry is None:
                 entry = groups[slot] = ([], [])
@@ -220,6 +264,25 @@ class ShardPlan:
             owners = np.searchsorted(
                 np.asarray(self.bounds[1:-1], dtype=np.int64), batch, side="right"
             )
+            if self.hot:
+                # Replicated owners: a hot address belongs to *every*
+                # shard, so the split chooses one per position with the
+                # same seeded spray as the scalar path (bit-identical,
+                # so vector and portable frontends route alike).
+                flat = np.asarray(self._hot_flat, dtype=np.int64)
+                hot_mask = (
+                    np.searchsorted(flat, batch, side="right") & 1
+                ).astype(bool)
+                if hot_mask.any():
+                    mixed = _mix64_vector(
+                        np,
+                        batch.astype(np.uint64) ^ np.uint64(self.spray_seed),
+                    )
+                    sprayed = (
+                        (mixed + np.arange(batch.shape[0], dtype=np.uint64))
+                        % np.uint64(self.shards)
+                    ).astype(np.int64)
+                    owners = np.where(hot_mask, sprayed, owners)
         groups = {}
         if self.shards <= 16:
             # One boolean mask per shard beats a stable argsort at the
@@ -258,7 +321,7 @@ class ShardPlan:
                 ShardSpec(index, 0, full, fib.copy())
                 for index in range(self.shards)
             ]
-        return shard_specs(fib, self.bounds)
+        return shard_specs(fib, self.bounds, replicate=self.hot)
 
 
 def _leaf_count(node: TrieNode) -> int:
@@ -326,20 +389,61 @@ def _balanced_cuts(weights: Sequence[float], parts: int) -> List[int]:
     return cuts
 
 
+def _hot_slots(
+    traffic: Sequence[float], hot_share: float, max_hot: int
+) -> List[int]:
+    """Slots whose observed traffic share exceeds ``hot_share`` — the
+    replication candidates — hottest first, capped at ``max_hot``."""
+    total = sum(traffic)
+    if total <= 0 or hot_share >= 1.0 or max_hot < 1:
+        return []
+    threshold = total * hot_share
+    ranked = sorted(
+        (slot for slot, count in enumerate(traffic) if count > threshold),
+        key=lambda slot: -traffic[slot],
+    )
+    return sorted(ranked[:max_hot])
+
+
+def _merge_slots(slots: Sequence[int], shift: int) -> Tuple[Tuple[int, int], ...]:
+    """Ascending slot indices -> merged half-open address ranges."""
+    ranges: List[Tuple[int, int]] = []
+    for slot in slots:
+        lo, hi = slot << shift, (slot + 1) << shift
+        if ranges and ranges[-1][1] == lo:
+            ranges[-1] = (ranges[-1][0], hi)
+        else:
+            ranges.append((lo, hi))
+    return tuple(ranges)
+
+
 def plan_cluster(
     fib: Fib,
     shards: int,
     mode: str = "prefix",
     granularity: Optional[int] = None,
+    traffic: Optional[Sequence[float]] = None,
+    hot_share: float = 1.0,
+    max_hot: int = 8,
+    spray_seed: int = 0,
 ) -> ShardPlan:
     """Partition ``fib``'s address space into ``shards`` workers.
 
     ``prefix`` mode cuts the space on ``2^(width-granularity)``-aligned
     boundaries, balancing binary-trie leaf counts between the ranges;
     ``granularity`` defaults to /12 slots
-    (:data:`DEFAULT_GRANULARITY_BITS`, raised automatically when the
-    shard count needs finer cuts). ``hash`` mode needs no planning data
-    beyond the shard count.
+    (:data:`~repro.pipeline.shard.DEFAULT_GRANULARITY_BITS`, raised
+    automatically when the shard count needs finer cuts). ``hash`` mode
+    needs no planning data beyond the shard count.
+
+    ``traffic`` switches the cut weights from state to observed load:
+    a vector of per-slot lookup counts (length ``2^G`` for some ``G``,
+    which then *is* the planning granularity), typically a
+    :class:`~repro.serve.autoscale.TrafficStats` snapshot. Slots whose
+    traffic share exceeds ``hot_share`` are carved out as replicated
+    ``hot`` ranges (at most ``max_hot``, hottest first): their load is
+    sprayed evenly across all shards, so they are removed from the
+    contiguous balancing problem entirely.
     """
     if shards < 1:
         raise ValueError(f"shard count must be positive, got {shards}")
@@ -356,22 +460,55 @@ def plan_cluster(
     if mode == "hash":
         return ShardPlan(mode="hash", width=width, shards=shards)
     needed = max(1, (shards - 1).bit_length())
-    bits = granularity if granularity is not None else DEFAULT_GRANULARITY_BITS
-    bits = max(bits, needed)
-    if not needed <= bits <= MAX_GRANULARITY_BITS:
-        raise ValueError(
-            f"granularity {bits} outside [{needed}, {MAX_GRANULARITY_BITS}] "
-            f"for {shards} shards"
-        )
-    bits = min(bits, width)
-    weights = _slot_weights(BinaryTrie.from_fib(fib), bits)
-    cuts = _balanced_cuts(weights, shards)
+    if traffic is not None:
+        bits = len(traffic).bit_length() - 1
+        if len(traffic) != (1 << bits) or bits > min(width, MAX_GRANULARITY_BITS):
+            raise ValueError(
+                f"traffic vector length {len(traffic)} is not 2^G for a "
+                f"valid granularity G <= {min(width, MAX_GRANULARITY_BITS)}"
+            )
+        if granularity is not None and granularity != bits:
+            raise ValueError(
+                f"granularity {granularity} conflicts with the "
+                f"2^{bits}-slot traffic vector"
+            )
+        if bits < needed:
+            raise ValueError(
+                f"traffic granularity {bits} too coarse for {shards} shards"
+            )
+    else:
+        bits = granularity if granularity is not None else DEFAULT_GRANULARITY_BITS
+        bits = max(bits, needed)
+        if not needed <= bits <= MAX_GRANULARITY_BITS:
+            raise ValueError(
+                f"granularity {bits} outside [{needed}, {MAX_GRANULARITY_BITS}] "
+                f"for {shards} shards"
+            )
+        bits = min(bits, width)
     shift = width - bits
+    hot: Tuple[Tuple[int, int], ...] = ()
+    if traffic is not None and sum(traffic) > 0:
+        weights = [float(count) for count in traffic]
+        hot_slots = _hot_slots(weights, hot_share, max_hot)
+        hot = _merge_slots(hot_slots, shift)
+        for slot in hot_slots:
+            # Sprayed load lands 1/N on every shard — uniform, so it
+            # cannot tilt the contiguous cuts.
+            weights[slot] = 0.0
+        if not any(weights):
+            # Everything observed was hot: fall back to state weights
+            # for the contiguous remainder.
+            weights = _slot_weights(BinaryTrie.from_fib(fib), bits)
+    else:
+        weights = _slot_weights(BinaryTrie.from_fib(fib), bits)
+    cuts = _balanced_cuts(weights, shards)
     return ShardPlan(
         mode="prefix",
         width=width,
         shards=shards,
         bounds=tuple(cut << shift for cut in cuts),
+        hot=hot,
+        spray_seed=spray_seed,
     )
 
 
@@ -467,7 +604,18 @@ class FibCluster:
         ``"hash"`` (splitmix64 flow spreading, full-state replicas).
     granularity:
         Prefix-mode cut alignment in address bits (default /12 slots,
-        :data:`DEFAULT_GRANULARITY_BITS`).
+        :data:`~repro.pipeline.shard.DEFAULT_GRANULARITY_BITS`).
+    autoscale:
+        An :class:`~repro.serve.autoscale.AutoscalePolicy` turning the
+        traffic control loop on: per-slot lookup counters feed a
+        traffic-weighted re-plan whenever observed ``lookup_imbalance``
+        drifts past the policy threshold. The re-plan is **live**: one
+        replacement shard is built per served event off the lookup
+        path (the epoch coordinator's staggering, applied to whole
+        shards), the old plan keeps serving throughout, and the flip
+        is a single reference swap — no global pause, oracle parity
+        held. The policy's ``flow_cache`` adds a generation-invalidated
+        frontend LRU in front of the fan-out.
     """
 
     def __init__(
@@ -482,11 +630,15 @@ class FibCluster:
         batched: bool = True,
         measure_staleness: bool = True,
         granularity: Optional[int] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
         obs: Registry = NULL_REGISTRY,
     ):
         self._plan = plan_cluster(fib, shards, mode=partition, granularity=granularity)
         self._spec = registry.get(name)
         self._options = dict(options or {})
+        self._rebuild_every = rebuild_every
+        self._batched = batched
+        self._measure_staleness = measure_staleness
         self._control = fib.copy()
         self._shards: List[ClusterShard] = []
         for spec in self._plan.materialize(fib):
@@ -505,8 +657,32 @@ class FibCluster:
             self._shards.append(
                 ClusterShard(spec.index, spec.lo, spec.hi, spec.routes, server)
             )
-        self._coordinator = EpochCoordinator(self._shards, rebuild_every)
+        self._coordinator = EpochCoordinator(
+            self._shards, rebuild_every, on_swap=self._on_generation_swap
+        )
         self._obs = obs
+        self._policy = autoscale
+        self._traffic: Optional[TrafficStats] = None
+        self._flow_cache: Optional[FlowCache] = None
+        if autoscale is not None:
+            self._traffic = TrafficStats(
+                fib.width, autoscale.granularity, obs=obs
+            )
+            if autoscale.flow_cache:
+                self._flow_cache = FlowCache(autoscale.flow_cache, obs=obs)
+        self._pending_plan: Optional[ShardPlan] = None
+        self._pending_built: List[Optional[FibServer]] = []
+        self._replans = 0
+        self._lookups_during_replan = 0
+        self._replan_seconds = 0.0
+        self._last_replan_lookups = 0
+        self._obs_replans = obs.counter(
+            "autoscale_replans_total", "completed live traffic re-plans"
+        )
+        self._obs_imbalance = obs.gauge(
+            "autoscale_lookup_imbalance",
+            "observed lookup imbalance at the last drift check",
+        )
         self._obs_fanout = obs.histogram(
             "cluster_fanout_seconds",
             "whole-batch fan-out + merge wall time (critical path and "
@@ -581,36 +757,76 @@ class FibCluster:
         """Fan a batch out to the owning shards, merge in input order.
 
         The coordinator gets its per-event tick first (a due shard swaps
-        off the lookup path, charged to its rebuild clock). The batch is
-        then charged the slowest shard's serving time — the critical
-        path a one-worker-per-shard deployment would observe — while
-        the summed busy time feeds ``parallel_efficiency``.
+        off the lookup path, charged to its rebuild clock), then the
+        autoscaler gets its step — fold the batch into the traffic
+        grid, advance an in-flight re-plan by one shard, or check for
+        drift. The batch is then charged the slowest shard's serving
+        time — the critical path a one-worker-per-shard deployment
+        would observe — while the summed busy time feeds
+        ``parallel_efficiency``. Flow-cache hits short-circuit at the
+        frontend and charge no shard at all.
         """
         self._tick()
         self._batches += 1
         if not len(addresses):
             return []
+        if self._traffic is not None:
+            self._traffic.observe(addresses)
+            self._autoscale_step(len(addresses))
         fanout_started = time.perf_counter()
         out: List[Optional[int]] = [None] * len(addresses)
+        cache = self._flow_cache
+        if cache is None:
+            misses = addresses
+            miss_positions: Optional[List[int]] = None
+        else:
+            misses = []
+            miss_positions = []
+            get = cache.get
+            for position, address in enumerate(addresses):
+                label = get(address)
+                if label is MISS:
+                    misses.append(address)
+                    miss_positions.append(position)
+                else:
+                    out[position] = label
         critical = 0.0
-        for index, (positions, slice_) in self._plan.group(addresses).items():
-            server = self._shards[index].server
-            lookup_before = server.lookup_seconds
-            update_before = server.update_seconds
-            labels = server.lookup_batch(slice_)
-            spent = server.lookup_seconds - lookup_before
-            # Patch-log drains inside the shard are churn-induced work.
-            self._update_seconds += server.update_seconds - update_before
-            self._busy_lookup_seconds += spent
-            self._obs_shard_busy[index].add(spent)
-            if spent > critical:
-                critical = spent
-            for position, label in zip(positions, labels):
-                out[position] = label
+        if len(misses):
+            for index, (positions, slice_) in self._plan.group(misses).items():
+                server = self._shards[index].server
+                lookup_before = server.lookup_seconds
+                update_before = server.update_seconds
+                labels = server.lookup_batch(slice_)
+                spent = server.lookup_seconds - lookup_before
+                # Patch-log drains inside the shard are churn-induced work.
+                self._update_seconds += server.update_seconds - update_before
+                self._busy_lookup_seconds += spent
+                self._obs_shard_busy[index].add(spent)
+                if spent > critical:
+                    critical = spent
+                if miss_positions is None:
+                    for position, label in zip(positions, labels):
+                        out[position] = label
+                else:
+                    put = cache.put
+                    for position, address, label in zip(
+                        positions, slice_, labels
+                    ):
+                        out[miss_positions[position]] = label
+                        put(address, label)
         self._lookup_seconds += critical
         self._lookups += len(addresses)
         self._obs_fanout.observe(time.perf_counter() - fanout_started)
         return out
+
+    def lookup_batch_packed(self, addresses: Sequence[int]) -> bytes:
+        """Packed-label twin of :meth:`lookup_batch` (native int64 with
+        0 = no route), matching the single-server wire shape."""
+        from array import array
+
+        return array(
+            "q", [label if label else 0 for label in self.lookup_batch(addresses)]
+        ).tobytes()
 
     # ---------------------------------------------------------------- updates
 
@@ -643,18 +859,149 @@ class FibCluster:
             if spent > critical:
                 critical = spent
         self._update_seconds += critical
+        if self._pending_plan is not None:
+            # Replacement shards already built from an older control
+            # snapshot must see this update too, or the flip would
+            # time-travel. Restricted servers absorb out-of-range ops
+            # harmlessly (withdrawals of absent routes are skipped).
+            for server in self._pending_built:
+                if server is not None:
+                    server.apply_update(op)
+        if self._flow_cache is not None:
+            self._flow_cache.invalidate()
         self._updates_applied += 1
         self._fanout_total += len(owners)
         self._tick()
+        if self._pending_plan is not None:
+            self._advance_replan()
         if self._updates_applied % self._coordinator.rebuild_every == 0:
             self._sample_size()
         return True
 
     def quiesce(self) -> None:
-        """Drain every shard's update plane (still one swap at a time)."""
+        """Drain every shard's update plane (still one swap at a time),
+        completing any in-flight re-plan first so the flipped shards
+        are the ones drained."""
+        while self._pending_plan is not None:
+            self._advance_replan()
         for shard in self._shards:
             if shard.server.pending:
                 self._swap(shard)
+
+    # -------------------------------------------------------------- autoscale
+
+    def _autoscale_step(self, batch_size: int) -> None:
+        """One control-loop step per lookup batch: advance an in-flight
+        re-plan by one shard, or check drift at the policy cadence."""
+        if self._pending_plan is not None:
+            self._lookups_during_replan += batch_size
+            self._advance_replan()
+            return
+        policy = self._policy
+        if (
+            self._plan.mode != "prefix"
+            or self._plan.shards < 2
+            or self._batches % policy.check_every
+            or self._traffic.total < policy.min_window
+            or self._lookups - self._last_replan_lookups < policy.cooldown
+        ):
+            return
+        imbalance = self._traffic.imbalance(self._plan)
+        self._obs_imbalance.set(imbalance)
+        if imbalance <= policy.imbalance_threshold:
+            return
+        plan = plan_cluster(
+            self._control,
+            self._plan.shards,
+            mode="prefix",
+            traffic=self._traffic.snapshot(),
+            hot_share=policy.hot_share,
+            max_hot=policy.max_hot,
+            spray_seed=policy.spray_seed,
+        )
+        if plan.bounds == self._plan.bounds and plan.hot == self._plan.hot:
+            # The observed skew already matches the serving plan as well
+            # as the grid can: start a fresh window instead of churning.
+            self._traffic.reset()
+            self._last_replan_lookups = self._lookups
+            return
+        self._pending_plan = plan
+        self._pending_built = [None] * plan.shards
+        self._lookups_during_replan += batch_size
+
+    def _advance_replan(self) -> None:
+        """Build ONE replacement shard off the lookup path (the epoch
+        coordinator's staggering applied to whole shards); flip the
+        plan atomically once the last one stands. The old plan serves
+        every batch in between — a re-plan never pauses the cluster."""
+        plan = self._pending_plan
+        built = self._pending_built
+        try:
+            index = built.index(None)
+        except ValueError:  # pragma: no cover - flip happens on last build
+            index = -1
+        if index >= 0:
+            started = time.perf_counter()
+            lo, hi = plan.bounds[index], plan.bounds[index + 1]
+            total_before = self._total_size_bits() + sum(
+                server.representation.size_bits()
+                for server in built
+                if server is not None
+            )
+            restricted = (
+                self._control.copy()
+                if (lo, hi) == (0, 1 << plan.width)
+                else restrict_fib(self._control, lo, hi, extra=plan.hot)
+            )
+            server = FibServer(
+                self.name,
+                restricted,
+                options=self._options,
+                rebuild_every=self._rebuild_every,
+                batched=self._batched,
+                measure_staleness=self._measure_staleness,
+                auto_rebuild=False,
+                obs=self._obs,
+            )
+            built[index] = server
+            self._replan_seconds += time.perf_counter() - started
+            # Both generations overlap while the re-plan is in flight.
+            self._note_peak(total_before + server.representation.size_bits())
+        if all(server is not None for server in built):
+            self._finish_replan()
+
+    def _finish_replan(self) -> None:
+        plan = self._pending_plan
+        shards = [
+            ClusterShard(
+                index,
+                plan.bounds[index],
+                plan.bounds[index + 1],
+                len(server.control),
+                server,
+            )
+            for index, server in enumerate(self._pending_built)
+        ]
+        self._plan = plan
+        self._shards = shards
+        self._coordinator = EpochCoordinator(
+            shards, self._rebuild_every, on_swap=self._on_generation_swap
+        )
+        self._pending_plan = None
+        self._pending_built = []
+        self._replans += 1
+        self._obs_replans.inc()
+        self._last_replan_lookups = self._lookups
+        if self._traffic is not None:
+            self._traffic.reset()
+        if self._flow_cache is not None:
+            self._flow_cache.invalidate()
+
+    def _on_generation_swap(self, index: int) -> None:
+        """Epoch-swap hook: a shard just rolled a new generation, so any
+        frontend-cached labels may describe the old one."""
+        if self._flow_cache is not None:
+            self._flow_cache.invalidate()
 
     # ------------------------------------------------------------ coordinator
 
@@ -676,8 +1023,27 @@ class FibCluster:
         shard.server.rebuild()
         fresh = shard.server.representation.size_bits()
         self._note_peak(total_before + fresh)
+        self._on_generation_swap(shard.index)
 
     # ----------------------------------------------------------------- replay
+
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> int:
+        """Apply a sequence of operations; returns how many were
+        accepted (the :class:`~repro.serve.plane.ServingPlane` batch
+        update surface)."""
+        return sum(1 for op in ops if self.apply_update(op))
+
+    def close(self) -> None:
+        """Release the shards (in-process: nothing OS-level to tear
+        down; idempotent, for :class:`~repro.serve.plane.ServingPlane`
+        symmetry with the worker pool)."""
+        self._shards = list(self._shards)  # no-op; keeps reports valid
+
+    def __enter__(self) -> "FibCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def replay(self, events: Sequence[ServeEvent]) -> None:
         """Run one scenario script (see :mod:`repro.serve.scenarios`)."""
@@ -724,7 +1090,18 @@ class FibCluster:
             return 0
         if self._plan.mode == "hash":
             return len(self._control)
-        return len(boundary_routes(self._control, self._plan.bounds))
+        crossing = {
+            (route.prefix, route.length)
+            for route in boundary_routes(self._control, self._plan.bounds)
+        }
+        if self._plan.hot:
+            width = self._plan.width
+            hot = self._plan.hot
+            for route in self._control:
+                span_lo, span_hi = prefix_span(route.prefix, route.length, width)
+                if any(span_lo < hi and lo < span_hi for lo, hi in hot):
+                    crossing.add((route.prefix, route.length))
+        return len(crossing)
 
     def report(
         self, scenario: str = "", final_parity: Optional[float] = None
@@ -777,7 +1154,7 @@ class FibCluster:
             label_mismatches=mismatches,
             lookup_seconds=self._lookup_seconds,
             update_seconds=self._update_seconds,
-            rebuild_seconds=rebuild_seconds,
+            rebuild_seconds=rebuild_seconds + self._replan_seconds,
             size_bits=size,
             peak_size_bits=max(self._peak_size_bits, size),
             rebuild_cycles=rebuild_cycles,
@@ -789,6 +1166,22 @@ class FibCluster:
             busy_lookup_seconds=self._busy_lookup_seconds,
             coordinator_swaps=self._coordinator.swaps,
             shard_rows=tuple(shard_rows),
+            replans=self._replans,
+            lookups_during_replan=self._lookups_during_replan,
+            hot_ranges=len(self._plan.hot),
+            # ``is not None``: FlowCache has __len__, so a freshly
+            # invalidated (empty) cache is falsy and would zero these.
+            flow_cache_lookups=(
+                self._flow_cache.lookups if self._flow_cache is not None else 0
+            ),
+            flow_cache_hits=(
+                self._flow_cache.hits if self._flow_cache is not None else 0
+            ),
+            flow_cache_evictions=(
+                self._flow_cache.evictions
+                if self._flow_cache is not None
+                else 0
+            ),
             obs=self._obs.snapshot() if self._obs.enabled else None,
         )
 
@@ -807,6 +1200,7 @@ def serve_cluster_scenario(
     measure_staleness: bool = True,
     parity_probes: Sequence[int] = (),
     granularity: Optional[int] = None,
+    autoscale: Optional[AutoscalePolicy] = None,
     obs: Registry = NULL_REGISTRY,
 ) -> ClusterReport:
     """Replay one script through one sharded cluster, end to end.
@@ -825,6 +1219,7 @@ def serve_cluster_scenario(
         batched=batched,
         measure_staleness=measure_staleness,
         granularity=granularity,
+        autoscale=autoscale,
         obs=obs,
     )
     cluster.replay(events)

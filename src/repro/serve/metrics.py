@@ -190,6 +190,26 @@ class ClusterReport(ServeReport):
     #: Per-shard summaries: range, routes, lookups, staleness, rebuilds,
     #: generation and sizes.
     shard_rows: Tuple[dict, ...] = field(default_factory=tuple)
+    #: Completed live traffic re-plans (autoscaling runs only).
+    replans: int = 0
+    #: Lookups served while a re-plan was in flight — nonzero proves the
+    #: re-plan never paused the data plane.
+    lookups_during_replan: int = 0
+    #: Hot address ranges currently replicated to every shard.
+    hot_ranges: int = 0
+    #: Lookups that consulted the frontend flow cache (hits + misses).
+    flow_cache_lookups: int = 0
+    #: Lookups answered from the flow cache without touching a shard.
+    flow_cache_hits: int = 0
+    #: LRU evictions from the flow cache.
+    flow_cache_evictions: int = 0
+
+    @property
+    def flow_cache_hit_rate(self) -> float:
+        """Flow-cache hits over flow-cache lookups (0.0 when disabled)."""
+        if not self.flow_cache_lookups:
+            return 0.0
+        return self.flow_cache_hits / self.flow_cache_lookups
 
     @property
     def parallel_efficiency(self) -> float:
@@ -222,6 +242,7 @@ class ClusterReport(ServeReport):
             parallel_efficiency=self.parallel_efficiency,
             lookup_imbalance=self.lookup_imbalance,
             max_shard_staleness=self.max_shard_staleness,
+            flow_cache_hit_rate=self.flow_cache_hit_rate,
         )
         return record
 

@@ -1,0 +1,258 @@
+"""repro.serve.plane — one API over every serving deployment shape.
+
+The serving layer grew four frontends, one per deployment shape: the
+in-process :class:`~repro.serve.server.FibServer` (one representation,
+no sharding), the simulated-clock :class:`~repro.serve.cluster.FibCluster`
+(N shards, one process), the multi-process
+:class:`~repro.serve.workers.WorkerPool` (N worker processes over shm
+or pipe transports) and the pipelining
+:class:`~repro.serve.workers.AsyncFibFrontend` on top of the pool. They
+answer the same questions through the same verbs, so this module names
+the shared surface — :class:`ServingPlane` — and provides the one
+front door, :func:`open_plane`, that picks the deployment from plain
+arguments instead of asking callers to memorize four constructors.
+
+The contract every plane implements:
+
+``lookup_batch(addresses)``
+    Batched longest-prefix-match; labels (or ``None``) in input order.
+    Synchronous everywhere except :class:`AsyncFibFrontend`, whose
+    lookup verbs are awaitable (it exists to pipeline).
+``lookup_batch_packed(addresses)``
+    The zero-boxing twin: packed native int64 labels, 0 = no route.
+``apply_updates(ops)``
+    Feed a churn sequence; returns how many operations were accepted
+    (bogus withdrawals are filtered by the control oracle, the same
+    rule on every plane).
+``report(...)``
+    The plane's :class:`~repro.serve.metrics.ServeReport` (or richer
+    subclass) of everything it measured.
+``close()``
+    Release whatever the plane holds (worker processes, rings, shared
+    segments; in-process planes no-op). Every plane is also a context
+    manager, and ``close()`` is idempotent.
+
+:func:`serve_plane_scenario` is the matching end-to-end runner: replay
+a scenario script through any plane the factory can open, quiesce,
+parity-probe, report, tear down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.core.fib import Fib
+from repro.datasets.updates import UpdateOp
+from repro.obs import NULL_REGISTRY, Registry
+from repro.serve.autoscale import AutoscalePolicy
+from repro.serve.cluster import FibCluster
+from repro.serve.faults import FaultPlan
+from repro.serve.metrics import ServeReport
+from repro.serve.scenarios import ServeEvent
+from repro.serve.server import DEFAULT_REBUILD_EVERY, FibServer
+from repro.serve.supervisor import DEFAULT_RESTART_WINDOW
+from repro.serve.workers import (
+    DEFAULT_CONTROL_TIMEOUT,
+    DEFAULT_RING_BYTES,
+    DEFAULT_START_METHOD,
+    DEFAULT_TIMEOUT,
+    DEFAULT_TRANSPORT,
+    AsyncFibFrontend,
+    WorkerPool,
+)
+
+
+@runtime_checkable
+class ServingPlane(Protocol):
+    """The structural contract shared by every serving frontend.
+
+    A :class:`typing.Protocol`: conformance is by shape, not by
+    inheritance, so the four planes (and any future one) satisfy it
+    without a common base class. ``lookup_batch`` /
+    ``lookup_batch_packed`` may be coroutines on pipelining planes —
+    callers that must stay plane-agnostic can
+    ``asyncio.run`` the result when ``inspect.isawaitable`` says so.
+    """
+
+    def lookup_batch(self, addresses: Sequence[int]):
+        """Batched LPM: labels (or ``None``) in input order."""
+        ...
+
+    def lookup_batch_packed(self, addresses: Sequence[int]):
+        """Packed native int64 labels, 0 = no route."""
+        ...
+
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> int:
+        """Feed churn; returns the number of accepted operations."""
+        ...
+
+    def report(self, *args, **kwargs) -> ServeReport:
+        """Everything the plane measured."""
+        ...
+
+    def close(self) -> None:
+        """Release held resources (idempotent)."""
+        ...
+
+    def __enter__(self) -> "ServingPlane":
+        ...
+
+    def __exit__(self, *exc_info) -> None:
+        ...
+
+
+def open_plane(
+    name: str,
+    fib: Fib,
+    *,
+    shards: int = 1,
+    workers: int = 0,
+    window: int = 0,
+    transport: str = DEFAULT_TRANSPORT,
+    partition: str = "prefix",
+    options: Optional[Dict[str, Any]] = None,
+    rebuild_every: int = DEFAULT_REBUILD_EVERY,
+    batched: bool = True,
+    granularity: Optional[int] = None,
+    autoscale: Optional[AutoscalePolicy] = None,
+    measure_staleness: bool = True,
+    start_method: str = DEFAULT_START_METHOD,
+    fanout: str = "auto",
+    timeout: float = DEFAULT_TIMEOUT,
+    control_timeout: float = DEFAULT_CONTROL_TIMEOUT,
+    ring_bytes: int = DEFAULT_RING_BYTES,
+    obs: Registry = NULL_REGISTRY,
+    max_restarts: int = 0,
+    restart_window: float = DEFAULT_RESTART_WINDOW,
+    faults: Optional[FaultPlan] = None,
+) -> ServingPlane:
+    """Open the serving plane the arguments describe.
+
+    The decision tree mirrors how the deployments nest:
+
+    * ``workers > 0`` — a real multi-process :class:`WorkerPool` with
+      ``workers`` shard processes over ``transport``; ``window > 0``
+      additionally wraps it in the pipelining
+      :class:`AsyncFibFrontend` (awaitable lookups).
+    * ``workers == 0, shards > 1`` — the in-process simulated-clock
+      :class:`FibCluster` with ``shards`` shards.
+    * ``workers == 0, shards <= 1`` — a single :class:`FibServer`.
+
+    ``autoscale`` hands any sharded plane an
+    :class:`~repro.serve.autoscale.AutoscalePolicy` (traffic-driven
+    live re-planning; the flow-cache tier applies to the in-process
+    cluster). Arguments that do not apply to the selected shape are
+    validated where meaningful and otherwise ignored, so callers can
+    thread one uniform configuration record through — exactly what
+    ``repro-fib serve`` does.
+    """
+    if workers < 0 or shards < 0 or window < 0:
+        raise ValueError("workers, shards and window must be non-negative")
+    if workers and shards > 1:
+        raise ValueError(
+            "pick one sharding axis: workers (multi-process) or "
+            "shards (in-process), not both"
+        )
+    if workers:
+        pool = WorkerPool(
+            name,
+            fib,
+            workers=workers,
+            partition=partition,
+            options=options,
+            rebuild_every=rebuild_every,
+            batched=batched,
+            granularity=granularity,
+            start_method=start_method,
+            fanout=fanout,
+            timeout=timeout,
+            control_timeout=control_timeout,
+            transport=transport,
+            ring_bytes=ring_bytes,
+            obs=obs,
+            max_restarts=max_restarts,
+            restart_window=restart_window,
+            faults=faults,
+            autoscale=autoscale,
+        )
+        if window:
+            return AsyncFibFrontend(pool, window=window)
+        return pool
+    if shards > 1:
+        return FibCluster(
+            name,
+            fib,
+            shards=shards,
+            partition=partition,
+            options=options,
+            rebuild_every=rebuild_every,
+            batched=batched,
+            measure_staleness=measure_staleness,
+            granularity=granularity,
+            autoscale=autoscale,
+            obs=obs,
+        )
+    if autoscale is not None:
+        raise ValueError(
+            "autoscale needs a sharded plane (shards > 1 or workers > 0); "
+            "a single FibServer has nothing to re-balance"
+        )
+    return FibServer(
+        name,
+        fib,
+        options=options,
+        rebuild_every=rebuild_every,
+        batched=batched,
+        measure_staleness=measure_staleness,
+        obs=obs,
+    )
+
+
+def serve_plane_scenario(
+    name: str,
+    fib: Fib,
+    events: Sequence[ServeEvent],
+    *,
+    scenario: str = "",
+    parity_probes: Sequence[int] = (),
+    **plane_kwargs,
+) -> ServeReport:
+    """Replay one scenario script through any plane the factory opens.
+
+    The plane-agnostic superset of ``serve_scenario`` /
+    ``serve_cluster_scenario`` / ``serve_worker_scenario``: open, replay
+    (pipelined when the plane is asynchronous), quiesce, parity-probe
+    against the control oracle, report, and always tear down.
+    """
+    plane = open_plane(name, fib, **plane_kwargs)
+    try:
+        started = time.perf_counter()
+        if isinstance(plane, AsyncFibFrontend):
+            asyncio.run(plane.replay(events))
+        else:
+            plane.replay(events)
+        plane.quiesce()
+        wall = time.perf_counter() - started
+        parity = (
+            plane.parity_fraction(parity_probes) if parity_probes else None
+        )
+        if isinstance(plane, (WorkerPool, AsyncFibFrontend)):
+            return plane.report(
+                scenario=scenario, final_parity=parity, wall_seconds=wall
+            )
+        return plane.report(scenario=scenario, final_parity=parity)
+    finally:
+        plane.close()
+
+
+__all__ = ["ServingPlane", "open_plane", "serve_plane_scenario"]

@@ -449,6 +449,23 @@ class FibServer:
         if self.pending:
             self.rebuild()
 
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> int:
+        """Apply a sequence of operations; returns how many were
+        accepted (the :class:`~repro.serve.plane.ServingPlane` batch
+        update surface)."""
+        return sum(1 for op in ops if self.apply_update(op))
+
+    def close(self) -> None:
+        """Release the server (in-process: nothing OS-level to tear
+        down; idempotent, for :class:`~repro.serve.plane.ServingPlane`
+        symmetry with the worker pool)."""
+
+    def __enter__(self) -> "FibServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ----------------------------------------------------------------- replay
 
     def replay(self, events: Sequence[ServeEvent]) -> None:

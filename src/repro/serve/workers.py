@@ -45,6 +45,7 @@ per-address Python conversion loop::
     ("update", prefix, length, label)       (no reply — pipe FIFO orders it)
     ("swap",   seq)                         ("ok", seq, (generation,
                                                          rebuild_s, size_bits))
+    ("reshard", seq, fib, filter)           ("ok", seq, (build_s, size_bits))
     ("report", seq, scenario)               ("ok", seq, ServeReport)
     ("shutdown",)                           (worker exits)
 
@@ -102,6 +103,8 @@ from repro.core.fib import Fib
 from repro.datasets.updates import UpdateOp
 from repro.obs import NULL_REGISTRY, Registry, VisibilityTracker, now_ns
 from repro.pipeline import registry
+from repro.pipeline.shard import ShardSpec, restrict_fib
+from repro.serve.autoscale import AutoscalePolicy, TrafficStats
 from repro.serve.cluster import (
     ClusterShard,
     EpochCoordinator,
@@ -413,6 +416,42 @@ def worker_main(
                             (
                                 server.generation,
                                 server.rebuild_seconds - rebuild_before,
+                                server.representation.size_bits(),
+                            ),
+                        )
+                    )
+                except Exception:  # noqa: BLE001
+                    conn.send(("err", seq, traceback.format_exc()))
+            elif kind == "reshard":
+                # Re-plan adoption: rebuild this worker's server from a
+                # freshly restricted FIB (the union of its old and new
+                # ranges, so lookups routed by either plan keep
+                # answering until the frontend flips). Pipe FIFO makes
+                # the cutover exact: updates sent before the snapshot
+                # are inside the shipped FIB, later ones arrive after
+                # this message and apply to the fresh server. On a
+                # build failure the old server keeps serving and the
+                # error reply lets the frontend abandon the transition.
+                seq, shard_fib, new_filter = message[1], message[2], message[3]
+                try:
+                    build_started = time.perf_counter()
+                    server = FibServer(
+                        name,
+                        shard_fib,
+                        options=options,
+                        rebuild_every=rebuild_every,
+                        batched=batched,
+                        measure_staleness=False,
+                        auto_rebuild=False,
+                        obs=server.obs,  # counters survive the re-plan
+                    )
+                    filter_spec = new_filter
+                    conn.send(
+                        (
+                            "ok",
+                            seq,
+                            (
+                                time.perf_counter() - build_started,
                                 server.representation.size_bits(),
                             ),
                         )
@@ -857,6 +896,21 @@ class WorkerPool:
         over the control channel and merges into this one at
         :meth:`report`; ring backpressure counters and occupancy are
         sampled there too. Disabled (the default) costs nothing.
+    autoscale:
+        An :class:`~repro.serve.autoscale.AutoscalePolicy` turning on
+        the traffic-adaptive control loop: the frontend folds every
+        batch into per-slot counters and, when the observed
+        ``lookup_imbalance`` drifts past the threshold, re-plans the
+        partition live. On the shm transport workers map the *full*
+        published program, so adopting a new plan is a frontend-only
+        owner-split flip; on the pipe transport the pool walks one
+        worker at a time onto a union-restricted snapshot (old range ∪
+        new range ∪ hot ranges) while the old plan keeps serving — no
+        global pause, and parity holds throughout because every worker
+        can answer both plans until the flip. Forces split fan-out.
+        The frontend flow-cache tier (``policy.flow_cache``) is the
+        in-process :class:`~repro.serve.cluster.FibCluster`'s; the
+        pool ignores it.
     """
 
     def __init__(
@@ -880,6 +934,7 @@ class WorkerPool:
         max_restarts: int = 0,
         restart_window: float = DEFAULT_RESTART_WINDOW,
         faults: Optional[FaultPlan] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
     ):
         if fib.width > 63:
             # The pipe wire format packs addresses and labels as signed
@@ -927,6 +982,33 @@ class WorkerPool:
         self._broadcast = self._plan.shards > 1 and (
             fanout == "broadcast"
             or (fanout == "auto" and _np is not None and self._plan.vectorized)
+        )
+        self._autoscale = autoscale
+        if autoscale is not None:
+            # Re-planning moves shard boundaries out from under the
+            # fixed per-worker broadcast filters, so the autoscaled
+            # pool always owner-splits at the frontend.
+            self._broadcast = False
+        self._traffic = (
+            TrafficStats(fib.width, autoscale.granularity, obs=obs)
+            if autoscale is not None
+            else None
+        )
+        # -------------------------------------------------- re-plan state
+        self._replans = 0
+        self._lookups_during_replan = 0
+        self._last_replan_lookups = 0
+        self._replan_seconds = 0.0
+        self._pending_plan = None
+        self._reshard_specs: List[ShardSpec] = []
+        self._reshard_next = 0
+        self._reshard_inflight: Optional[tuple] = None
+        self._obs_replans = obs.counter(
+            "autoscale_replans_total", "live traffic-driven re-plans"
+        )
+        self._obs_imbalance = obs.gauge(
+            "autoscale_lookup_imbalance",
+            "observed lookup imbalance at the last drift check",
         )
         self._closed = False
         self._obs = obs
@@ -1319,6 +1401,11 @@ class WorkerPool:
         with self._pool_lock:
             if self._closed:
                 raise WorkerError("pool is closed", worker_index=index)
+            if self._pending_plan is not None:
+                # A re-plan caught mid-flight by a crash: walk it back
+                # so the old plan (which the respawn spec below is cut
+                # from) is the single authority again.
+                self._abort_replan()
             old = self._handles[index]
             self._reap(old)
             incarnation = old.incarnation + 1
@@ -1624,6 +1711,9 @@ class WorkerPool:
         count = len(addresses)
         if not count:
             return [], 0
+        if self._traffic is not None:
+            self._traffic.observe(addresses)
+            self._autoscale_step(count)
         self._enter_flight()
         try:
             if self._broadcast:
@@ -1829,6 +1919,15 @@ class WorkerPool:
         parts, count = self.submit_batch(addresses)
         return self.merge_batch(parts, count)
 
+    def lookup_batch_packed(self, addresses: Sequence[int]) -> bytes:
+        """Serve one batch, returning packed native int64 labels
+        (0 = no route) — the zero-boxing
+        :class:`~repro.serve.plane.ServingPlane` surface."""
+        parts, count = self.submit_batch(addresses)
+        if not count:
+            return b""
+        return self.merge_batch(parts, count, decode=False).tobytes()
+
     def lookup(self, address: int) -> Optional[int]:
         return self.lookup_batch([address])[0]
 
@@ -1856,6 +1955,19 @@ class WorkerPool:
                     self._update_seconds += time.perf_counter() - started
                 return False
             owners = self._plan.owners(op.prefix, op.length)
+            if self._pending_plan is not None:
+                # Mid-transition the op must reach the owners of *both*
+                # plans: a worker already resharded onto its new range
+                # snapshot would otherwise miss churn for a range it is
+                # about to inherit. Extra deliveries are harmless — a
+                # restricted server absorbs out-of-range announces and
+                # skips withdrawals of routes it never held.
+                owners = tuple(
+                    sorted(
+                        set(owners)
+                        | set(self._pending_plan.owners(op.prefix, op.length))
+                    )
+                )
             if self._transport == "shm":
                 # The update never crosses a process boundary per-op: the
                 # frontend-hosted publisher absorbs it (a patch on the
@@ -1895,7 +2007,15 @@ class WorkerPool:
         self._updates_applied += 1
         self._fanout_total += len(owners)
         self._tick()
+        if self._pending_plan is not None:
+            self._advance_replan()
         return True
+
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> int:
+        """Apply a sequence of operations; returns how many were
+        accepted (the :class:`~repro.serve.plane.ServingPlane` batch
+        update surface)."""
+        return sum(1 for op in ops if self.apply_update(op))
 
     # ------------------------------------------------------------ coordinator
 
@@ -1903,6 +2023,169 @@ class WorkerPool:
         """The coordinator's per-event chance to stagger one swap."""
         if self._coordinator.due():
             self._coordinator.tick()
+
+    # -------------------------------------------------------------- autoscale
+
+    def _autoscale_step(self, batch_size: int) -> None:
+        """One drift-monitor step (rides every lookup batch).
+
+        While a re-plan is in flight this only advances it (one
+        non-blocking poll); otherwise the gates — check cadence,
+        observation window, post-replan cooldown — keep the O(2^G)
+        imbalance computation off the common path.
+        """
+        policy = self._autoscale
+        if self._pending_plan is not None:
+            self._lookups_during_replan += batch_size
+            self._advance_replan()
+            return
+        if (
+            self._plan.mode != "prefix"
+            or self._plan.shards < 2
+            or self._batches % policy.check_every
+            or self._traffic.total < policy.min_window
+            or self._lookups - self._last_replan_lookups < policy.cooldown
+        ):
+            return
+        imbalance = self._traffic.imbalance(self._plan)
+        self._obs_imbalance.set(imbalance)
+        if imbalance <= policy.imbalance_threshold:
+            return
+        with self._pool_lock:
+            if self._closed or self._pending_plan is not None:
+                return
+            plan = plan_cluster(
+                self._control,
+                self._plan.shards,
+                mode="prefix",
+                traffic=self._traffic.snapshot(),
+                hot_share=policy.hot_share,
+                max_hot=policy.max_hot,
+                spray_seed=policy.spray_seed,
+            )
+            if plan.bounds == self._plan.bounds and plan.hot == self._plan.hot:
+                # Already the best cut the grid offers: restart the
+                # window so a stale skew cannot re-trigger forever.
+                self._traffic.reset()
+                self._last_replan_lookups = self._lookups
+                return
+            self._pending_plan = plan
+            if self._transport == "shm":
+                # Workers map the full published program — any worker
+                # answers any address — so the new plan lands as a
+                # frontend-only owner-split flip, no worker involved.
+                self._finish_replan()
+                return
+            self._reshard_specs = []
+            self._reshard_next = 0
+            self._reshard_inflight = None
+            self._advance_replan()
+
+    def _advance_replan(self) -> None:
+        """Drive one non-blocking step of a pending pipe re-plan.
+
+        At most one worker rebuilds at a time: its ``reshard`` request
+        carries the union-restricted FIB snapshot and queues FIFO with
+        its data plane, so that worker's lookups stall only for its own
+        build while every other worker keeps serving — the staggered,
+        no-global-pause analogue of the coordinator's epoch walk. The
+        frontend routes by the *old* plan until every worker has acked,
+        then flips atomically.
+        """
+        with self._pool_lock:
+            plan = self._pending_plan
+            if plan is None or self._transport == "shm" or self._closed:
+                return
+            if self._reshard_inflight is not None:
+                _index, future = self._reshard_inflight
+                if not future.done():
+                    return
+                self._reshard_inflight = None
+                try:
+                    build_spent, _size_bits = future.result()
+                except Exception:  # noqa: BLE001
+                    # The worker died or refused the new shard; its
+                    # respawn (if any) is the supervisor's. Abandon the
+                    # transition — the drift monitor re-triggers once
+                    # traffic re-accumulates.
+                    self._abort_replan()
+                    return
+                self._replan_seconds += build_spent
+            if self._reshard_next < plan.shards:
+                index = self._reshard_next
+                handle = self._handles[index]
+                # The union snapshot is cut *at send time*, under the
+                # pool lock: every update accepted so far is inside it,
+                # and every later one queues behind the reshard message
+                # in this worker's pipe — cutting all snapshots up
+                # front instead would lose the updates that land while
+                # earlier workers rebuild.
+                started = time.perf_counter()
+                old_lo, old_hi = self._plan.shard_range(index)
+                new_lo, new_hi = plan.shard_range(index)
+                union = restrict_fib(
+                    self._control,
+                    new_lo,
+                    new_hi,
+                    extra=((old_lo, old_hi), *plan.hot),
+                )
+                spec = ShardSpec(index, new_lo, new_hi, union, hot=plan.hot)
+                self._replan_seconds += time.perf_counter() - started
+                new_filter = (
+                    ("hash", plan.shards, index)
+                    if plan.mode == "hash"
+                    else ("prefix", spec.lo, spec.hi)
+                )
+                try:
+                    future = self._submit(
+                        handle, "reshard", spec.fib, new_filter
+                    )
+                except WorkerError:
+                    self._abort_replan()
+                    return
+                # The snapshot supersedes this worker's routed backlog:
+                # everything sent before the reshard is inside the
+                # shipped FIB; later ops queue behind it and re-accrue.
+                self._proxies[index].pending.clear()
+                self._reshard_specs.append(spec)
+                self._reshard_inflight = (index, future)
+                self._reshard_next += 1
+                return
+            self._finish_replan()
+
+    def _abort_replan(self) -> None:
+        """Walk back a transition that lost a worker mid-adoption.
+
+        Safe without undo: resharded workers hold *union* FIBs, a
+        strict superset of what the still-authoritative old plan routes
+        to them, so their answers stay correct."""
+        self._pending_plan = None
+        self._reshard_specs = []
+        self._reshard_next = 0
+        self._reshard_inflight = None
+        self._traffic.reset()
+        self._last_replan_lookups = self._lookups
+
+    def _finish_replan(self) -> None:
+        """Atomically flip the pool onto the pending plan."""
+        plan = self._pending_plan
+        self._pending_plan = None
+        if self._transport == "pipe" and self._reshard_specs:
+            for handle, spec in zip(self._handles, self._reshard_specs):
+                handle.lo = spec.lo
+                handle.hi = spec.hi
+                handle.routes = spec.routes
+        else:
+            for index, handle in enumerate(self._handles):
+                handle.lo, handle.hi = plan.shard_range(index)
+        self._plan = plan
+        self._reshard_specs = []
+        self._reshard_next = 0
+        self._reshard_inflight = None
+        self._replans += 1
+        self._obs_replans.inc()
+        self._traffic.reset()
+        self._last_replan_lookups = self._lookups
 
     def _swap(self, handle: _WorkerHandle, proxy: _ProxyServer) -> None:
         """One synchronous epoch swap over the control channel: send,
@@ -2070,8 +2353,24 @@ class WorkerPool:
 
     def quiesce(self) -> None:
         """Drain the update plane: publish the backlog's generation on
-        the shm transport, else swap each due worker (one at a time)."""
+        the shm transport, else swap each due worker (one at a time).
+        A re-plan still in flight is driven to completion first, so a
+        quiesced pool always serves exactly its reported plan."""
         self.settle()
+        while self._pending_plan is not None and not self._closed:
+            inflight = self._reshard_inflight
+            if inflight is not None:
+                index, future = inflight
+                try:
+                    self._await(
+                        future,
+                        handle=self._handles[index],
+                        op="reshard",
+                        timeout=self._control_timeout,
+                    )
+                except WorkerError:
+                    pass  # declared failed; the advance below aborts
+            self._advance_replan()
         if self._transport == "shm":
             if self._publish_proxy.pending:
                 self._publish()
@@ -2269,7 +2568,7 @@ class WorkerPool:
             label_mismatches=mismatches,
             lookup_seconds=self._lookup_seconds,
             update_seconds=self._update_seconds + worker_update,
-            rebuild_seconds=rebuild_seconds,
+            rebuild_seconds=rebuild_seconds + self._replan_seconds,
             size_bits=size,
             peak_size_bits=peak,
             rebuild_cycles=rebuild_cycles,
@@ -2291,6 +2590,9 @@ class WorkerPool:
             delta_publishes=self._delta_publishes,
             bytes_tx=self._bytes_tx,
             bytes_rx=self._bytes_rx,
+            replans=self._replans,
+            lookups_during_replan=self._lookups_during_replan,
+            hot_ranges=len(self._plan.hot),
             degraded_lookups=self._degraded_lookups,
             failed_lookups=self._failed_lookups,
             retried_batches=self._retried_batches,
@@ -2375,13 +2677,26 @@ class WorkerPool:
                     instrument.labels(key).value = shipped.get(stat, 0)
 
     def _replicated_routes(self) -> int:
-        from repro.pipeline.shard import boundary_routes
+        from repro.pipeline.shard import boundary_routes, prefix_span
 
         if self._plan.shards == 1:
             return 0
         if self._plan.mode == "hash":
             return len(self._control)
-        return len(boundary_routes(self._control, self._plan.bounds))
+        crossing = {
+            (route.prefix, route.length)
+            for route in boundary_routes(self._control, self._plan.bounds)
+        }
+        if self._plan.hot:
+            # Hot-range routes replicate into every shard by design.
+            width = self._control.width
+            for route in self._control:
+                span_lo, span_hi = prefix_span(route.prefix, route.length, width)
+                if any(
+                    span_lo < hi and lo < span_hi for lo, hi in self._plan.hot
+                ):
+                    crossing.add((route.prefix, route.length))
+        return len(crossing)
 
     # ---------------------------------------------------------------- closing
 
@@ -2473,6 +2788,44 @@ class AsyncFibFrontend:
         parts, count = self._pool.submit_batch(addresses)
         return await self._merge(parts, count, True)
 
+    async def lookup_batch_packed(self, addresses: Sequence[int]) -> bytes:
+        """Packed twin of :meth:`lookup_batch` (native int64 labels,
+        0 = no route)."""
+        parts, count = self._pool.submit_batch(addresses)
+        if not count:
+            return b""
+        merged = await self._merge(parts, count, False)
+        return merged.tobytes()
+
+    # The update/report/lifecycle surface delegates straight to the
+    # pool (updates are fire-and-forget, reports and teardown are
+    # control-plane), completing the ServingPlane contract; only the
+    # lookup path is genuinely asynchronous here.
+
+    def apply_update(self, op: UpdateOp) -> bool:
+        return self._pool.apply_update(op)
+
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> int:
+        return self._pool.apply_updates(ops)
+
+    def quiesce(self) -> None:
+        self._pool.quiesce()
+
+    def parity_fraction(self, addresses: Sequence[int]) -> float:
+        return self._pool.parity_fraction(addresses)
+
+    def report(self, *args, **kwargs) -> WorkerReport:
+        return self._pool.report(*args, **kwargs)
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "AsyncFibFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     async def replay(self, events: Sequence[ServeEvent]) -> None:
         """Pipelined scenario replay.
 
@@ -2530,6 +2883,7 @@ def serve_worker_scenario(
     max_restarts: int = 0,
     restart_window: float = DEFAULT_RESTART_WINDOW,
     faults: Optional[FaultPlan] = None,
+    autoscale: Optional[AutoscalePolicy] = None,
 ) -> WorkerReport:
     """Replay one script through a real multi-process worker pool.
 
@@ -2558,6 +2912,7 @@ def serve_worker_scenario(
         max_restarts=max_restarts,
         restart_window=restart_window,
         faults=faults,
+        autoscale=autoscale,
     )
     try:
         frontend = AsyncFibFrontend(pool, window=window)

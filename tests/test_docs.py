@@ -81,10 +81,11 @@ def test_benchmarks_doc_covers_every_trajectory():
         "BENCH_cluster.json",
         "BENCH_workers.json",
         "BENCH_faults.json",
+        "BENCH_autoscale.json",
     ):
         assert trajectory in text, f"docs/benchmarks.md misses {trajectory}"
         assert (REPO / trajectory).is_file(), f"{trajectory} baseline not committed"
-    for floor in ("1.5x", "2.5x", "2.0x", "30%"):
+    for floor in ("1.5x", "2.5x", "2.0x", "30%", "90%"):
         assert floor in text, f"docs/benchmarks.md misses the {floor} floor"
     for field in ("wall_lookup_seconds", "model_agreement", "spawn_seconds", "gated"):
         assert field in text, f"docs/benchmarks.md misses WorkerReport field {field}"
